@@ -1,0 +1,55 @@
+// Command uotsbench regenerates the evaluation: every table and figure of
+// the reproduced paper, as aligned text tables on stdout.
+//
+// Usage:
+//
+//	uotsbench [-profile small|medium|full] [-exp all|settings|pruning|...]
+//
+// Profiles scale the datasets to the host; the experiment set and
+// expected result shapes are documented in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uots/internal/experiments"
+)
+
+func main() {
+	profile := flag.String("profile", "medium", "dataset scale: small, medium or full")
+	exp := flag.String("exp", "all", "experiment to run (name or ID), or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-12s %s\n", e.ID, e.Name, e.Desc)
+		}
+		return
+	}
+	p, err := experiments.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	if *exp == "all" {
+		if err := experiments.RunAll(os.Stdout, p); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	e, err := experiments.ByName(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=== %s %s — %s ===\n\n", e.ID, e.Name, e.Desc)
+	if err := e.Run(os.Stdout, p); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uotsbench:", err)
+	os.Exit(1)
+}

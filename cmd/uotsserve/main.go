@@ -1,0 +1,82 @@
+// Command uotsserve exposes a dataset written by uotsdgen as a JSON HTTP
+// search API.
+//
+// Usage:
+//
+//	uotsserve -data dataset -addr :8080 [-cache 67108864 -disk dataset.dsk]
+//
+// Endpoints:
+//
+//	GET  /healthz             liveness
+//	GET  /stats               dataset shape
+//	POST /search              {"points":[[x,y],...], "keywords":"...", "lambda":0.5, "k":5}
+//	POST /batch               {"queries":[<search bodies>...], "workers":4}
+//	GET  /trajectory/{id}     full trajectory record
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"uots"
+	"uots/internal/core"
+	"uots/internal/diskstore"
+	"uots/internal/server"
+)
+
+func main() {
+	data := flag.String("data", "dataset", "dataset path prefix (expects <prefix>.graph and <prefix>.trajs)")
+	addr := flag.String("addr", ":8080", "listen address")
+	disk := flag.String("disk", "", "serve from a disk-resident store file instead of loading trajectories into memory")
+	cache := flag.Int("cache", 0, "disk-store LRU buffer budget in bytes (0 = 64 MiB default)")
+	flag.Parse()
+
+	gf, err := os.Open(*data + ".graph")
+	if err != nil {
+		fatal(err)
+	}
+	g, err := uots.ReadGraph(gf)
+	gf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var store core.TrajStore
+	var vocab *uots.Vocab
+	if *disk != "" {
+		ds, err := diskstore.Open(*disk, g, *cache)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		store, vocab = ds, ds.Vocab()
+		log.Printf("serving disk-resident store %s (buffer %d bytes)", *disk, ds.CacheBytes())
+	} else {
+		tf, err := os.Open(*data + ".trajs")
+		if err != nil {
+			fatal(err)
+		}
+		db, err := uots.ReadStore(tf, g)
+		tf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		store, vocab = db, db.Vocab()
+	}
+
+	engine, err := core.NewEngine(store, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(engine, vocab, nil)
+	log.Printf("uotsserve: %d vertices, %d trajectories, listening on %s",
+		g.NumVertices(), store.NumTrajectories(), *addr)
+	fatal(srv.ListenAndServe(*addr))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uotsserve:", err)
+	os.Exit(1)
+}

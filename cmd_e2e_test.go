@@ -1,0 +1,110 @@
+package uots_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommandLineTools builds the real binaries and drives the dataset →
+// query → serve pipeline end to end, the way a downstream user would.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI end-to-end skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, name := range []string{"uotsdgen", "uotsquery", "uotsserve"} {
+		out, err := exec.Command("go", "build", "-o", bin(name), "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+
+	// Generate a small dataset.
+	data := filepath.Join(dir, "world")
+	out, err := exec.Command(bin("uotsdgen"),
+		"-city", "brn", "-scale", "0.1", "-trajs", "500", "-mean", "15", "-out", data).CombinedOutput()
+	if err != nil {
+		t.Fatalf("uotsdgen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wrote") {
+		t.Fatalf("uotsdgen output: %s", out)
+	}
+	for _, suffix := range []string{".graph", ".trajs"} {
+		if _, err := os.Stat(data + suffix); err != nil {
+			t.Fatalf("missing %s: %v", suffix, err)
+		}
+	}
+
+	// Query it, with GeoJSON export.
+	gj := filepath.Join(dir, "results.json")
+	out, err = exec.Command(bin("uotsquery"),
+		"-data", data, "-at", "1.0,1.0;1.5,1.2", "-keywords", "t0_kw0 t0_kw1",
+		"-lambda", "0.5", "-k", "3", "-geojson", gj).CombinedOutput()
+	if err != nil {
+		t.Fatalf("uotsquery: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "result(s)") || !strings.Contains(string(out), "score=") {
+		t.Fatalf("uotsquery output: %s", out)
+	}
+	raw, err := os.ReadFile(gj)
+	if err != nil {
+		t.Fatalf("geojson: %v", err)
+	}
+	var fc struct {
+		Features []json.RawMessage `json:"features"`
+	}
+	if err := json.Unmarshal(raw, &fc); err != nil || len(fc.Features) == 0 {
+		t.Fatalf("geojson parse: %v (%d features)", err, len(fc.Features))
+	}
+
+	// Serve it and hit the API.
+	srv := exec.Command(bin("uotsserve"), "-data", data, "-addr", "127.0.0.1:18931")
+	if err := srv.Start(); err != nil {
+		t.Fatalf("uotsserve start: %v", err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	var resp *http.Response
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err = http.Get("http://127.0.0.1:18931/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	resp.Body.Close()
+
+	searchBody := strings.NewReader(`{"points":[[1.0,1.0]],"keywords":"t0_kw0","k":2}`)
+	resp, err = http.Post("http://127.0.0.1:18931/search", "application/json", searchBody)
+	if err != nil {
+		t.Fatalf("search request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	var sr struct {
+		Results []struct {
+			Trajectory int32   `json:"trajectory"`
+			Score      float64 `json:"score"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("search decode: %v", err)
+	}
+	if len(sr.Results) != 2 {
+		t.Fatalf("search returned %d results", len(sr.Results))
+	}
+}

@@ -1,0 +1,77 @@
+// Batchserver: the recommendation-service scenario. A provider answers
+// many independent UOTS queries against one shared corpus; because each
+// search is independent, a fixed pool of worker goroutines processes them
+// in parallel — the parallel mechanism the paper's evaluation scales over
+// thread counts. The example measures batch wall-clock time for growing
+// worker pools and prints the aggregate work counters.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"runtime"
+
+	"uots"
+)
+
+func main() {
+	g := uots.NRNLike(0.12, 11) // dense city, ~1.4k vertices
+	vocab := uots.GenerateVocab(10, 60, 1.0, 13)
+	db, err := uots.GenerateTrajectories(g, uots.TrajGenOptions{
+		Count:       20000,
+		MeanSamples: 40,
+		Vocab:       vocab,
+		Seed:        17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := uots.NewEngine(db, uots.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 64 queries from simulated users: clustered locations, topic-matched
+	// keywords.
+	idx := uots.NewVertexIndex(g, 0)
+	rng := rand.New(rand.NewPCG(23, 29))
+	queries := make([]uots.Query, 64)
+	for i := range queries {
+		anchor := uots.VertexID(rng.IntN(g.NumVertices()))
+		near := idx.Within(g.Point(anchor), 1.5)
+		locs := []uots.VertexID{anchor}
+		for len(locs) < 3 && len(near) > 0 {
+			locs = append(locs, near[rng.IntN(len(near))])
+		}
+		topic := rng.IntN(vocab.NumTopics())
+		queries[i] = uots.Query{
+			Locations: locs,
+			Keywords:  vocab.DrawQueryTerms(topic, 3, 0.8, rng),
+			Lambda:    0.5,
+			K:         5,
+		}
+	}
+
+	fmt.Printf("host has %d core(s); batch of %d queries over %d trajectories\n\n",
+		runtime.NumCPU(), len(queries), db.NumTrajectories())
+	for _, workers := range []int{1, 2, 4, 8} {
+		results, stats, err := engine.SearchBatch(context.Background(), queries,
+			uots.BatchOptions{Workers: workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		failed := 0
+		for _, r := range results {
+			if r.Err != nil {
+				failed++
+			}
+		}
+		fmt.Printf("m=%d workers: wallclock %8.1fms  (%.2fms/query, %d visited trajectories total, %d failed)\n",
+			workers,
+			float64(stats.WallClock.Microseconds())/1000,
+			float64(stats.WallClock.Microseconds())/1000/float64(len(queries)),
+			stats.PerQuery.VisitedTrajectories, failed)
+	}
+}

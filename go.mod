@@ -1,0 +1,3 @@
+module uots
+
+go 1.22

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"uots/internal/pqueue"
+	"uots/internal/roadnet"
+	"uots/internal/trajdb"
+)
+
+// ExhaustiveSearch answers a top-k UOTS query with the brute-force
+// comparator: one full Dijkstra per query location (exact distance fields
+// over the whole network), then an exact score for every trajectory in the
+// store. It visits every trajectory and serves as the ground truth the
+// expansion algorithm is validated against, and as the "no pruning" end of
+// the experiment spectrum.
+func (e *Engine) ExhaustiveSearch(q Query) ([]Result, SearchStats, error) {
+	start := time.Now()
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	topk := pqueue.NewTopK[Result](q.K)
+	stats := e.exhaustiveScan(q, func(r Result) {
+		topk.Offer(r.Score, int64(r.Traj), r)
+	})
+	results := topk.Results()
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}
+
+// ExhaustiveThreshold answers the threshold variant exhaustively.
+func (e *Engine) ExhaustiveThreshold(q Query, theta float64) ([]Result, SearchStats, error) {
+	start := time.Now()
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	if !(theta > 0) || theta > 1 || math.IsNaN(theta) {
+		return nil, SearchStats{}, ErrBadThreshold
+	}
+	var results []Result
+	stats := e.exhaustiveScan(q, func(r Result) {
+		if r.Score >= theta {
+			results = append(results, r)
+		}
+	})
+	sortResults(results)
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}
+
+// exhaustiveScan computes the exact Result of every trajectory and feeds
+// it to sink, returning the work counters.
+func (e *Engine) exhaustiveScan(q Query, sink func(Result)) SearchStats {
+	var stats SearchStats
+	n := e.db.NumTrajectories()
+	fields := make([][]float64, len(q.Locations))
+	sssp := roadnet.NewSSSP(e.g)
+	for i, o := range q.Locations {
+		sssp.RunUntil(o, func(roadnet.VertexID, float64) bool {
+			stats.SettledVertices++
+			return true
+		})
+		field := make([]float64, e.g.NumVertices())
+		for v := range field {
+			field[v] = sssp.Dist(roadnet.VertexID(v))
+		}
+		fields[i] = field
+	}
+	for id := 0; id < n; id++ {
+		tid := trajdb.TrajID(id)
+		verts := e.db.UniqueVertices(tid)
+		dists := make([]float64, len(q.Locations))
+		for i := range dists {
+			best := math.Inf(1)
+			for _, v := range verts {
+				if d := fields[i][v]; d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+		}
+		spatial := e.spatialFromDists(dists)
+		text := e.textScore(q.Keywords, tid)
+		sink(Result{
+			Traj:    tid,
+			Score:   combine(q.Lambda, spatial, text),
+			Spatial: spatial,
+			Textual: text,
+			Dists:   dists,
+		})
+	}
+	stats.VisitedTrajectories = n
+	stats.Candidates = n
+	stats.TextScored = n
+	return stats
+}
+
+// TextFirstOptions tunes the TextFirst baseline.
+type TextFirstOptions struct {
+	// Landmarks, when non-nil, provides network-distance lower bounds used
+	// to skip exact spatial evaluations that provably cannot qualify.
+	Landmarks *roadnet.Landmarks
+}
+
+// TextFirstSearch answers a top-k UOTS query with the one-domain-first
+// baseline: trajectories are visited in descending textual-similarity
+// order; each visit computes the exact spatial similarity with
+// early-terminating Dijkstras; the scan stops once even a spatially
+// perfect trajectory could not beat the current k-th best. Because a
+// trajectory with zero textual score can still win on spatial similarity
+// alone, the baseline must fall back to scanning the zero-text tail
+// whenever the bar allows it — the structural weakness the paper's
+// expansion algorithm removes.
+func (e *Engine) TextFirstSearch(q Query, opts TextFirstOptions) ([]Result, SearchStats, error) {
+	start := time.Now()
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	var stats SearchStats
+	topk := pqueue.NewTopK[Result](q.K)
+	sssp := roadnet.NewSSSP(e.g)
+
+	evaluate := func(tid trajdb.TrajID, text float64) {
+		stats.VisitedTrajectories++
+		// Landmark pruning: a lower bound on every query-location distance
+		// upper-bounds the spatial similarity.
+		if bar, ok := topk.Threshold(); ok && opts.Landmarks != nil {
+			ubSpatial := 0.0
+			for _, o := range q.Locations {
+				lb := opts.Landmarks.LowerBoundToSet(o, e.db.UniqueVertices(tid))
+				ubSpatial += e.kernel(lb)
+			}
+			ubSpatial /= float64(len(q.Locations))
+			if combine(q.Lambda, ubSpatial, text) < bar {
+				return
+			}
+		}
+		dists := make([]float64, len(q.Locations))
+		for i, o := range q.Locations {
+			sssp.RunUntil(o, func(v roadnet.VertexID, d float64) bool {
+				stats.SettledVertices++
+				if e.db.ContainsVertex(tid, v) {
+					dists[i] = d
+					return false
+				}
+				return true
+			})
+			if dists[i] == 0 && !e.db.ContainsVertex(tid, o) {
+				dists[i] = math.Inf(1) // unreachable from o
+			}
+		}
+		spatial := e.spatialFromDists(dists)
+		stats.Candidates++
+		topk.Offer(combine(q.Lambda, spatial, text), int64(tid), Result{
+			Traj:    tid,
+			Score:   combine(q.Lambda, spatial, text),
+			Spatial: spatial,
+			Textual: text,
+			Dists:   dists,
+		})
+	}
+
+	// Phase 1: descending textual order.
+	type scored struct {
+		id   trajdb.TrajID
+		text float64
+	}
+	var ranked []scored
+	inRanked := make(map[trajdb.TrajID]bool)
+	if len(q.Keywords) > 0 {
+		docs := e.db.TextIndex().DocsWithAny(q.Keywords)
+		stats.TextScored = len(docs)
+		ranked = make([]scored, 0, len(docs))
+		for _, d := range docs {
+			id := trajdb.TrajID(d)
+			ranked = append(ranked, scored{id, e.textScore(q.Keywords, id)})
+			inRanked[id] = true
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].text != ranked[j].text {
+				return ranked[i].text > ranked[j].text
+			}
+			return ranked[i].id < ranked[j].id
+		})
+	}
+	for _, s := range ranked {
+		if bar, ok := topk.Threshold(); ok && combine(q.Lambda, 1, s.text) < bar {
+			stats.EarlyTerminated = true
+			break
+		}
+		evaluate(s.id, s.text)
+	}
+
+	// Phase 2: the zero-text tail, unless even a spatially perfect
+	// zero-text trajectory cannot qualify.
+	if bar, ok := topk.Threshold(); !ok || combine(q.Lambda, 1, 0) >= bar {
+		for id := 0; id < e.db.NumTrajectories(); id++ {
+			tid := trajdb.TrajID(id)
+			if inRanked[tid] {
+				continue
+			}
+			if bar, ok := topk.Threshold(); ok && combine(q.Lambda, 1, 0) < bar {
+				stats.EarlyTerminated = true
+				break
+			}
+			evaluate(tid, 0)
+		}
+	} else {
+		stats.EarlyTerminated = true
+	}
+
+	results := topk.Results()
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Algorithm names a query-processing strategy for batch runs and
+// experiment harnesses.
+type Algorithm int
+
+const (
+	// AlgoExpansion is the paper's expansion search.
+	AlgoExpansion Algorithm = iota
+	// AlgoExhaustive is the full-Dijkstra brute-force baseline.
+	AlgoExhaustive
+	// AlgoTextFirst is the textual-order baseline.
+	AlgoTextFirst
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoExpansion:
+		return "expansion"
+	case AlgoExhaustive:
+		return "exhaustive"
+	case AlgoTextFirst:
+		return "textfirst"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// BatchOptions configures a parallel batch run.
+type BatchOptions struct {
+	// Workers is the number of concurrent query goroutines
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// Algorithm selects the per-query strategy (default AlgoExpansion).
+	Algorithm Algorithm
+	// TextFirst tunes AlgoTextFirst runs.
+	TextFirst TextFirstOptions
+}
+
+// BatchResult is the outcome of one query in a batch.
+type BatchResult struct {
+	Index   int // position of the query in the input slice
+	Results []Result
+	Stats   SearchStats
+	Err     error
+}
+
+// BatchStats aggregates a whole batch run.
+type BatchStats struct {
+	Queries   int
+	Failed    int
+	PerQuery  SearchStats   // summed per-query counters
+	WallClock time.Duration // end-to-end elapsed time of the batch
+}
+
+// SearchBatch processes the queries with a fixed pool of worker
+// goroutines — the per-query searches are fully independent, which is the
+// parallelism this research line exploits. Results arrive indexed by input
+// position. The context cancels remaining work; queries already running
+// finish normally.
+func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch opts.Algorithm {
+	case AlgoExpansion, AlgoExhaustive, AlgoTextFirst:
+	default:
+		return nil, BatchStats{}, fmt.Errorf("core: unknown batch algorithm %d", int(opts.Algorithm))
+	}
+	start := time.Now()
+	out := make([]BatchResult, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, stats, err := e.runOne(queries[idx], opts)
+				out[idx] = BatchResult{Index: idx, Results: res, Stats: stats, Err: err}
+			}
+		}()
+	}
+feed:
+	for i := range queries {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark unscheduled queries as cancelled.
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	stats := BatchStats{Queries: len(queries), WallClock: time.Since(start)}
+	for i := range out {
+		if out[i].Results == nil && out[i].Err == nil && out[i].Stats == (SearchStats{}) {
+			if err := ctx.Err(); err != nil {
+				out[i].Err = err
+				out[i].Index = i
+			}
+		}
+		if out[i].Err != nil {
+			stats.Failed++
+			continue
+		}
+		stats.PerQuery.add(out[i].Stats)
+	}
+	return out, stats, ctx.Err()
+}
+
+func (e *Engine) runOne(q Query, opts BatchOptions) ([]Result, SearchStats, error) {
+	switch opts.Algorithm {
+	case AlgoExhaustive:
+		return e.ExhaustiveSearch(q)
+	case AlgoTextFirst:
+		return e.TextFirstSearch(q, opts.TextFirst)
+	default:
+		return e.Search(q)
+	}
+}

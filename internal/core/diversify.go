@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"uots/internal/trajdb"
+)
+
+// Diversified search (an extension beyond the paper): trip recommendation
+// suffers when the top-k are k near-copies of the same route, which is
+// common in commuter corpora. DiversifiedSearch retrieves an enlarged
+// unordered candidate pool with the expansion search and then greedily
+// selects k trajectories by maximal marginal relevance:
+//
+//	MMR(τ) = (1−μ)·SimST(q, τ) − μ·max_{σ already picked} overlap(τ, σ)
+//
+// where overlap is the Jaccard similarity of the two trajectories' vertex
+// sets (route overlap). μ=0 degenerates to the plain top-k; μ→1 picks
+// maximally disjoint routes.
+
+// ErrBadDiversity is returned for μ outside [0, 1).
+var ErrBadDiversity = errors.New("core: diversity weight must be in [0, 1)")
+
+// DiversifyOptions tunes DiversifiedSearch.
+type DiversifyOptions struct {
+	// Mu is the diversity weight μ ∈ [0, 1) (default 0.3).
+	Mu float64
+	// PoolFactor sizes the candidate pool as PoolFactor·k (default 4,
+	// minimum pool 16).
+	PoolFactor int
+}
+
+// DiversifiedSearch answers a top-k query re-ranked for route diversity.
+func (e *Engine) DiversifiedSearch(q Query, opts DiversifyOptions) ([]Result, SearchStats, error) {
+	start := time.Now()
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	if opts.Mu == 0 {
+		opts.Mu = 0.3
+	}
+	if opts.Mu < 0 || opts.Mu >= 1 || math.IsNaN(opts.Mu) {
+		return nil, SearchStats{}, fmt.Errorf("%w: got %g", ErrBadDiversity, opts.Mu)
+	}
+	if opts.PoolFactor <= 0 {
+		opts.PoolFactor = 4
+	}
+	poolQ := q
+	poolQ.K = q.K * opts.PoolFactor
+	if poolQ.K < 16 {
+		poolQ.K = 16
+	}
+	pool, stats, err := e.Search(poolQ)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	picked := make([]Result, 0, q.K)
+	used := make([]bool, len(pool))
+	for len(picked) < q.K && len(picked) < len(pool) {
+		bestIdx, bestMMR := -1, math.Inf(-1)
+		for i, cand := range pool {
+			if used[i] {
+				continue
+			}
+			maxOverlap := 0.0
+			for _, p := range picked {
+				if ov := e.routeOverlap(cand.Traj, p.Traj); ov > maxOverlap {
+					maxOverlap = ov
+				}
+			}
+			mmr := (1-opts.Mu)*cand.Score - opts.Mu*maxOverlap
+			if mmr > bestMMR || (mmr == bestMMR && bestIdx >= 0 && cand.Traj < pool[bestIdx].Traj) {
+				bestIdx, bestMMR = i, mmr
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		picked = append(picked, pool[bestIdx])
+	}
+	stats.Elapsed = time.Since(start)
+	return picked, stats, nil
+}
+
+// routeOverlap is the Jaccard similarity of two trajectories' unique
+// vertex sets.
+func (e *Engine) routeOverlap(a, b trajdb.TrajID) float64 {
+	va := e.db.UniqueVertices(a)
+	vb := e.db.UniqueVertices(b)
+	i, j, inter := 0, 0, 0
+	for i < len(va) && j < len(vb) {
+		switch {
+		case va[i] < vb[j]:
+			i++
+		case va[i] > vb[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	union := len(va) + len(vb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// Engine answers UOTS queries over one trajectory store. It is immutable
+// after construction and safe for concurrent use: every query allocates
+// its own search state, so goroutines may call Search concurrently (the
+// batch engine in batch.go relies on this).
+type Engine struct {
+	g    *roadnet.Graph
+	db   TrajStore
+	opts Options
+}
+
+// NewEngine creates an engine over db with the given options. A zero
+// Options value selects the paper configuration. db may be any TrajStore
+// implementation — the in-memory trajdb.Store or the disk-resident
+// diskstore.Store.
+func NewEngine(db TrajStore, opts Options) (*Engine, error) {
+	if db == nil {
+		return nil, ErrNilStore
+	}
+	if db.NumTrajectories() == 0 {
+		return nil, ErrEmptyStore
+	}
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: db.Graph(), db: db, opts: opts}, nil
+}
+
+// Store returns the engine's trajectory store.
+func (e *Engine) Store() TrajStore { return e.db }
+
+// Options returns the engine's effective (normalized) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// kernel maps a network distance to spatial similarity contribution
+// e^{−d/γ} ∈ (0, 1]. Unreachable maps to 0.
+func (e *Engine) kernel(d float64) float64 {
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	return math.Exp(-d / e.opts.DistScale)
+}
+
+// textScore computes the configured textual similarity between the query
+// keyword set and trajectory id's keywords.
+func (e *Engine) textScore(query textual.TermSet, id trajdb.TrajID) float64 {
+	switch e.opts.TextSim {
+	case TextCosineIDF:
+		return e.db.TextIndex().CosineIDF(query, textual.DocID(id))
+	default:
+		return textual.Jaccard(query, e.db.Keywords(id))
+	}
+}
+
+// spatialFromDists folds per-location distances into the spatial
+// similarity (1/|O|)·Σ e^{−dᵢ/γ}.
+func (e *Engine) spatialFromDists(dists []float64) float64 {
+	var sum float64
+	for _, d := range dists {
+		sum += e.kernel(d)
+	}
+	return sum / float64(len(dists))
+}
+
+// combine applies the linear combination λ·spatial + (1−λ)·textual.
+func combine(lambda, spatial, textual float64) float64 {
+	return lambda*spatial + (1-lambda)*textual
+}
+
+// Evaluate computes the exact similarity of one trajectory against a
+// query, including per-location network distances. It is the reference
+// scorer used by tests and by callers that want to explain a
+// recommendation; it runs one early-terminating Dijkstra per query
+// location and costs far more than an engine search amortizes per
+// trajectory.
+func (e *Engine) Evaluate(q Query, id trajdb.TrajID) (Result, error) {
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return Result{}, err
+	}
+	if id < 0 || int(id) >= e.db.NumTrajectories() {
+		return Result{}, ErrTrajRange
+	}
+	sssp := roadnet.NewSSSP(e.g)
+	dists := e.exactDists(sssp, q.Locations, id)
+	spatial := e.spatialFromDists(dists)
+	text := e.textScore(q.Keywords, id)
+	return Result{
+		Traj:    id,
+		Score:   combine(q.Lambda, spatial, text),
+		Spatial: spatial,
+		Textual: text,
+		Dists:   dists,
+	}, nil
+}
+
+// exactDists computes d(o, τ) for each query location o with an
+// early-terminating Dijkstra whose target set is τ's vertex set.
+func (e *Engine) exactDists(sssp *roadnet.SSSP, locations []roadnet.VertexID, id trajdb.TrajID) []float64 {
+	dists := make([]float64, len(locations))
+	for i, o := range locations {
+		_, d := sssp.DistToSet(o, func(v roadnet.VertexID) bool {
+			return e.db.ContainsVertex(id, v)
+		})
+		dists[i] = d
+	}
+	return dists
+}

@@ -1,0 +1,649 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"uots/internal/pqueue"
+	"uots/internal/roadnet"
+	"uots/internal/trajdb"
+)
+
+// Search answers a top-k UOTS query with the expansion algorithm:
+// incremental network expansion from every query location, exact textual
+// scoring through the keyword inverted index, spatio-textual upper bounds
+// on partly scanned and unseen trajectories, and early termination once no
+// unexplored trajectory can beat the current k-th best. Results come back
+// best-first.
+//
+// Ties at the k-th score are resolved toward smaller trajectory IDs among
+// the trajectories the search scored exactly; equal-scoring trajectories
+// pruned by the bound may be excluded.
+func (e *Engine) Search(q Query) ([]Result, SearchStats, error) {
+	start := time.Now()
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	if q.Lambda == 0 {
+		res, stats := e.textOnlyTopK(q, nil)
+		stats.Elapsed = time.Since(start)
+		return res, stats, nil
+	}
+	st := newExpansionState(e, q, 0, true)
+	st.run()
+	results := st.topk.Results()
+	st.stats.Elapsed = time.Since(start)
+	return results, st.stats, nil
+}
+
+// SearchThreshold answers the threshold variant of the UOTS query: every
+// trajectory with SimST ≥ theta, best-first. theta must be in (0, 1];
+// thresholds near 1 prune hardest.
+func (e *Engine) SearchThreshold(q Query, theta float64) ([]Result, SearchStats, error) {
+	start := time.Now()
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	if !(theta > 0) || theta > 1 || math.IsNaN(theta) {
+		return nil, SearchStats{}, ErrBadThreshold
+	}
+	if q.Lambda == 0 {
+		res, stats := e.textOnlyThreshold(q, theta)
+		stats.Elapsed = time.Since(start)
+		return res, stats, nil
+	}
+	st := newExpansionState(e, q, theta, false)
+	st.run()
+	sortResults(st.qualified)
+	st.stats.Elapsed = time.Since(start)
+	return st.qualified, st.stats, nil
+}
+
+// sortResults orders results best-first: descending score, ascending ID.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Traj < rs[j].Traj
+	})
+}
+
+// cand is the per-trajectory search state of one expansion query.
+type cand struct {
+	mask     uint64    // query sources that have scanned this trajectory
+	dists    []float64 // exact distance per source (+Inf while unknown)
+	sumExp   float64   // Σ over scanned sources of e^{−dᵢ/γ}
+	text     float64   // exact textual similarity (known up front)
+	complete bool      // scored exactly or pruned; no further updates
+}
+
+// expansionState holds one in-flight expansion search.
+type expansionState struct {
+	e       *Engine
+	q       Query
+	theta   float64 // threshold variant bar (0 in top-k mode)
+	useTopK bool
+
+	sources  []*roadnet.Expander
+	live     []bool
+	radExp   []float64 // e^{−rᵢ/γ}; 0 once source i is exhausted
+	liveN    int
+	allMask  uint64
+	doneMask uint64
+
+	cands      []*cand         // dense by TrajID; nil until first touch
+	active     []trajdb.TrajID // incomplete candidates; compacted at rescans
+	textScores map[trajdb.TrajID]float64
+	textHeap   pqueue.Max[trajdb.TrajID]
+	keep       func(trajdb.TrajID) bool // optional trajectory filter (nil accepts all)
+
+	topk      *pqueue.TopK[Result]
+	qualified []Result
+
+	labels []float64 // heuristic scheduling labels (refreshed each rescan)
+	rr     int
+	steps  int
+
+	goal  *roadnet.GoalSearch // lazy; text-probe random accesses only
+	stats SearchStats
+
+	slabCands []cand    // arena for cand structs (one allocation per chunk)
+	slabDists []float64 // arena for per-cand distance vectors
+}
+
+func newExpansionState(e *Engine, q Query, theta float64, useTopK bool) *expansionState {
+	st := &expansionState{
+		e:       e,
+		q:       q,
+		theta:   theta,
+		useTopK: useTopK,
+		sources: make([]*roadnet.Expander, len(q.Locations)),
+		live:    make([]bool, len(q.Locations)),
+		radExp:  make([]float64, len(q.Locations)),
+		liveN:   len(q.Locations),
+		allMask: maskAll(len(q.Locations)),
+		cands:   make([]*cand, e.db.NumTrajectories()),
+		labels:  make([]float64, len(q.Locations)),
+	}
+	for i, o := range q.Locations {
+		st.sources[i] = roadnet.NewExpander(e.g, o)
+		st.live[i] = true
+		st.radExp[i] = 1 // e^{−0/γ}
+	}
+	if useTopK {
+		st.topk = pqueue.NewTopK[Result](q.K)
+	}
+	st.initText()
+	return st
+}
+
+func maskAll(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// initText scores every trajectory sharing at least one query keyword —
+// the only trajectories with non-zero textual similarity — and loads them
+// into the descending text heap that feeds the unseen-trajectory bound.
+func (st *expansionState) initText() {
+	st.textScores = make(map[trajdb.TrajID]float64)
+	if len(st.q.Keywords) == 0 {
+		return
+	}
+	ix := st.e.db.TextIndex()
+	docs := ix.DocsWithAny(st.q.Keywords)
+	st.stats.TextScored = len(docs)
+	for _, d := range docs {
+		id := trajdb.TrajID(d)
+		s := st.e.textScore(st.q.Keywords, id)
+		if s > 0 {
+			st.textScores[id] = s
+			st.textHeap.Push(s, id)
+		}
+	}
+}
+
+// bar returns the current pruning bar: exact scores strictly below it can
+// never enter the result. ok is false while no bar exists yet (top-k not
+// yet full).
+func (st *expansionState) bar() (float64, bool) {
+	if !st.useTopK {
+		return st.theta, true
+	}
+	return st.topk.Threshold()
+}
+
+func (st *expansionState) run() {
+	relabel := st.e.opts.RelabelEvery
+	for st.liveN > 0 {
+		i := st.pickSource()
+		v, d, ok := st.sources[i].Next()
+		if !ok {
+			st.markDone(i)
+			continue
+		}
+		st.stats.SettledVertices++
+		st.radExp[i] = st.e.kernel(d)
+		bit := uint64(1) << i
+		for _, tid := range st.e.db.TrajsAtVertex(v) {
+			c := st.candFor(tid)
+			if c.complete || c.mask&bit != 0 {
+				continue
+			}
+			c.mask |= bit
+			c.dists[i] = d
+			c.sumExp += st.radExp[i] // e^{−d/γ}: d is this source's current radius
+			st.stats.ScanEvents++
+			if c.mask|st.doneMask == st.allMask {
+				st.complete(tid, c)
+			}
+		}
+		st.steps++
+		if st.steps%relabel == 0 && st.rescan() {
+			st.stats.EarlyTerminated = true
+			return
+		}
+	}
+	st.finalizeExhausted()
+}
+
+// candFor returns the candidate state for tid, creating it on first touch.
+func (st *expansionState) candFor(tid trajdb.TrajID) *cand {
+	if c := st.cands[tid]; c != nil {
+		return c
+	}
+	nLoc := len(st.q.Locations)
+	if len(st.slabCands) == 0 {
+		const chunk = 1024
+		st.slabCands = make([]cand, chunk)
+		st.slabDists = make([]float64, chunk*nLoc)
+	}
+	c := &st.slabCands[0]
+	st.slabCands = st.slabCands[1:]
+	dists := st.slabDists[:nLoc:nLoc]
+	st.slabDists = st.slabDists[nLoc:]
+	for i := range dists {
+		dists[i] = math.Inf(1)
+	}
+	c.dists = dists
+	c.text = st.textScores[tid]
+	if st.keep != nil && !st.keep(tid) {
+		c.complete = true // filtered out: scanned but never scored
+	}
+	st.cands[tid] = c
+	st.active = append(st.active, tid)
+	st.stats.VisitedTrajectories++
+	return c
+}
+
+// complete scores a fully known candidate exactly and feeds the result
+// sink. Distances that remained +Inf (source exhausted without reaching
+// the trajectory) contribute 0 to the spatial similarity.
+func (st *expansionState) complete(tid trajdb.TrajID, c *cand) {
+	c.complete = true
+	st.stats.Candidates++
+	spatial := st.e.spatialFromDists(c.dists)
+	score := combine(st.q.Lambda, spatial, c.text)
+	res := Result{
+		Traj:    tid,
+		Score:   score,
+		Spatial: spatial,
+		Textual: c.text,
+		Dists:   append([]float64(nil), c.dists...),
+	}
+	if st.useTopK {
+		st.topk.Offer(score, int64(tid), res)
+		return
+	}
+	if score >= st.theta {
+		st.qualified = append(st.qualified, res)
+	}
+}
+
+// markDone retires an exhausted query source: its radius bound becomes 0
+// and candidates waiting only on it become complete.
+func (st *expansionState) markDone(i int) {
+	if !st.live[i] {
+		return
+	}
+	st.live[i] = false
+	st.liveN--
+	st.radExp[i] = 0
+	st.doneMask |= uint64(1) << i
+	keep := st.active[:0]
+	for _, tid := range st.active {
+		c := st.cands[tid]
+		if c.complete {
+			continue
+		}
+		if c.mask|st.doneMask == st.allMask {
+			st.complete(tid, c)
+			continue
+		}
+		keep = append(keep, tid)
+	}
+	st.active = keep
+}
+
+// sumRad returns Σ over live sources of e^{−rᵢ/γ}.
+func (st *expansionState) sumRad() float64 {
+	var s float64
+	for i, ok := range st.live {
+		if ok {
+			s += st.radExp[i]
+		}
+	}
+	return s
+}
+
+// peekUnseenText returns the largest textual score among trajectories the
+// expansion has not touched yet, discarding heap entries that have since
+// become candidates (lazy deletion).
+func (st *expansionState) peekUnseenText() float64 {
+	for {
+		s, tid, ok := st.textHeap.Peek()
+		if !ok {
+			return 0
+		}
+		if st.cands[tid] == nil {
+			return s
+		}
+		st.textHeap.Pop()
+	}
+}
+
+// rescan is the periodic bound refresh: it prunes hopeless candidates,
+// recomputes the global upper bound, runs adaptive text probes, refreshes
+// the heuristic scheduling labels, and reports whether the search can
+// terminate.
+func (st *expansionState) rescan() bool {
+	bar, haveBar := st.bar()
+	lambda := st.q.Lambda
+	nLoc := float64(len(st.q.Locations))
+	sumRad := st.sumRad()
+
+	// Adaptive text probe: when the unseen bound is blocked by a high
+	// textual score rather than by expansion radii, resolve the blocking
+	// trajectory's spatial distances directly instead of waiting for the
+	// expansion to reach it.
+	if haveBar && !st.e.opts.DisableTextProbe {
+		for {
+			textTop := st.peekUnseenText()
+			if textTop == 0 {
+				break
+			}
+			unseenSpatial := lambda * sumRad / nLoc
+			if unseenSpatial >= bar || unseenSpatial+(1-lambda)*textTop < bar {
+				break // spatial term blocks regardless, or nothing blocks
+			}
+			// Only resolve blockers that would still block once the
+			// expansion radii reach the probe floor — cheaper blockers
+			// clear themselves as the radii grow — and only once the
+			// radii are actually there, so the pruning bar has matured.
+			if lambda*st.probeFloor()+(1-lambda)*textTop < bar ||
+				!st.radiiPastFloor() {
+				break
+			}
+			_, tid, _ := st.textHeap.Pop()
+			if lm := st.e.opts.Landmarks; lm != nil {
+				if ubS := st.landmarkSpatialUB(tid); combine(lambda, ubS, textTop) < bar {
+					// Provably outside the result: discard with no
+					// Dijkstra work at all.
+					st.candFor(tid).complete = true
+					continue
+				}
+			}
+			st.probe(tid)
+			bar, haveBar = st.bar()
+			if !haveBar {
+				break
+			}
+		}
+	}
+
+	// Sweep candidates: prune, probe floor-resistant partial blockers,
+	// find the max partial bound, relabel.
+	for i := range st.labels {
+		st.labels[i] = 0
+	}
+	floor := st.probeFloor()
+	maxPartial := math.Inf(-1)
+	keep := st.active[:0]
+	for _, tid := range st.active {
+		c := st.cands[tid]
+		if c.complete {
+			continue
+		}
+		rest, restFloor := 0.0, 0.0
+		pastFloor := true
+		for i, ok := range st.live {
+			if ok && c.mask&(uint64(1)<<i) == 0 {
+				rest += st.radExp[i]
+				restFloor += floor
+				if st.radExp[i] > floor {
+					pastFloor = false
+				}
+			}
+		}
+		ub := lambda*(c.sumExp+rest)/nLoc + (1-lambda)*c.text
+		if haveBar && ub < bar {
+			c.complete = true // pruned: provably outside the result
+			continue
+		}
+		// Endgame resolution: once every radius this candidate still
+		// waits on has grown past the probe floor, a candidate that
+		// still blocks termination will not clear itself at acceptable
+		// cost — resolve its remaining distances directly.
+		if haveBar && pastFloor && !st.e.opts.DisableTextProbe &&
+			combine(lambda, (c.sumExp+restFloor)/nLoc, c.text) >= bar {
+			st.probe(tid)
+			bar, haveBar = st.bar()
+			continue
+		}
+		keep = append(keep, tid)
+		if ub > maxPartial {
+			maxPartial = ub
+		}
+		for i, ok := range st.live {
+			if ok && c.mask&(uint64(1)<<i) == 0 {
+				st.labels[i] += ub
+			}
+		}
+	}
+	st.active = keep
+
+	unseenUB := lambda*sumRad/nLoc + (1-lambda)*st.peekUnseenText()
+	ub := math.Max(maxPartial, unseenUB)
+	if haveBar && ub < bar {
+		return true
+	}
+
+	return false
+}
+
+// landmarkSpatialUB upper-bounds a trajectory's spatial similarity from
+// ALT landmark lower bounds on its distance to every query location.
+func (st *expansionState) landmarkSpatialUB(tid trajdb.TrajID) float64 {
+	lm := st.e.opts.Landmarks
+	verts := st.e.db.UniqueVertices(tid)
+	var sum float64
+	for _, o := range st.q.Locations {
+		sum += st.e.kernel(lm.LowerBoundToSet(o, verts))
+	}
+	return sum / float64(len(st.q.Locations))
+}
+
+// probe computes the exact spatial distances of one trajectory with
+// early-terminating Dijkstras (random access in the spatial domain) and
+// completes it. Used when a textually top-ranked trajectory blocks
+// termination, and by the λ=0 fast path to fill result distances.
+func (st *expansionState) probe(tid trajdb.TrajID) {
+	c := st.candFor(tid)
+	if c.complete {
+		return
+	}
+	if st.goal == nil {
+		st.goal = roadnet.NewGoalSearch(st.e.g)
+	}
+	st.stats.Probes++
+	// One multi-source corridor search: from the trajectory's vertices
+	// toward every query location at once. Undirected distances make this
+	// equivalent to |O| separate searches at a fraction of the cost.
+	missing := make([]roadnet.VertexID, 0, len(st.q.Locations))
+	missingIdx := make([]int, 0, len(st.q.Locations))
+	for i, o := range st.q.Locations {
+		if math.IsInf(c.dists[i], 1) {
+			missing = append(missing, o)
+			missingIdx = append(missingIdx, i)
+		}
+	}
+	if len(missing) > 0 {
+		dists := st.goal.FromSet(
+			st.e.db.UniqueVertices(tid),
+			missing,
+			func() { st.stats.SettledVertices++ },
+		)
+		for j, i := range missingIdx {
+			c.dists[i] = dists[j]
+		}
+	}
+	st.complete(tid, c)
+}
+
+// probeFloor is the spatial-kernel value at the radius the probe policy is
+// willing to let the expansion grow to before it starts resolving textual
+// blockers directly.
+func (st *expansionState) probeFloor() float64 {
+	return math.Exp(-st.e.opts.ProbeRadiusFactor)
+}
+
+// radiiPastFloor reports whether every live expansion radius has grown
+// beyond the probe floor radius — the endgame signal that remaining
+// blockers will not clear themselves at acceptable cost.
+func (st *expansionState) radiiPastFloor() bool {
+	floor := st.probeFloor()
+	for i, ok := range st.live {
+		if ok && st.radExp[i] > floor {
+			return false
+		}
+	}
+	return true
+}
+
+// pickSource chooses the query source to expand next.
+func (st *expansionState) pickSource() int {
+	switch st.e.opts.Scheduling {
+	case ScheduleRoundRobin:
+		for {
+			st.rr = (st.rr + 1) % len(st.sources)
+			if st.live[st.rr] {
+				return st.rr
+			}
+		}
+	case ScheduleMinRadius:
+		return st.minRadiusSource()
+	default: // ScheduleHeuristic
+		// Among the sources that still owe scans to live partly scanned
+		// candidates (per the labels of the last rescan), expand the one
+		// with the smallest radius: it completes outstanding candidates
+		// at the least settled-area cost. With no outstanding labels the
+		// unseen bound dominates and plain min-radius shrinks it fastest.
+		best, bestR := -1, math.Inf(1)
+		for i, ok := range st.live {
+			if ok && st.labels[i] > 0 && st.sources[i].Radius() < bestR {
+				best, bestR = i, st.sources[i].Radius()
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		return st.minRadiusSource()
+	}
+}
+
+func (st *expansionState) minRadiusSource() int {
+	best, bestR := -1, math.Inf(1)
+	for i, ok := range st.live {
+		if ok && st.sources[i].Radius() < bestR {
+			best, bestR = i, st.sources[i].Radius()
+		}
+	}
+	return best
+}
+
+// finalizeExhausted handles the no-early-termination case: every source
+// exhausted its component. Spatially never-scanned trajectories (other
+// components) still compete on their textual score alone — and when the
+// top-k still has room, even zero-scoring trajectories fill the remaining
+// slots (ascending ID, matching the exhaustive baseline's tie order).
+func (st *expansionState) finalizeExhausted() {
+	for {
+		_, tid, ok := st.textHeap.Pop()
+		if !ok {
+			break
+		}
+		if c := st.cands[tid]; c != nil && c.complete {
+			continue
+		}
+		c := st.candFor(tid)
+		if !c.complete {
+			st.complete(tid, c) // all dists +Inf: spatial 0
+		}
+	}
+	if !st.useTopK || st.topk.Full() {
+		return
+	}
+	// Every remaining trajectory is unreachable from all sources and
+	// shares no query keyword: its exact score is exactly 0.
+	for id := 0; id < st.e.db.NumTrajectories() && !st.topk.Full(); id++ {
+		tid := trajdb.TrajID(id)
+		if c := st.cands[tid]; c != nil && c.complete {
+			continue
+		}
+		c := st.candFor(tid)
+		if !c.complete {
+			st.complete(tid, c)
+		}
+	}
+}
+
+// textOnlyTopK is the λ=0 fast path: the ranking is fully determined by
+// the textual index; spatial distances are resolved only for the k
+// returned trajectories so the Result decomposition stays complete.
+// A non-nil keep restricts the ranking to accepted trajectories.
+func (e *Engine) textOnlyTopK(q Query, keep func(trajdb.TrajID) bool) ([]Result, SearchStats) {
+	var stats SearchStats
+	topk := pqueue.NewTopK[trajdb.TrajID](q.K)
+	scored := make(map[trajdb.TrajID]bool)
+	if len(q.Keywords) > 0 {
+		docs := e.db.TextIndex().DocsWithAny(q.Keywords)
+		stats.TextScored = len(docs)
+		for _, d := range docs {
+			id := trajdb.TrajID(d)
+			scored[id] = true
+			if keep != nil && !keep(id) {
+				continue
+			}
+			topk.Offer(e.textScore(q.Keywords, id), int64(id), id)
+		}
+	}
+	// Fill remaining slots with zero-score trajectories (smallest IDs win
+	// the ties), so λ=0 agrees with the general algorithms on result size.
+	for id := 0; id < e.db.NumTrajectories() && !topk.Full(); id++ {
+		tid := trajdb.TrajID(id)
+		if !scored[tid] && (keep == nil || keep(tid)) {
+			topk.Offer(0, int64(id), tid)
+		}
+	}
+	ids := topk.Results()
+	stats.VisitedTrajectories = len(scored)
+	stats.Candidates = len(ids)
+	stats.EarlyTerminated = true
+
+	sssp := roadnet.NewSSSP(e.g)
+	results := make([]Result, len(ids))
+	for i, id := range ids {
+		dists := e.exactDists(sssp, q.Locations, id)
+		spatial := e.spatialFromDists(dists)
+		text := e.textScore(q.Keywords, id)
+		results[i] = Result{Traj: id, Score: text, Spatial: spatial, Textual: text, Dists: dists}
+	}
+	return results, stats
+}
+
+// textOnlyThreshold is the λ=0 fast path for the threshold variant.
+func (e *Engine) textOnlyThreshold(q Query, theta float64) ([]Result, SearchStats) {
+	var stats SearchStats
+	var results []Result
+	sssp := roadnet.NewSSSP(e.g)
+	if len(q.Keywords) > 0 {
+		docs := e.db.TextIndex().DocsWithAny(q.Keywords)
+		stats.TextScored = len(docs)
+		for _, d := range docs {
+			id := trajdb.TrajID(d)
+			text := e.textScore(q.Keywords, id)
+			if text < theta {
+				continue
+			}
+			dists := e.exactDists(sssp, q.Locations, id)
+			results = append(results, Result{
+				Traj:    id,
+				Score:   text,
+				Spatial: e.spatialFromDists(dists),
+				Textual: text,
+				Dists:   dists,
+			})
+		}
+	}
+	stats.VisitedTrajectories = stats.TextScored
+	stats.Candidates = len(results)
+	stats.EarlyTerminated = true
+	sortResults(results)
+	return results, stats
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"uots/internal/roadnet"
+	"uots/internal/trajdb"
+)
+
+func TestTimeWindowContains(t *testing.T) {
+	w := TimeWindow{From: 8 * 3600, To: 10 * 3600}
+	cases := []struct {
+		t    float64
+		want bool
+	}{
+		{8 * 3600, true},
+		{9 * 3600, true},
+		{10 * 3600, true},
+		{7*3600 + 3599, false},
+		{10*3600 + 1, false},
+	}
+	for _, c := range cases {
+		if got := w.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%g) = %v", c.t, got)
+		}
+	}
+	// Midnight wrap: 22:00–02:00.
+	wrap := TimeWindow{From: 22 * 3600, To: 2 * 3600}
+	if !wrap.Contains(23*3600) || !wrap.Contains(1*3600) {
+		t.Error("wrap window should contain late night and early morning")
+	}
+	if wrap.Contains(12 * 3600) {
+		t.Error("wrap window should not contain noon")
+	}
+	if err := (TimeWindow{From: -1, To: 5}).Validate(); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("negative From: %v", err)
+	}
+	if err := (TimeWindow{From: 0, To: 86400}).Validate(); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("To at day end: %v", err)
+	}
+}
+
+func TestSearchWindowedMatchesFilteredExhaustive(t *testing.T) {
+	e, f := testEngineDefault(t)
+	rng := rand.New(rand.NewPCG(201, 202))
+	windows := []TimeWindow{
+		{From: 6 * 3600, To: 12 * 3600},
+		{From: 12 * 3600, To: 20 * 3600},
+		{From: 20 * 3600, To: 6 * 3600}, // wraps
+	}
+	for trial := 0; trial < 9; trial++ {
+		w := windows[trial%len(windows)]
+		lambda := [3]float64{0, 0.4, 1}[trial%3]
+		q := f.randomQuery(rng, 2, 3, lambda, 5)
+
+		got, _, err := e.SearchWindowed(q, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ground truth: exhaustive over the filtered subset.
+		var want []Result
+		e.exhaustiveScan(mustNormalize(t, q, e), func(r Result) {
+			if w.Contains(f.db.Traj(r.Traj).Start()) {
+				want = append(want, r)
+			}
+		})
+		sortResults(want)
+		if len(want) > q.K {
+			want = want[:q.K]
+		}
+		sameScores(t, "windowed", got, want)
+		for _, r := range got {
+			if !w.Contains(f.db.Traj(r.Traj).Start()) {
+				t.Fatalf("result %d departs outside the window", r.Traj)
+			}
+		}
+	}
+	if _, _, err := e.SearchWindowed(Query{Locations: nil}, TimeWindow{From: -5}); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("invalid window: %v", err)
+	}
+}
+
+func mustNormalize(t *testing.T, q Query, e *Engine) Query {
+	t.Helper()
+	nq, err := q.normalize(e.g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nq
+}
+
+// orderAwareBrute computes the order-aware spatial similarity by checking
+// every monotone assignment explicitly (exponential; tiny inputs only).
+func orderAwareBrute(e *Engine, q Query, id trajdb.TrajID) float64 {
+	traj := e.db.Traj(id)
+	m := traj.Len()
+	n := len(q.Locations)
+	// Exact per-pair distances via one full Dijkstra per location.
+	kernelAt := make([][]float64, n)
+	sssp := roadnet.NewSSSP(e.g)
+	for i, o := range q.Locations {
+		sssp.Run(o)
+		row := make([]float64, m)
+		for j, s := range traj.Samples {
+			row[j] = e.kernel(sssp.Dist(s.V))
+		}
+		kernelAt[i] = row
+	}
+	var rec func(i, minJ int) float64
+	rec = func(i, minJ int) float64 {
+		if i == n {
+			return 0
+		}
+		best := math.Inf(-1)
+		for j := minJ; j < m; j++ {
+			if v := kernelAt[i][j] + rec(i+1, j); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	return rec(0, 0) / float64(n)
+}
+
+func TestOrderAwareEvaluateMatchesBrute(t *testing.T) {
+	e, f := testEngineDefault(t)
+	rng := rand.New(rand.NewPCG(211, 212))
+	for trial := 0; trial < 8; trial++ {
+		q := f.randomQuery(rng, 1+rng.IntN(3), 2, 0.6, 1)
+		id := trajdb.TrajID(rng.IntN(f.db.NumTrajectories()))
+		got, err := e.OrderAwareEvaluate(q, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nq := mustNormalize(t, q, e)
+		want := orderAwareBrute(e, nq, id)
+		if math.Abs(got.Spatial-want) > 1e-9 {
+			t.Fatalf("trial %d traj %d: ordered spatial %g, brute %g", trial, id, got.Spatial, want)
+		}
+	}
+	if _, err := e.OrderAwareEvaluate(Query{Locations: f.randomQuery(rng, 1, 0, 0.5, 1).Locations}, -1); !errors.Is(err, ErrTrajRange) {
+		t.Errorf("bad traj id: %v", err)
+	}
+}
+
+func TestOrderAwareNeverExceedsUnordered(t *testing.T) {
+	e, f := testEngineDefault(t)
+	rng := rand.New(rand.NewPCG(221, 222))
+	for trial := 0; trial < 10; trial++ {
+		q := f.randomQuery(rng, 1+rng.IntN(4), 2, 0.5, 1)
+		id := trajdb.TrajID(rng.IntN(f.db.NumTrajectories()))
+		ordered, err := e.OrderAwareEvaluate(q, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unordered, err := e.Evaluate(q, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ordered.Spatial > unordered.Spatial+1e-9 {
+			t.Fatalf("ordered spatial %g exceeds unordered %g", ordered.Spatial, unordered.Spatial)
+		}
+	}
+}
+
+func TestOrderAwareSearchIsExact(t *testing.T) {
+	e, f := testEngineDefault(t)
+	rng := rand.New(rand.NewPCG(231, 232))
+	for trial := 0; trial < 6; trial++ {
+		q := f.randomQuery(rng, 1+rng.IntN(3), 2, 0.3+0.5*rng.Float64(), 3)
+		got, _, err := e.OrderAwareSearch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute ground truth: order-aware score of every trajectory.
+		want := make([]Result, 0, f.db.NumTrajectories())
+		sssp := roadnet.NewSSSP(e.g)
+		nq := mustNormalize(t, q, e)
+		for id := 0; id < f.db.NumTrajectories(); id++ {
+			want = append(want, e.orderAwareResult(sssp, nq, trajdb.TrajID(id)))
+		}
+		sortResults(want)
+		sameScores(t, "orderaware", got, want[:len(got)])
+	}
+}
+
+// TestOrderAwareReversedItinerary pins the semantics: reversing the
+// itinerary changes the score when the trajectory visits the places in one
+// direction only.
+func TestOrderAwareReversedItinerary(t *testing.T) {
+	e, f := testEngineDefault(t)
+	// Find a trajectory with a decent length and use its endpoints as an
+	// itinerary in travel order, then reversed.
+	var id trajdb.TrajID = -1
+	for i := 0; i < f.db.NumTrajectories(); i++ {
+		if f.db.Traj(trajdb.TrajID(i)).Len() >= 10 {
+			id = trajdb.TrajID(i)
+			break
+		}
+	}
+	if id < 0 {
+		t.Skip("no long trajectory in fixture")
+	}
+	traj := f.db.Traj(id)
+	first := traj.Samples[0].V
+	last := traj.Samples[traj.Len()-1].V
+	if first == last {
+		t.Skip("trajectory is a loop")
+	}
+	fwd := Query{Locations: []roadnet.VertexID{first, last}, Lambda: 1, K: 1}
+	rev := Query{Locations: []roadnet.VertexID{last, first}, Lambda: 1, K: 1}
+	f1, err := e.OrderAwareEvaluate(fwd, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.OrderAwareEvaluate(rev, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward itinerary matches both endpoints exactly (kernel 1 each);
+	// reversed must pay for order violation on at least one of them.
+	if f1.Spatial <= r1.Spatial {
+		t.Errorf("forward %g should beat reversed %g", f1.Spatial, r1.Spatial)
+	}
+	if math.Abs(f1.Spatial-1) > 1e-9 {
+		t.Errorf("forward endpoints should score spatial 1, got %g", f1.Spatial)
+	}
+}

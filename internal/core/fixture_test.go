@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// fixture bundles a small but non-trivial world shared by the core tests:
+// a sparse city, a keyword universe, and a trajectory corpus.
+type fixture struct {
+	g     *roadnet.Graph
+	vocab *textual.SyntheticVocab
+	db    *trajdb.Store
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureVal  fixture
+)
+
+// testFixture returns the shared fixture, building it on first use.
+func testFixture(t *testing.T) fixture {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		g := roadnet.BRNLike(0.12, 7) // ≈ 20x20 grid
+		vocab := textual.GenerateVocab(6, 40, 1.0, 11)
+		db, err := trajdb.Generate(g, trajdb.GenOptions{
+			Count:       400,
+			MeanSamples: 20,
+			Vocab:       vocab,
+			Seed:        13,
+		})
+		if err != nil {
+			panic("fixture: " + err.Error())
+		}
+		fixtureVal = fixture{g: g, vocab: vocab, db: db}
+	})
+	return fixtureVal
+}
+
+// randomQuery draws a query with n locations and m keywords, keyword topic
+// correlated with the first location's region (mirroring the workload
+// generator).
+func (f fixture) randomQuery(rng *rand.Rand, nLoc, nKw int, lambda float64, k int) Query {
+	locs := make([]roadnet.VertexID, nLoc)
+	for i := range locs {
+		locs[i] = roadnet.VertexID(rng.IntN(f.g.NumVertices()))
+	}
+	regions := trajdb.NewRegionTopics(f.g.Bounds(), f.vocab.NumTopics())
+	topic := regions.TopicOf(f.g.Point(locs[0]))
+	kws := f.vocab.DrawQueryTerms(topic, nKw, 0.8, rng)
+	return Query{Locations: locs, Keywords: kws, Lambda: lambda, K: k}
+}
+
+// newTestEngine builds an engine over the fixture with options.
+func newTestEngine(t *testing.T, opts Options) (*Engine, fixture) {
+	t.Helper()
+	f := testFixture(t)
+	e, err := NewEngine(f.db, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e, f
+}
+
+const scoreTol = 1e-9
+
+// sameScores checks that two best-first result lists agree on scores
+// (IDs may differ only where scores tie).
+func sameScores(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if diff := got[i].Score - want[i].Score; diff > scoreTol || diff < -scoreTol {
+			t.Errorf("%s: rank %d score %.12f, want %.12f (got traj %d, want %d)",
+				label, i, got[i].Score, want[i].Score, got[i].Traj, want[i].Traj)
+		}
+		if got[i].Score == want[i].Score && got[i].Traj != want[i].Traj {
+			// Equal scores with different IDs is a legal tie; verify the
+			// tie is real by checking adjacent want entries share the score.
+			continue
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"uots/internal/roadnet"
+	"uots/internal/trajdb"
+)
+
+// Order-aware search (an extension: the research line lists
+// visiting-sequence matching as future work). The query locations are
+// interpreted as an ordered itinerary o₁ → o₂ → … → o_n, and the spatial
+// similarity becomes
+//
+//	SimS↑(q, τ) = (1/|O|) · max over j₁ ≤ j₂ ≤ … ≤ j_n of Σᵢ e^{−sd(oᵢ, p_{jᵢ})/γ},
+//
+// the best order-preserving assignment of query locations to trajectory
+// samples. Because every assignment is dominated by the unconstrained
+// minima, SimS↑ ≤ SimS, so the unordered top-K′ retrieval is an admissible
+// filter: once the K′-th unordered combined score cannot beat the k-th
+// ordered one, the ordered top-k is exact.
+
+// OrderAwareEvaluate computes the exact order-aware Result of one
+// trajectory: per-(location, sample) network distances from |O| Dijkstra
+// runs, then an O(|O|·m) dynamic program for the best order-preserving
+// assignment.
+func (e *Engine) OrderAwareEvaluate(q Query, id trajdb.TrajID) (Result, error) {
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return Result{}, err
+	}
+	if id < 0 || int(id) >= e.db.NumTrajectories() {
+		return Result{}, ErrTrajRange
+	}
+	sssp := roadnet.NewSSSP(e.g)
+	return e.orderAwareResult(sssp, q, id), nil
+}
+
+func (e *Engine) orderAwareResult(sssp *roadnet.SSSP, q Query, id trajdb.TrajID) Result {
+	traj := e.db.Traj(id)
+	m := traj.Len()
+	n := len(q.Locations)
+
+	// kernelAt[i][j] = e^{−sd(oᵢ, p_j)/γ}; unreached samples contribute 0.
+	kernelAt := make([][]float64, n)
+	dists := make([]float64, n) // unordered minima, reported for context
+	uniq := e.db.UniqueVertices(id)
+	for i, o := range q.Locations {
+		remaining := len(uniq)
+		vertexDist := make(map[roadnet.VertexID]float64, len(uniq))
+		sssp.RunUntil(o, func(v roadnet.VertexID, d float64) bool {
+			if e.db.ContainsVertex(id, v) {
+				vertexDist[v] = d
+				remaining--
+				if remaining == 0 {
+					return false
+				}
+			}
+			return true
+		})
+		row := make([]float64, m)
+		best := math.Inf(1)
+		for j, s := range traj.Samples {
+			if d, ok := vertexDist[s.V]; ok {
+				row[j] = e.kernel(d)
+				if d < best {
+					best = d
+				}
+			}
+		}
+		kernelAt[i] = row
+		dists[i] = best
+	}
+
+	// DP over (location index, sample index): dp[j] after processing
+	// location i = best Σ for o₁..oᵢ assigned within samples p₁..p_j.
+	dp := make([]float64, m)
+	next := make([]float64, m)
+	for j := range dp {
+		dp[j] = math.Inf(-1)
+	}
+	run := math.Inf(-1)
+	for j := 0; j < m; j++ {
+		if kernelAt[0][j] > run {
+			run = kernelAt[0][j]
+		}
+		dp[j] = run
+	}
+	for i := 1; i < n; i++ {
+		run = math.Inf(-1)
+		for j := 0; j < m; j++ {
+			// Assign oᵢ to p_j on top of the best prefix ending at or
+			// before j for the previous location (jᵢ₋₁ ≤ jᵢ allowed equal).
+			cand := dp[j] + kernelAt[i][j]
+			if j > 0 && next[j-1] > cand {
+				cand = next[j-1]
+			}
+			if cand > run {
+				run = cand
+			}
+			next[j] = run
+		}
+		dp, next = next, dp
+	}
+	spatial := dp[m-1] / float64(n)
+	if math.IsInf(spatial, -1) || math.IsNaN(spatial) {
+		spatial = 0
+	}
+	text := e.textScore(q.Keywords, id)
+	return Result{
+		Traj:    id,
+		Score:   combine(q.Lambda, spatial, text),
+		Spatial: spatial,
+		Textual: text,
+		Dists:   dists,
+	}
+}
+
+// OrderAwareSearch answers a top-k query under the order-aware spatial
+// similarity. It retrieves unordered top-K′ candidates with the expansion
+// search, reranks them with the exact order-aware score, and doubles K′
+// until the unordered bound certifies the ordered top-k — an exact
+// algorithm, since the unordered score upper-bounds the ordered one.
+func (e *Engine) OrderAwareSearch(q Query) ([]Result, SearchStats, error) {
+	start := time.Now()
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	var total SearchStats
+	sssp := roadnet.NewSSSP(e.g)
+	kPrime := q.K * 4
+	if kPrime < 16 {
+		kPrime = 16
+	}
+	for {
+		uq := q
+		uq.K = kPrime
+		unordered, stats, err := e.Search(uq)
+		if err != nil {
+			return nil, total, err
+		}
+		total.add(stats)
+
+		reranked := make([]Result, len(unordered))
+		for i, r := range unordered {
+			reranked[i] = e.orderAwareResult(sssp, q, r.Traj)
+			total.Probes++
+		}
+		sortResults(reranked)
+		if len(reranked) > q.K {
+			reranked = reranked[:q.K]
+		}
+
+		// Certification: every trajectory outside the unordered top-K′ has
+		// unordered score ≤ the K′-th unordered score, and ordered ≤
+		// unordered, so if the k-th ordered beats that bound we are done.
+		if len(unordered) < kPrime {
+			// The store has fewer trajectories than K′: everything was
+			// considered.
+			total.EarlyTerminated = false
+			total.Elapsed = time.Since(start)
+			return reranked, total, nil
+		}
+		bound := unordered[len(unordered)-1].Score
+		if len(reranked) == q.K && reranked[q.K-1].Score >= bound {
+			total.EarlyTerminated = true
+			total.Elapsed = time.Since(start)
+			return reranked, total, nil
+		}
+		kPrime *= 2
+	}
+}

@@ -1,0 +1,268 @@
+// Package core implements the UOTS engine — the primary contribution of
+// the reproduced paper: user-oriented trajectory search over a spatial
+// network, matching a set of intended query locations (spatial domain) and
+// a set of travel-intention keywords (textual domain) against a trajectory
+// database, with the two domains combined linearly by a preference
+// parameter λ.
+//
+// Three algorithms are provided:
+//
+//   - the expansion search (the paper's algorithm): concurrent incremental
+//     network expansion from every query location with upper-bound pruning,
+//     early termination, and a heuristic query-source scheduling strategy;
+//   - the Exhaustive baseline: full Dijkstra per query location, exact
+//     scores for every trajectory;
+//   - the TextFirst baseline: descending textual order with per-candidate
+//     exact spatial evaluation and landmark-assisted pruning.
+//
+// See DESIGN.md at the repository root for the reconstruction notes: the
+// similarity definitions follow the BCT `Σ e^{−d}` family the paper
+// extends, and the expansion/pruning/scheduling framework follows the
+// description of UOTS in the authors' later papers.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// MaxQueryLocations bounds the number of query locations; the engine
+// tracks per-source scan state in a 64-bit mask. The paper's experiments
+// use single-digit location counts.
+const MaxQueryLocations = 64
+
+// Query is a UOTS query: the places the user intends to visit, the
+// keywords describing the intention, the spatial/textual preference λ, and
+// the number of trajectories to recommend.
+type Query struct {
+	// Locations are the intended places, as network vertices (snap raw
+	// coordinates with roadnet.VertexIndex first). At least one required.
+	Locations []roadnet.VertexID
+	// Keywords is the user's travel-intention term set (may be empty, in
+	// which case the query degenerates to pure spatial search).
+	Keywords textual.TermSet
+	// Lambda weights spatial similarity against textual similarity:
+	// SimST = λ·SimS + (1−λ)·SimT. Must be in [0, 1].
+	Lambda float64
+	// K is the number of trajectories to return (default 1 when zero).
+	K int
+}
+
+// Errors returned by query validation.
+var (
+	ErrNoLocations       = errors.New("core: query needs at least one location")
+	ErrTooManyLocations  = fmt.Errorf("core: more than %d query locations", MaxQueryLocations)
+	ErrBadLambda         = errors.New("core: lambda must be in [0, 1]")
+	ErrBadK              = errors.New("core: k must be non-negative")
+	ErrLocationRange     = errors.New("core: query location outside graph")
+	ErrBadThreshold      = errors.New("core: threshold must be in (0, 1]")
+	ErrNilStore          = errors.New("core: engine requires a trajectory store")
+	ErrEmptyStore        = errors.New("core: trajectory store is empty")
+	ErrBadDistScale      = errors.New("core: DistScale must be positive")
+	ErrBadRelabelEvery   = errors.New("core: RelabelEvery must be positive")
+	ErrUnknownScheduling = errors.New("core: unknown scheduling strategy")
+	ErrUnknownTextSim    = errors.New("core: unknown text similarity")
+	ErrTrajRange         = errors.New("core: trajectory id outside store")
+)
+
+// normalize validates q against g and fills defaults, returning the
+// effective query.
+func (q Query) normalize(g *roadnet.Graph) (Query, error) {
+	if len(q.Locations) == 0 {
+		return q, ErrNoLocations
+	}
+	if len(q.Locations) > MaxQueryLocations {
+		return q, ErrTooManyLocations
+	}
+	for _, v := range q.Locations {
+		if v < 0 || int(v) >= g.NumVertices() {
+			return q, fmt.Errorf("%w: %d (graph has %d vertices)", ErrLocationRange, v, g.NumVertices())
+		}
+	}
+	if q.Lambda < 0 || q.Lambda > 1 || math.IsNaN(q.Lambda) {
+		return q, fmt.Errorf("%w: got %g", ErrBadLambda, q.Lambda)
+	}
+	if q.K < 0 {
+		return q, fmt.Errorf("%w: got %d", ErrBadK, q.K)
+	}
+	if q.K == 0 {
+		q.K = 1
+	}
+	return q, nil
+}
+
+// Result is one recommended trajectory with its score decomposition.
+type Result struct {
+	Traj    trajdb.TrajID
+	Score   float64   // λ·Spatial + (1−λ)·Textual
+	Spatial float64   // (1/|O|)·Σ e^{−d(o,τ)/γ}
+	Textual float64   // textual similarity of the keyword sets
+	Dists   []float64 // network distance from each query location to τ (km); +Inf when unreachable
+}
+
+// Scheduling selects the strategy for choosing which query source (query
+// location) expands next in the expansion search.
+type Scheduling int
+
+const (
+	// ScheduleHeuristic is the paper's strategy: each source carries a
+	// priority label — the summed spatio-textual upper bound of the
+	// partly scanned trajectories the source has not yet
+	// scanned — and the top-labelled source keeps expanding until a
+	// relabel changes the ranking. It drives partly scanned trajectories
+	// to fully scanned as fast as possible.
+	ScheduleHeuristic Scheduling = iota
+	// ScheduleRoundRobin cycles through sources — the "w/o heuristic"
+	// ablation configuration of the paper's experiments.
+	ScheduleRoundRobin
+	// ScheduleMinRadius always expands the source with the smallest
+	// current radius, greedily shrinking the unseen-trajectory bound.
+	ScheduleMinRadius
+)
+
+// String implements fmt.Stringer.
+func (s Scheduling) String() string {
+	switch s {
+	case ScheduleHeuristic:
+		return "heuristic"
+	case ScheduleRoundRobin:
+		return "roundrobin"
+	case ScheduleMinRadius:
+		return "minradius"
+	default:
+		return fmt.Sprintf("Scheduling(%d)", int(s))
+	}
+}
+
+// TextSim selects the textual similarity function.
+type TextSim int
+
+const (
+	// TextJaccard scores |ψ∩τ.ψ| / |ψ∪τ.ψ| (the default).
+	TextJaccard TextSim = iota
+	// TextCosineIDF scores the IDF-weighted cosine of the two keyword
+	// sets, rewarding matches on rare terms.
+	TextCosineIDF
+)
+
+// String implements fmt.Stringer.
+func (t TextSim) String() string {
+	switch t {
+	case TextJaccard:
+		return "jaccard"
+	case TextCosineIDF:
+		return "cosine-idf"
+	default:
+		return fmt.Sprintf("TextSim(%d)", int(t))
+	}
+}
+
+// Options configures an Engine. The zero value selects the paper
+// configuration: heuristic scheduling, Jaccard text similarity, γ = 1 km.
+type Options struct {
+	// Scheduling is the query-source scheduling strategy.
+	Scheduling Scheduling
+	// TextSim is the textual similarity function.
+	TextSim TextSim
+	// DistScale is γ, the kilometres-to-similarity scale of the spatial
+	// kernel e^{−d/γ}. Default 1.
+	DistScale float64
+	// RelabelEvery is the number of expansion steps between periodic
+	// bound/label refreshes and termination checks. Default 64.
+	RelabelEvery int
+	// DisableTextProbe turns off adaptive candidate generation (directly
+	// computing the spatial distances of a termination-blocking,
+	// textually top-ranked trajectory). Exposed for ablation benches.
+	DisableTextProbe bool
+	// ProbeRadiusFactor sets the probe policy's radius floor, in units of
+	// DistScale: textual blockers that would stop blocking once every
+	// expansion radius reaches ProbeRadiusFactor·γ are left to the
+	// expansion; only blockers that survive even that radius are resolved
+	// with direct distance probes. Default 2.5.
+	ProbeRadiusFactor float64
+	// Landmarks, when non-nil, provides ALT network-distance lower bounds
+	// (roadnet.NewLandmarks) that let the engine discard
+	// termination-blocking textual candidates without running any
+	// Dijkstra: a lower bound on every query-location distance
+	// upper-bounds the spatial similarity. Optional; a systems-level
+	// optimization flagged as an extension in DESIGN.md.
+	Landmarks *roadnet.Landmarks
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.DistScale == 0 {
+		o.DistScale = 1
+	}
+	if o.DistScale < 0 || math.IsNaN(o.DistScale) {
+		return o, fmt.Errorf("%w: got %g", ErrBadDistScale, o.DistScale)
+	}
+	if o.RelabelEvery == 0 {
+		o.RelabelEvery = 64
+	}
+	if o.RelabelEvery < 0 {
+		return o, fmt.Errorf("%w: got %d", ErrBadRelabelEvery, o.RelabelEvery)
+	}
+	if o.ProbeRadiusFactor == 0 {
+		o.ProbeRadiusFactor = 2.5
+	}
+	if o.ProbeRadiusFactor < 0 || math.IsNaN(o.ProbeRadiusFactor) {
+		return o, fmt.Errorf("core: ProbeRadiusFactor must be positive, got %g", o.ProbeRadiusFactor)
+	}
+	switch o.Scheduling {
+	case ScheduleHeuristic, ScheduleRoundRobin, ScheduleMinRadius:
+	default:
+		return o, fmt.Errorf("%w: %d", ErrUnknownScheduling, int(o.Scheduling))
+	}
+	switch o.TextSim {
+	case TextJaccard, TextCosineIDF:
+	default:
+		return o, fmt.Errorf("%w: %d", ErrUnknownTextSim, int(o.TextSim))
+	}
+	return o, nil
+}
+
+// SearchStats reports the work a single query performed — the "number of
+// visited trajectories" metric of the paper's evaluation plus supporting
+// counters.
+type SearchStats struct {
+	// VisitedTrajectories is the number of distinct trajectories touched
+	// (scanned by expansion, text-scored into candidacy, or evaluated by a
+	// baseline) — the paper's data-access metric.
+	VisitedTrajectories int
+	// ScanEvents counts (query source, trajectory) scan events during
+	// expansion.
+	ScanEvents int
+	// SettledVertices counts Dijkstra-settled vertices across all query
+	// sources and probe searches.
+	SettledVertices int
+	// Candidates is the number of trajectories whose exact score was
+	// computed.
+	Candidates int
+	// TextScored is the number of trajectories scored by the textual
+	// index.
+	TextScored int
+	// Probes counts adaptive text-probe distance computations.
+	Probes int
+	// EarlyTerminated reports whether the upper bound dropped below the
+	// pruning threshold before the search space was exhausted.
+	EarlyTerminated bool
+	// Elapsed is the wall-clock query time.
+	Elapsed time.Duration
+}
+
+// add accumulates other into s (used by the batch engine).
+func (s *SearchStats) add(other SearchStats) {
+	s.VisitedTrajectories += other.VisitedTrajectories
+	s.ScanEvents += other.ScanEvents
+	s.SettledVertices += other.SettledVertices
+	s.Candidates += other.Candidates
+	s.TextScored += other.TextScored
+	s.Probes += other.Probes
+	s.Elapsed += other.Elapsed
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"uots/internal/geo"
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// TrajStore is the storage interface the engine runs on. The in-memory
+// trajdb.Store implements it, as does the disk-resident diskstore.Store
+// (index structures in memory, trajectory payloads behind an LRU buffer) —
+// the same algorithms run unchanged over either, which is how the
+// evaluation's disk-resident experiment is produced.
+//
+// Implementations must be safe for concurrent use: the batch engine calls
+// every method from multiple goroutines.
+type TrajStore interface {
+	// Graph returns the road network the trajectories live on.
+	Graph() *roadnet.Graph
+	// NumTrajectories returns the number of trajectories; IDs are dense
+	// 0..n-1.
+	NumTrajectories() int
+	// Traj returns a trajectory's full record. The result must be treated
+	// as immutable and is only guaranteed valid until the next store call
+	// (disk-backed stores may recycle buffers).
+	Traj(id trajdb.TrajID) *trajdb.Trajectory
+	// TrajsAtVertex returns the ascending IDs of trajectories with a
+	// sample at v — the expansion scan access path. Index-resident in all
+	// implementations.
+	TrajsAtVertex(v roadnet.VertexID) []trajdb.TrajID
+	// ContainsVertex reports whether trajectory id samples vertex v.
+	ContainsVertex(id trajdb.TrajID, v roadnet.VertexID) bool
+	// UniqueVertices returns the ascending unique sample vertices of id.
+	UniqueVertices(id trajdb.TrajID) []roadnet.VertexID
+	// Keywords returns the textual attributes of id.
+	Keywords(id trajdb.TrajID) textual.TermSet
+	// TextIndex returns the keyword inverted index (DocID == TrajID).
+	TextIndex() *textual.Index
+	// BBox returns the planar bounding box of id's samples.
+	BBox(id trajdb.TrajID) geo.Rect
+}
+
+// Interface conformance of the in-memory store.
+var _ TrajStore = (*trajdb.Store)(nil)

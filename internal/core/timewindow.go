@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"uots/internal/trajdb"
+)
+
+// TimeWindow is an optional hard departure-time filter (an extension
+// beyond the paper's spatial+textual core, predating the temporal
+// similarity of the authors' follow-up work): only trajectories departing
+// inside the window qualify. From and To are seconds of day; a window with
+// To < From wraps midnight (e.g. 22:00–02:00).
+type TimeWindow struct {
+	From, To float64
+}
+
+// ErrBadWindow is returned for windows outside the 24-hour domain.
+var ErrBadWindow = errors.New("core: time window bounds must be in [0, 86400)")
+
+// Validate checks the window bounds.
+func (w TimeWindow) Validate() error {
+	if w.From < 0 || w.From >= trajdb.SecondsPerDay || w.To < 0 || w.To >= trajdb.SecondsPerDay {
+		return fmt.Errorf("%w: [%g, %g]", ErrBadWindow, w.From, w.To)
+	}
+	return nil
+}
+
+// Contains reports whether the instant t (seconds of day) falls inside
+// the window, handling midnight wrap.
+func (w TimeWindow) Contains(t float64) bool {
+	if w.From <= w.To {
+		return t >= w.From && t <= w.To
+	}
+	return t >= w.From || t <= w.To
+}
+
+// SearchWindowed answers a top-k query restricted to trajectories whose
+// departure time falls inside window. The filter is applied before
+// scoring, so the k results are the best departures inside the window, not
+// a post-filtered global top-k.
+func (e *Engine) SearchWindowed(q Query, window TimeWindow) ([]Result, SearchStats, error) {
+	if err := window.Validate(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	return e.searchFiltered(q, func(id trajdb.TrajID) bool {
+		return window.Contains(e.db.Traj(id).Start())
+	})
+}
+
+// searchFiltered runs the expansion search over the subset of trajectories
+// accepted by keep. The filter is pushed into every access path: filtered
+// trajectories never become candidates, never enter the textual bound, and
+// never trigger probes.
+func (e *Engine) searchFiltered(q Query, keep func(trajdb.TrajID) bool) ([]Result, SearchStats, error) {
+	start := time.Now()
+	q, err := q.normalize(e.g)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	if q.Lambda == 0 {
+		res, stats := e.textOnlyTopK(q, keep)
+		stats.Elapsed = time.Since(start)
+		return res, stats, nil
+	}
+	st := newExpansionState(e, q, 0, true)
+	st.keep = keep
+	st.dropFilteredText()
+	st.run()
+	results := st.topk.Results()
+	st.stats.Elapsed = time.Since(start)
+	return results, st.stats, nil
+}
+
+// dropFilteredText removes filtered trajectories from the textual bound
+// structures so they cannot block termination or waste probes.
+func (st *expansionState) dropFilteredText() {
+	if st.keep == nil {
+		return
+	}
+	st.textHeap.Reset()
+	for id := range st.textScores {
+		if !st.keep(id) {
+			delete(st.textScores, id)
+			continue
+		}
+		st.textHeap.Push(st.textScores[id], id)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Locality is a reconstruction-specific ablation (F9): how the spatial
+// spread of the query locations changes the algorithms' behaviour. Trip
+// intentions are local in practice (the default workload clusters
+// locations within 15 % of the city diagonal); this sweep widens the
+// cluster up to uniform city-wide locations — the stress regime in which
+// any location-driven pruning must degrade, because no trajectory can be
+// near all the intended places.
+func Locality(w io.Writer, p Profile) error {
+	dss, err := bothDatasets(p)
+	if err != nil {
+		return err
+	}
+	spreads := []float64{0.05, 0.15, 0.4, 1.0}
+	algos := []AlgoConfig{DefaultAlgos()[0], DefaultAlgos()[3]}
+	for _, ds := range dss {
+		rt := NewTable(fmt.Sprintf("F9 effect of query locality — runtime ms (%s)", ds.Name),
+			header("spread", algos)...)
+		vt := NewTable(fmt.Sprintf("F9 effect of query locality — visited trajectories (%s)", ds.Name),
+			header("spread", algos)...)
+		for _, spread := range spreads {
+			spec := DefaultQuerySpec()
+			spec.SpreadFrac = spread
+			queries := GenQueries(ds, spec, p.Queries)
+			aggs, err := MeasureAll(ds, algos, queries, 0)
+			if err != nil {
+				return err
+			}
+			rrow := []string{fmt.Sprintf("%.2f", spread)}
+			vrow := []string{fmt.Sprintf("%.2f", spread)}
+			for _, a := range aggs {
+				rrow = append(rrow, fmtMs(a.MeanMs))
+				vrow = append(vrow, fmtCount(a.MeanVisited))
+			}
+			rt.AddRow(rrow...)
+			vt.AddRow(vrow...)
+		}
+		if err := rt.Fprint(w); err != nil {
+			return err
+		}
+		if err := vt.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

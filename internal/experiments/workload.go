@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"math/rand/v2"
+
+	"uots/internal/core"
+	"uots/internal/roadnet"
+	"uots/internal/trajdb"
+)
+
+// QuerySpec describes one workload cell: the shape of the queries a
+// measurement averages over.
+type QuerySpec struct {
+	Locations int     // number of intended places |O|
+	Keywords  int     // number of intention keywords |ψ|
+	Lambda    float64 // spatial/textual preference
+	K         int     // result count
+	// SpreadFrac is the diameter of the query-location cluster as a
+	// fraction of the city diagonal. A trip's intended places are local —
+	// a user plans a day around a neighbourhood, not across the whole
+	// metropolis — so locations are drawn near a random anchor vertex.
+	// 0 selects the default 0.15; values ≥ 1 degenerate to uniform
+	// city-wide locations (used as a stress workload).
+	SpreadFrac float64
+	Seed       uint64
+}
+
+// DefaultQuerySpec is the evaluation's default cell: 4 locations, 3
+// keywords, balanced λ, top-10, locally clustered — the defaults every
+// sweep holds fixed while varying one parameter.
+func DefaultQuerySpec() QuerySpec {
+	return QuerySpec{Locations: 4, Keywords: 3, Lambda: 0.5, K: 10, Seed: 99}
+}
+
+// GenQueries draws n queries against ds: an anchor vertex uniform over the
+// network, the remaining locations within the spread radius of the anchor,
+// and keywords drawn from the topic of the anchor's region (the same
+// region→topic map the trajectory generator used), so queries exhibit the
+// spatial and spatial–textual locality of real trip intentions.
+func GenQueries(ds *Dataset, spec QuerySpec, n int) []core.Query {
+	rng := rand.New(rand.NewPCG(spec.Seed, spec.Seed^0x94d049bb133111eb))
+	regions := trajdb.NewRegionTopics(ds.Graph.Bounds(), ds.Vocab.NumTopics())
+	if spec.SpreadFrac == 0 {
+		spec.SpreadFrac = 0.15
+	}
+	bounds := ds.Graph.Bounds()
+	diag := bounds.Min.Dist(bounds.Max)
+	radius := spec.SpreadFrac * diag / 2
+	var idx *roadnet.VertexIndex
+	if spec.SpreadFrac < 1 {
+		idx = vertexIndexFor(ds)
+	}
+	queries := make([]core.Query, n)
+	for i := range queries {
+		anchor := roadnet.VertexID(rng.IntN(ds.Graph.NumVertices()))
+		locs := make([]roadnet.VertexID, spec.Locations)
+		locs[0] = anchor
+		var nearby []roadnet.VertexID
+		if idx != nil {
+			nearby = idx.Within(ds.Graph.Point(anchor), radius)
+		}
+		for j := 1; j < len(locs); j++ {
+			if len(nearby) > 0 {
+				locs[j] = nearby[rng.IntN(len(nearby))]
+			} else {
+				locs[j] = roadnet.VertexID(rng.IntN(ds.Graph.NumVertices()))
+			}
+		}
+		topic := regions.TopicOf(ds.Graph.Point(anchor))
+		queries[i] = core.Query{
+			Locations: locs,
+			Keywords:  ds.Vocab.DrawQueryTerms(topic, spec.Keywords, 0.8, rng),
+			Lambda:    spec.Lambda,
+			K:         spec.K,
+		}
+	}
+	return queries
+}

@@ -1,0 +1,244 @@
+package geo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{1.5, 2.5}, Point{1.5, 2.5}, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); !almostEq(got, c.want) {
+			t.Errorf("Dist(%v, %v) = %g, want %g", c.p, c.q, got, c.want)
+		}
+		if got := c.p.DistSq(c.q); !almostEq(got, c.want*c.want) {
+			t.Errorf("DistSq(%v, %v) = %g, want %g", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 500; i++ {
+		a := Point{rng.Float64() * 100, rng.Float64() * 100}
+		b := Point{rng.Float64() * 100, rng.Float64() * 100}
+		c := Point{rng.Float64() * 100, rng.Float64() * 100}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Point{1, 2}, Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{2, -1}) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	r := EmptyRect()
+	if !r.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	if r.Width() != 0 || r.Height() != 0 {
+		t.Errorf("empty rect has extent %g×%g", r.Width(), r.Height())
+	}
+	if r.Contains(Point{0, 0}) {
+		t.Error("empty rect contains a point")
+	}
+	if !math.IsInf(r.DistToPoint(Point{0, 0}), 1) {
+		t.Error("distance to empty rect should be +Inf")
+	}
+	one := RectOf(Point{1, 1})
+	if got := r.Union(one); got != one {
+		t.Errorf("empty ∪ r = %v, want %v", got, one)
+	}
+	if got := one.Union(r); got != one {
+		t.Errorf("r ∪ empty = %v, want %v", got, one)
+	}
+}
+
+func TestRectOfAndContains(t *testing.T) {
+	r := RectOf(Point{1, 5}, Point{3, 2}, Point{2, 7})
+	if r.Min != (Point{1, 2}) || r.Max != (Point{3, 7}) {
+		t.Fatalf("RectOf bounds = %v..%v", r.Min, r.Max)
+	}
+	for _, p := range []Point{{1, 2}, {3, 7}, {2, 4}} {
+		if !r.Contains(p) {
+			t.Errorf("rect should contain %v", p)
+		}
+	}
+	for _, p := range []Point{{0.9, 4}, {3.1, 4}, {2, 1.9}, {2, 7.1}} {
+		if r.Contains(p) {
+			t.Errorf("rect should not contain %v", p)
+		}
+	}
+}
+
+func TestRectUnionContainsBothProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		r := RectOf(Point{ax, ay}, Point{bx, by})
+		s := RectOf(Point{cx, cy}, Point{dx, dy})
+		u := r.Union(s)
+		return u.Contains(r.Min) && u.Contains(r.Max) && u.Contains(s.Min) && u.Contains(s.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := RectOf(Point{0, 0}, Point{2, 2})
+	b := RectOf(Point{1, 1}, Point{3, 3})
+	c := RectOf(Point{2.5, 2.5}, Point{4, 4})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if !b.Intersects(c) {
+		t.Error("b and c should intersect")
+	}
+	if a.Intersects(EmptyRect()) || EmptyRect().Intersects(a) {
+		t.Error("nothing intersects the empty rect")
+	}
+	// Touching edges count as intersecting.
+	d := RectOf(Point{2, 0}, Point{3, 2})
+	if !a.Intersects(d) {
+		t.Error("edge-touching rects should intersect")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := RectOf(Point{1, 1}, Point{2, 2}).Expand(0.5)
+	if r.Min != (Point{0.5, 0.5}) || r.Max != (Point{2.5, 2.5}) {
+		t.Errorf("Expand = %v..%v", r.Min, r.Max)
+	}
+	if !EmptyRect().Expand(1).IsEmpty() {
+		t.Error("expanding the empty rect should stay empty")
+	}
+}
+
+func TestRectDistToPoint(t *testing.T) {
+	r := RectOf(Point{0, 0}, Point{2, 2})
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{1, 1}, 0},    // inside
+		{Point{2, 2}, 0},    // corner
+		{Point{3, 1}, 1},    // right of
+		{Point{1, -2}, 2},   // below
+		{Point{5, 6}, 5},    // diagonal 3-4-5
+		{Point{-3, -4}, 5},  // diagonal other corner
+		{Point{0, 2.5}, .5}, // above edge
+	}
+	for _, c := range cases {
+		if got := r.DistToPoint(c.p); !almostEq(got, c.want) {
+			t.Errorf("DistToPoint(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectDistLowerBoundsMemberDistProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 500; i++ {
+		members := make([]Point, 1+rng.IntN(6))
+		for j := range members {
+			members[j] = Point{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		r := RectOf(members...)
+		p := Point{rng.Float64()*30 - 10, rng.Float64()*30 - 10}
+		lb := r.DistToPoint(p)
+		for _, m := range members {
+			if lb > p.Dist(m)+1e-9 {
+				t.Fatalf("rect distance %g exceeds member distance %g", lb, p.Dist(m))
+			}
+		}
+	}
+}
+
+func TestSegmentDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{4, 0}
+	cases := []struct {
+		p     Point
+		wantD float64
+		wantT float64
+	}{
+		{Point{2, 3}, 3, 0.5},
+		{Point{-3, 4}, 5, 0},
+		{Point{7, 4}, 5, 1},
+		{Point{0, 0}, 0, 0},
+		{Point{4, 0}, 0, 1},
+	}
+	for _, c := range cases {
+		d, tt := SegmentDist(c.p, a, b)
+		if !almostEq(d, c.wantD) || !almostEq(tt, c.wantT) {
+			t.Errorf("SegmentDist(%v) = (%g, %g), want (%g, %g)", c.p, d, tt, c.wantD, c.wantT)
+		}
+	}
+	// Degenerate segment.
+	d, tt := SegmentDist(Point{3, 4}, Point{0, 0}, Point{0, 0})
+	if !almostEq(d, 5) || tt != 0 {
+		t.Errorf("degenerate SegmentDist = (%g, %g)", d, tt)
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	if got := PolylineLength(nil); got != 0 {
+		t.Errorf("empty polyline length %g", got)
+	}
+	if got := PolylineLength([]Point{{1, 1}}); got != 0 {
+		t.Errorf("single-point polyline length %g", got)
+	}
+	pts := []Point{{0, 0}, {3, 4}, {3, 8}}
+	if got := PolylineLength(pts); !almostEq(got, 9) {
+		t.Errorf("polyline length %g, want 9", got)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	r := RectOf(Point{0, 0}, Point{4, 2})
+	if got := r.Center(); got != (Point{2, 1}) {
+		t.Errorf("Center = %v", got)
+	}
+}

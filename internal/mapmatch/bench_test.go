@@ -1,0 +1,35 @@
+package mapmatch
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"uots/internal/geo"
+	"uots/internal/roadnet"
+)
+
+func BenchmarkMatchTrace(b *testing.B) {
+	g, err := roadnet.GenerateCity(roadnet.CityOptions{
+		Rows: 30, Cols: 30, Style: roadnet.StyleDense, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, _, ok := roadnet.ShortestPath(g, 0, roadnet.VertexID(g.NumVertices()-1))
+	if !ok {
+		b.Fatal("no path")
+	}
+	rng := rand.New(rand.NewPCG(2, 3))
+	fixes := make([]geo.Point, len(path))
+	for i, v := range path {
+		p := g.Point(v)
+		fixes[i] = geo.Point{X: p.X + rng.NormFloat64()*0.02, Y: p.Y + rng.NormFloat64()*0.02}
+	}
+	m := NewMatcher(g, nil, Options{SigmaKm: 0.02})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(fixes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package mapmatch implements the preprocessing substrate the UOTS paper
+// assumes: snapping raw (noisy) GPS point sequences onto the vertices of a
+// spatial network. It uses the standard HMM formulation — candidate
+// vertices near each fix, Gaussian emission costs on the snap distance,
+// and transition costs penalizing disagreement between network distance
+// and straight-line movement — solved exactly with Viterbi dynamic
+// programming over per-step candidate sets.
+package mapmatch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"uots/internal/geo"
+	"uots/internal/roadnet"
+)
+
+// Options tunes the matcher. The zero value selects reasonable defaults
+// for urban GPS traces (≈20 m noise, 250 m candidate radius).
+type Options struct {
+	// SigmaKm is the GPS noise standard deviation in kilometres
+	// (default 0.02 = 20 m).
+	SigmaKm float64
+	// CandidateRadiusKm bounds the snap distance of candidate vertices
+	// (default 0.25).
+	CandidateRadiusKm float64
+	// MaxCandidates caps the per-point candidate set, keeping Viterbi
+	// transitions cheap (default 6; nearest candidates win).
+	MaxCandidates int
+	// Beta scales the transition cost |networkDist − straightDist| in
+	// kilometres (default 0.5).
+	Beta float64
+	// MaxDetourFactor bounds the network-distance search per transition:
+	// the Dijkstra stops beyond MaxDetourFactor·straightDist +
+	// CandidateRadiusKm (default 4).
+	MaxDetourFactor float64
+}
+
+func (o *Options) applyDefaults() {
+	if o.SigmaKm <= 0 {
+		o.SigmaKm = 0.02
+	}
+	if o.CandidateRadiusKm <= 0 {
+		o.CandidateRadiusKm = 0.25
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 6
+	}
+	if o.Beta <= 0 {
+		o.Beta = 0.5
+	}
+	if o.MaxDetourFactor <= 0 {
+		o.MaxDetourFactor = 4
+	}
+}
+
+// Errors returned by Match.
+var (
+	ErrNoPoints     = errors.New("mapmatch: no input points")
+	ErrNoCandidates = errors.New("mapmatch: a fix has no network vertex within the candidate radius")
+)
+
+// Matcher snaps GPS traces onto one road network. It is not safe for
+// concurrent use (it owns a Dijkstra workspace); create one per goroutine.
+type Matcher struct {
+	g    *roadnet.Graph
+	idx  *roadnet.VertexIndex
+	sssp *roadnet.SSSP
+	opts Options
+}
+
+// NewMatcher returns a matcher over g using idx for candidate lookup.
+// A nil idx builds a fresh index.
+func NewMatcher(g *roadnet.Graph, idx *roadnet.VertexIndex, opts Options) *Matcher {
+	opts.applyDefaults()
+	if idx == nil {
+		idx = roadnet.NewVertexIndex(g, 0)
+	}
+	return &Matcher{g: g, idx: idx, sssp: roadnet.NewSSSP(g), opts: opts}
+}
+
+// Match snaps the fixes onto the network, returning one vertex per input
+// point (consecutive duplicates preserved; use CollapseRepeats for a
+// vertex path). The i-th error position is reported when a fix has no
+// candidate vertex in range.
+func (m *Matcher) Match(points []geo.Point) ([]roadnet.VertexID, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	// Candidate generation.
+	cands := make([][]candidate, len(points))
+	for i, p := range points {
+		cs, err := m.candidates(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w (fix %d at %v)", err, i, p)
+		}
+		cands[i] = cs
+	}
+	// Viterbi.
+	n := len(points)
+	prevCost := make([]float64, len(cands[0]))
+	for c, cand := range cands[0] {
+		prevCost[c] = m.emission(cand.snapDist)
+	}
+	back := make([][]int, n) // back[i][c] = argmin predecessor index
+	for i := 1; i < n; i++ {
+		cur := cands[i]
+		curCost := make([]float64, len(cur))
+		back[i] = make([]int, len(cur))
+		straight := points[i-1].Dist(points[i])
+		// Network distances from every previous candidate to all current
+		// candidates, with one bounded Dijkstra per previous candidate.
+		trans := m.transitions(cands[i-1], cur, straight)
+		for c := range cur {
+			best := math.Inf(1)
+			arg := 0
+			for p := range cands[i-1] {
+				cost := prevCost[p] + trans[p][c]
+				if cost < best {
+					best = cost
+					arg = p
+				}
+			}
+			curCost[c] = best + m.emission(cur[c].snapDist)
+			back[i][c] = arg
+		}
+		prevCost = curCost
+	}
+	// Backtrack.
+	bestC, bestCost := 0, math.Inf(1)
+	for c, cost := range prevCost {
+		if cost < bestCost {
+			bestC, bestCost = c, cost
+		}
+	}
+	out := make([]roadnet.VertexID, n)
+	c := bestC
+	for i := n - 1; i >= 1; i-- {
+		out[i] = cands[i][c].v
+		c = back[i][c]
+	}
+	out[0] = cands[0][c].v
+	return out, nil
+}
+
+type candidate struct {
+	v        roadnet.VertexID
+	snapDist float64
+}
+
+func (m *Matcher) candidates(p geo.Point) ([]candidate, error) {
+	ids := m.idx.Within(p, m.opts.CandidateRadiusKm)
+	if len(ids) == 0 {
+		// Fall back to the single nearest vertex if it is anywhere close
+		// (2× radius); otherwise the fix is off-network.
+		v, d := m.idx.Nearest(p)
+		if v < 0 || d > 2*m.opts.CandidateRadiusKm {
+			return nil, ErrNoCandidates
+		}
+		return []candidate{{v, d}}, nil
+	}
+	cs := make([]candidate, len(ids))
+	for i, v := range ids {
+		cs[i] = candidate{v, p.Dist(m.g.Point(v))}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].snapDist < cs[j].snapDist })
+	if len(cs) > m.opts.MaxCandidates {
+		cs = cs[:m.opts.MaxCandidates]
+	}
+	return cs, nil
+}
+
+// emission is the negative log-likelihood (up to constants) of snapping a
+// fix at snapDist under Gaussian noise.
+func (m *Matcher) emission(snapDist float64) float64 {
+	z := snapDist / m.opts.SigmaKm
+	return 0.5 * z * z
+}
+
+// transitions returns trans[p][c] = cost of moving from prev[p] to cur[c].
+func (m *Matcher) transitions(prev, cur []candidate, straight float64) [][]float64 {
+	limit := m.opts.MaxDetourFactor*straight + m.opts.CandidateRadiusKm
+	trans := make([][]float64, len(prev))
+	for p := range prev {
+		row := make([]float64, len(cur))
+		for c := range row {
+			row[c] = math.Inf(1)
+		}
+		remaining := 0
+		want := make(map[roadnet.VertexID][]int, len(cur))
+		for c, cand := range cur {
+			if len(want[cand.v]) == 0 {
+				remaining++
+			}
+			want[cand.v] = append(want[cand.v], c)
+		}
+		m.sssp.RunUntil(prev[p].v, func(v roadnet.VertexID, d float64) bool {
+			if d > limit {
+				return false
+			}
+			if idxs, ok := want[v]; ok {
+				for _, c := range idxs {
+					row[c] = math.Abs(d-straight) / m.opts.Beta
+				}
+				delete(want, v)
+				remaining--
+				if remaining == 0 {
+					return false
+				}
+			}
+			return true
+		})
+		trans[p] = row
+	}
+	return trans
+}
+
+// CollapseRepeats removes consecutive duplicate vertices from a matched
+// sequence, yielding a vertex path.
+func CollapseRepeats(vs []roadnet.VertexID) []roadnet.VertexID {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]roadnet.VertexID, 1, len(vs))
+	out[0] = vs[0]
+	for _, v := range vs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package mapmatch
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"uots/internal/geo"
+	"uots/internal/roadnet"
+)
+
+func cityAndPath(t *testing.T, seed uint64) (*roadnet.Graph, []roadnet.VertexID) {
+	t.Helper()
+	g, err := roadnet.GenerateCity(roadnet.CityOptions{
+		Rows: 15, Cols: 15, Style: roadnet.StyleDense, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _, ok := roadnet.ShortestPath(g, 0, roadnet.VertexID(g.NumVertices()-1))
+	if !ok || len(path) < 10 {
+		t.Fatalf("bad test path (len %d)", len(path))
+	}
+	return g, path
+}
+
+func noisyFixes(g *roadnet.Graph, path []roadnet.VertexID, sigma float64, rng *rand.Rand) []geo.Point {
+	fixes := make([]geo.Point, len(path))
+	for i, v := range path {
+		p := g.Point(v)
+		fixes[i] = geo.Point{X: p.X + rng.NormFloat64()*sigma, Y: p.Y + rng.NormFloat64()*sigma}
+	}
+	return fixes
+}
+
+func TestMatchRecoversCleanTrace(t *testing.T) {
+	g, path := cityAndPath(t, 1)
+	fixes := make([]geo.Point, len(path))
+	for i, v := range path {
+		fixes[i] = g.Point(v) // zero noise
+	}
+	m := NewMatcher(g, nil, Options{})
+	got, err := m.Match(fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != path[i] {
+			t.Fatalf("clean trace mismatched at %d: %d vs %d", i, got[i], path[i])
+		}
+	}
+}
+
+func TestMatchRecoversNoisyTrace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	g, path := cityAndPath(t, 2)
+	fixes := noisyFixes(g, path, 0.02, rng) // 20 m noise on a 250 m grid
+	m := NewMatcher(g, nil, Options{SigmaKm: 0.02})
+	got, err := m.Match(fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range got {
+		if got[i] == path[i] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(path)); frac < 0.9 {
+		t.Errorf("noisy recovery %.2f, want ≥ 0.9", frac)
+	}
+}
+
+func TestMatchPrefersNetworkContinuity(t *testing.T) {
+	// A fix exactly between two vertices must resolve toward the one the
+	// route passes through: build a line graph and perturb a middle fix
+	// sideways.
+	var b roadnet.Builder
+	for i := 0; i < 6; i++ {
+		b.AddVertex(geo.Point{X: float64(i) * 0.2, Y: 0})
+	}
+	// An off-route decoy vertex near fix 3 but disconnected from the line
+	// except via a long detour.
+	decoy := b.AddVertex(geo.Point{X: 0.6, Y: 0.05})
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(roadnet.VertexID(i), roadnet.VertexID(i+1), 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddEdge(0, decoy, 5); err != nil { // decoy is far in network terms
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixes := []geo.Point{
+		{X: 0.0, Y: 0}, {X: 0.2, Y: 0}, {X: 0.4, Y: 0},
+		{X: 0.6, Y: 0.04}, // closer to decoy's y but on the route's path
+		{X: 0.8, Y: 0}, {X: 1.0, Y: 0},
+	}
+	m := NewMatcher(g, nil, Options{SigmaKm: 0.05, CandidateRadiusKm: 0.15})
+	got, err := m.Match(fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[3] == decoy {
+		t.Error("matcher chose the network-implausible decoy")
+	}
+	if got[3] != 3 {
+		t.Errorf("fix 3 matched to %d, want 3", got[3])
+	}
+}
+
+func TestMatchErrors(t *testing.T) {
+	g, _ := cityAndPath(t, 3)
+	m := NewMatcher(g, nil, Options{})
+	if _, err := m.Match(nil); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("no points: %v", err)
+	}
+	// A fix kilometres off the network has no candidates.
+	if _, err := m.Match([]geo.Point{{X: 999, Y: 999}}); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("off-network fix: %v", err)
+	}
+}
+
+func TestMatchSingleFix(t *testing.T) {
+	g, path := cityAndPath(t, 4)
+	m := NewMatcher(g, nil, Options{})
+	got, err := m.Match([]geo.Point{g.Point(path[0])})
+	if err != nil || len(got) != 1 || got[0] != path[0] {
+		t.Fatalf("single fix = (%v, %v)", got, err)
+	}
+}
+
+func TestCollapseRepeats(t *testing.T) {
+	in := []roadnet.VertexID{1, 1, 2, 2, 2, 3, 1, 1}
+	want := []roadnet.VertexID{1, 2, 3, 1}
+	got := CollapseRepeats(in)
+	if len(got) != len(want) {
+		t.Fatalf("CollapseRepeats = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CollapseRepeats = %v, want %v", got, want)
+		}
+	}
+	if CollapseRepeats(nil) != nil {
+		t.Error("nil input should give nil")
+	}
+}
+
+func TestMatcherSharedIndex(t *testing.T) {
+	g, path := cityAndPath(t, 7)
+	idx := roadnet.NewVertexIndex(g, 0)
+	m1 := NewMatcher(g, idx, Options{})
+	m2 := NewMatcher(g, idx, Options{})
+	fixes := make([]geo.Point, len(path))
+	for i, v := range path {
+		fixes[i] = g.Point(v)
+	}
+	a, err1 := m1.Match(fixes)
+	b, err2 := m2.Match(fixes)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("matchers with shared index disagree")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package pqueue
+
+import "sort"
+
+// TopK keeps the k largest-scoring items seen so far, in O(log k) per
+// insertion. Ties are broken toward smaller tiebreak values (deterministic
+// results when scores collide: the item with the smaller ID wins a slot).
+type TopK[T any] struct {
+	k     int
+	items []topkItem[T] // min-heap on (score, -tiebreak): root is the weakest kept item
+}
+
+type topkItem[T any] struct {
+	score    float64
+	tiebreak int64
+	val      T
+}
+
+// NewTopK returns a collector for the k best items. k must be positive.
+func NewTopK[T any](k int) *TopK[T] {
+	if k <= 0 {
+		panic("pqueue: NewTopK requires k > 0")
+	}
+	return &TopK[T]{k: k, items: make([]topkItem[T], 0, k)}
+}
+
+// K returns the capacity of the collector.
+func (t *TopK[T]) K() int { return t.k }
+
+// Len returns the number of items currently kept (≤ k).
+func (t *TopK[T]) Len() int { return len(t.items) }
+
+// Full reports whether k items have been collected.
+func (t *TopK[T]) Full() bool { return len(t.items) == t.k }
+
+// Threshold returns the score an item must strictly beat (or tie with a
+// smaller tiebreak) to enter the collection, and whether the collection is
+// full. While not full the threshold is -Inf semantics: ok is false and
+// every offer is accepted.
+func (t *TopK[T]) Threshold() (score float64, ok bool) {
+	if len(t.items) < t.k {
+		return 0, false
+	}
+	return t.items[0].score, true
+}
+
+// Offer proposes an item; it returns true if the item was kept.
+func (t *TopK[T]) Offer(score float64, tiebreak int64, val T) bool {
+	it := topkItem[T]{score, tiebreak, val}
+	if len(t.items) < t.k {
+		t.items = append(t.items, it)
+		t.up(len(t.items) - 1)
+		return true
+	}
+	if !weaker(t.items[0], it) {
+		return false
+	}
+	t.items[0] = it
+	t.down(0)
+	return true
+}
+
+// weaker reports whether a ranks strictly below b: lower score, or equal
+// score with a larger tiebreak.
+func weaker[T any](a, b topkItem[T]) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.tiebreak > b.tiebreak
+}
+
+// Results returns the kept items ordered best-first (descending score,
+// ascending tiebreak among ties). The collector remains usable afterwards.
+func (t *TopK[T]) Results() []T {
+	sorted := make([]topkItem[T], len(t.items))
+	copy(sorted, t.items)
+	sort.Slice(sorted, func(i, j int) bool { return weaker(sorted[j], sorted[i]) })
+	out := make([]T, len(sorted))
+	for i, it := range sorted {
+		out[i] = it.val
+	}
+	return out
+}
+
+func (t *TopK[T]) up(i int) {
+	it := t.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !weaker(it, t.items[parent]) {
+			break
+		}
+		t.items[i] = t.items[parent]
+		i = parent
+	}
+	t.items[i] = it
+}
+
+func (t *TopK[T]) down(i int) {
+	n := len(t.items)
+	it := t.items[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && weaker(t.items[r], t.items[child]) {
+			child = r
+		}
+		if !weaker(t.items[child], it) {
+			break
+		}
+		t.items[i] = t.items[child]
+		i = child
+	}
+	t.items[i] = it
+}

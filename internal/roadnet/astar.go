@@ -1,0 +1,112 @@
+package roadnet
+
+import "uots/internal/pqueue"
+
+// AStar is a reusable A* workspace for point-to-point queries, using the
+// Euclidean distance to the target (scaled by the graph's HeuristicScale so
+// it stays admissible even when edge weights undercut straight-line
+// lengths) as the lower-bounding heuristic.
+//
+// An AStar is not safe for concurrent use.
+type AStar struct {
+	g       *Graph
+	dist    []float64 // g-cost
+	parent  []int32
+	settled []bool
+	touched []int32
+	heap    *pqueue.Indexed
+}
+
+// NewAStar returns a workspace for A* queries on g.
+func NewAStar(g *Graph) *AStar {
+	n := g.NumVertices()
+	a := &AStar{
+		g:       g,
+		dist:    make([]float64, n),
+		parent:  make([]int32, n),
+		settled: make([]bool, n),
+		heap:    pqueue.NewIndexed(n),
+	}
+	for i := range a.dist {
+		a.dist[i] = Unreachable
+		a.parent[i] = -1
+	}
+	return a
+}
+
+func (a *AStar) reset() {
+	for _, v := range a.touched {
+		a.dist[v] = Unreachable
+		a.parent[v] = -1
+		a.settled[v] = false
+	}
+	a.touched = a.touched[:0]
+	a.heap.Reset()
+}
+
+// Dist returns the shortest-path distance from u to v. ok is false when v
+// is unreachable from u.
+func (a *AStar) Dist(u, v VertexID) (float64, bool) {
+	d, _ := a.run(u, v, false)
+	return d, d != Unreachable
+}
+
+// Path returns a shortest path from u to v (u first) and its length.
+// ok is false when v is unreachable from u.
+func (a *AStar) Path(u, v VertexID) (path []VertexID, dist float64, ok bool) {
+	dist, _ = a.run(u, v, true)
+	if dist == Unreachable {
+		return nil, Unreachable, false
+	}
+	var rev []VertexID
+	for x := int32(v); x != -1; x = a.parent[x] {
+		rev = append(rev, VertexID(x))
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist, true
+}
+
+func (a *AStar) run(u, v VertexID, needPath bool) (float64, int) {
+	_ = needPath // parents are always recorded; the flag documents intent
+	a.reset()
+	scale := a.g.HeuristicScale()
+	target := a.g.Point(v)
+	h := func(x int32) float64 { return a.g.pts[x].Dist(target) * scale }
+
+	a.dist[u] = 0
+	a.touched = append(a.touched, int32(u))
+	a.heap.Push(int32(u), h(int32(u)))
+	settledCount := 0
+	for {
+		x, _, ok := a.heap.Pop()
+		if !ok {
+			return Unreachable, settledCount
+		}
+		if a.settled[x] {
+			continue
+		}
+		a.settled[x] = true
+		settledCount++
+		if VertexID(x) == v {
+			return a.dist[x], settledCount
+		}
+		d := a.dist[x]
+		to, w := a.g.Neighbors(VertexID(x))
+		for i, t := range to {
+			if a.settled[t] {
+				continue
+			}
+			nd := d + w[i]
+			if nd < a.dist[t] {
+				if a.dist[t] == Unreachable {
+					a.touched = append(a.touched, t)
+				}
+				a.dist[t] = nd
+				a.parent[t] = x
+				a.heap.Push(t, nd+h(t))
+			}
+		}
+	}
+}

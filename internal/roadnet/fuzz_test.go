@@ -1,0 +1,47 @@
+package roadnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadGraph asserts the binary graph reader never panics on arbitrary
+// input: it must either parse a valid graph or return an error.
+func FuzzReadGraph(f *testing.F) {
+	// Seed with a real serialized graph plus structured corruptions.
+	g := randomConnected(12, 8, 1)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(graphMagic))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(graphMagic)+2] = 0xFF // corrupt the vertex count
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadGraph(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed graph must be structurally sound.
+		if got.NumVertices() == 0 {
+			t.Fatal("parsed graph has no vertices")
+		}
+		for v := 0; v < got.NumVertices(); v++ {
+			to, w := got.Neighbors(VertexID(v))
+			for i, tt := range to {
+				if int(tt) >= got.NumVertices() || tt < 0 {
+					t.Fatalf("edge to out-of-range vertex %d", tt)
+				}
+				if !(w[i] > 0) {
+					t.Fatalf("non-positive edge weight %g", w[i])
+				}
+			}
+		}
+	})
+}

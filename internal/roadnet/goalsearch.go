@@ -1,0 +1,177 @@
+package roadnet
+
+import (
+	"math"
+
+	"uots/internal/geo"
+	"uots/internal/pqueue"
+)
+
+// GoalSearch is a reusable A* workspace for "distance to the nearest
+// member of a vertex set" queries where the set is spatially summarized by
+// a bounding rectangle: the heuristic is the scaled planar distance to the
+// rectangle, which lower-bounds the network distance to every member. It
+// explores a corridor toward the set instead of a full Dijkstra circle —
+// the access path behind the search engine's text-probe random accesses.
+//
+// A GoalSearch is not safe for concurrent use.
+type GoalSearch struct {
+	g       *Graph
+	dist    []float64
+	settled []bool
+	touched []int32
+	heap    *pqueue.Indexed
+}
+
+// NewGoalSearch returns a workspace for goal-directed queries on g.
+func NewGoalSearch(g *Graph) *GoalSearch {
+	n := g.NumVertices()
+	gs := &GoalSearch{
+		g:       g,
+		dist:    make([]float64, n),
+		settled: make([]bool, n),
+		heap:    pqueue.NewIndexed(n),
+	}
+	for i := range gs.dist {
+		gs.dist[i] = Unreachable
+	}
+	return gs
+}
+
+func (gs *GoalSearch) reset() {
+	for _, v := range gs.touched {
+		gs.dist[v] = Unreachable
+		gs.settled[v] = false
+	}
+	gs.touched = gs.touched[:0]
+	gs.heap.Reset()
+}
+
+// FromSet runs one multi-source A* from the given source set (all at
+// distance 0) toward the target vertices, returning the exact network
+// distance from the set to each target (Unreachable for targets in other
+// components). On an undirected graph this equals the distance from each
+// target to the nearest source — resolving "how far is this trajectory
+// from every query location" with a single corridor-shaped search.
+// The heuristic is the scaled planar distance to the nearest target,
+// which is consistent, so settled distances are exact.
+func (gs *GoalSearch) FromSet(sources []VertexID, targets []VertexID, onSettle func()) []float64 {
+	gs.reset()
+	scale := gs.g.HeuristicScale()
+	h := func(v int32) float64 {
+		best := math.Inf(1)
+		p := gs.g.pts[v]
+		for _, t := range targets {
+			if d := p.Dist(gs.g.pts[t]); d < best {
+				best = d
+			}
+		}
+		return best * scale
+	}
+	out := make([]float64, len(targets))
+	pending := make(map[VertexID][]int, len(targets))
+	for i, t := range targets {
+		out[i] = Unreachable
+		pending[t] = append(pending[t], i)
+	}
+	for _, s := range sources {
+		if gs.dist[s] != 0 { // skip duplicate source entries
+			gs.dist[s] = 0
+			gs.touched = append(gs.touched, int32(s))
+			gs.heap.Push(int32(s), h(int32(s)))
+		}
+	}
+	remaining := len(pending)
+	for remaining > 0 {
+		v, _, ok := gs.heap.Pop()
+		if !ok {
+			return out
+		}
+		gs.settled[v] = true
+		if onSettle != nil {
+			onSettle()
+		}
+		d := gs.dist[v]
+		if idxs, hit := pending[VertexID(v)]; hit {
+			for _, i := range idxs {
+				out[i] = d
+			}
+			delete(pending, VertexID(v))
+			remaining--
+			if remaining == 0 {
+				return out
+			}
+		}
+		to, w := gs.g.Neighbors(VertexID(v))
+		for i, t := range to {
+			if gs.settled[t] {
+				continue
+			}
+			nd := d + w[i]
+			if nd < gs.dist[t] {
+				if gs.dist[t] == Unreachable {
+					gs.touched = append(gs.touched, t)
+				}
+				gs.dist[t] = nd
+				gs.heap.Push(t, nd+h(t))
+			}
+		}
+	}
+	return out
+}
+
+// DistToSet searches from src toward the nearest vertex satisfying
+// isTarget, guided by goal, the bounding rectangle of the target set
+// (every target's coordinates must lie inside goal, or the result may be
+// wrong). The search gives up once it can certify that every target is
+// farther than cap (use math.Inf(1) for an uncapped search). onSettle, if
+// non-nil, is invoked once per settled vertex (work accounting).
+//
+// If a target is found within the cap, found is its vertex and d its exact
+// network distance. Otherwise found is -1 and d is a certified lower
+// bound on the distance from src to every target (at least cap when the
+// search was cut off; Unreachable when the component was exhausted).
+func (gs *GoalSearch) DistToSet(src VertexID, goal geo.Rect, cap float64, isTarget func(VertexID) bool, onSettle func()) (found VertexID, d float64) {
+	gs.reset()
+	scale := gs.g.HeuristicScale()
+	h := func(v int32) float64 { return goal.DistToPoint(gs.g.pts[v]) * scale }
+
+	gs.dist[src] = 0
+	gs.touched = append(gs.touched, int32(src))
+	gs.heap.Push(int32(src), h(int32(src)))
+	for {
+		v, f, ok := gs.heap.Pop()
+		if !ok {
+			return -1, Unreachable
+		}
+		// Every undiscovered target t has d(t) ≥ f(t) = d(t)+h(t) with
+		// h(t)=0 (targets lie inside goal), and the frontier minimum f
+		// lower-bounds every remaining f — so f certifies a distance
+		// lower bound for all targets.
+		if f > cap {
+			return -1, f
+		}
+		gs.settled[v] = true
+		if onSettle != nil {
+			onSettle()
+		}
+		if isTarget(VertexID(v)) {
+			return VertexID(v), gs.dist[v]
+		}
+		d := gs.dist[v]
+		to, w := gs.g.Neighbors(VertexID(v))
+		for i, t := range to {
+			if gs.settled[t] {
+				continue
+			}
+			nd := d + w[i]
+			if nd < gs.dist[t] {
+				if gs.dist[t] == Unreachable {
+					gs.touched = append(gs.touched, t)
+				}
+				gs.dist[t] = nd
+				gs.heap.Push(t, nd+h(t))
+			}
+		}
+	}
+}

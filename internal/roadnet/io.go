@@ -1,0 +1,127 @@
+package roadnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"uots/internal/geo"
+)
+
+// graphMagic identifies the binary graph format, version 1.
+const graphMagic = "UOTSGRF1"
+
+// WriteGraph serializes g to w in a compact little-endian binary format:
+// magic, vertex count, edge count, vertex coordinates, then each undirected
+// edge once (smaller endpoint first).
+func WriteGraph(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(graphMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumEdges()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		p := g.Point(VertexID(v))
+		if err := writeFloat64(bw, p.X); err != nil {
+			return err
+		}
+		if err := writeFloat64(bw, p.Y); err != nil {
+			return err
+		}
+	}
+	written := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		to, wts := g.Neighbors(VertexID(v))
+		for i, t := range to {
+			if int32(v) >= t {
+				continue
+			}
+			var rec [8]byte
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(v))
+			binary.LittleEndian.PutUint32(rec[4:8], uint32(t))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+			if err := writeFloat64(bw, wts[i]); err != nil {
+				return err
+			}
+			written++
+		}
+	}
+	if written != g.NumEdges() {
+		return fmt.Errorf("roadnet: wrote %d edges, graph reports %d", written, g.NumEdges())
+	}
+	return bw.Flush()
+}
+
+// ReadGraph deserializes a graph written by WriteGraph.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(graphMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("roadnet: reading magic: %w", err)
+	}
+	if string(magic) != graphMagic {
+		return nil, fmt.Errorf("roadnet: bad magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("roadnet: reading header: %w", err)
+	}
+	nv := binary.LittleEndian.Uint64(hdr[0:8])
+	ne := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxReasonable = 1 << 31
+	if nv == 0 || nv > maxReasonable || ne > maxReasonable {
+		return nil, fmt.Errorf("roadnet: implausible graph header (%d vertices, %d edges)", nv, ne)
+	}
+	var b Builder
+	for i := uint64(0); i < nv; i++ {
+		x, err := readFloat64(br)
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: reading vertex %d: %w", i, err)
+		}
+		y, err := readFloat64(br)
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: reading vertex %d: %w", i, err)
+		}
+		b.AddVertex(geo.Point{X: x, Y: y})
+	}
+	for i := uint64(0); i < ne; i++ {
+		var rec [8]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("roadnet: reading edge %d: %w", i, err)
+		}
+		u := VertexID(binary.LittleEndian.Uint32(rec[0:4]))
+		v := VertexID(binary.LittleEndian.Uint32(rec[4:8]))
+		w, err := readFloat64(br)
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: reading edge %d weight: %w", i, err)
+		}
+		if err := b.AddEdge(u, v, w); err != nil {
+			return nil, fmt.Errorf("roadnet: edge %d: %w", i, err)
+		}
+	}
+	return b.Build()
+}
+
+func writeFloat64(w io.Writer, f float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readFloat64(r io.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

@@ -1,0 +1,482 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"uots/internal/geo"
+)
+
+// floydWarshall computes all-pairs shortest distances by brute force.
+func floydWarshall(g *Graph) [][]float64 {
+	n := g.NumVertices()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		to, w := g.Neighbors(VertexID(v))
+		for i, t := range to {
+			if w[i] < d[v][t] {
+				d[v][t] = w[i]
+				d[t][v] = w[i]
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+func TestSSSPMatchesFloydWarshall(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := randomConnected(40, 30, seed)
+		want := floydWarshall(g)
+		s := NewSSSP(g)
+		for src := 0; src < g.NumVertices(); src++ {
+			s.Run(VertexID(src))
+			for v := 0; v < g.NumVertices(); v++ {
+				got := s.Dist(VertexID(v))
+				if math.Abs(got-want[src][v]) > 1e-9 {
+					t.Fatalf("seed %d: d(%d,%d) = %g, want %g", seed, src, v, got, want[src][v])
+				}
+			}
+		}
+	}
+}
+
+func TestSSSPPathIsValidAndTight(t *testing.T) {
+	g := randomConnected(60, 50, 11)
+	s := NewSSSP(g)
+	s.Run(0)
+	for v := 1; v < g.NumVertices(); v++ {
+		path := s.PathTo(VertexID(v))
+		if len(path) == 0 {
+			t.Fatalf("no path to %d", v)
+		}
+		if path[0] != 0 || path[len(path)-1] != VertexID(v) {
+			t.Fatalf("path endpoints wrong: %v", path)
+		}
+		var sum float64
+		for i := 1; i < len(path); i++ {
+			w, ok := g.EdgeWeight(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("path uses nonexistent edge {%d,%d}", path[i-1], path[i])
+			}
+			sum += w
+		}
+		if math.Abs(sum-s.Dist(VertexID(v))) > 1e-9 {
+			t.Fatalf("path length %g != dist %g", sum, s.Dist(VertexID(v)))
+		}
+	}
+}
+
+func TestSSSPEarlyStop(t *testing.T) {
+	g := line(t, 10)
+	s := NewSSSP(g)
+	var settled []VertexID
+	s.RunUntil(0, func(v VertexID, d float64) bool {
+		settled = append(settled, v)
+		return len(settled) < 3
+	})
+	if len(settled) != 3 {
+		t.Fatalf("settled %d vertices, want 3", len(settled))
+	}
+	// Settled in distance order on a line: 0, 1, 2.
+	for i, v := range settled {
+		if v != VertexID(i) {
+			t.Fatalf("settle order %v", settled)
+		}
+	}
+	if s.Settled(9) {
+		t.Error("vertex 9 should not be settled after early stop")
+	}
+	if s.PathTo(9) != nil {
+		t.Error("PathTo(unsettled) should be nil")
+	}
+}
+
+func TestSSSPDistToSet(t *testing.T) {
+	g := line(t, 10)
+	s := NewSSSP(g)
+	targets := map[VertexID]bool{7: true, 9: true}
+	v, d := s.DistToSet(2, func(v VertexID) bool { return targets[v] })
+	if v != 7 || d != 5 {
+		t.Fatalf("DistToSet = (%d, %g), want (7, 5)", v, d)
+	}
+	v, d = s.DistToSet(2, func(VertexID) bool { return false })
+	if v != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("unreachable target = (%d, %g)", v, d)
+	}
+}
+
+func TestSSSPReuseAcrossRuns(t *testing.T) {
+	g := randomConnected(30, 20, 13)
+	s := NewSSSP(g)
+	fresh := NewSSSP(g)
+	for src := 0; src < 10; src++ {
+		s.Run(VertexID(src))
+		fresh2 := fresh // one workspace reused vs a fresh run each time
+		fresh2.Run(VertexID(src))
+		for v := 0; v < g.NumVertices(); v++ {
+			if s.Dist(VertexID(v)) != fresh2.Dist(VertexID(v)) {
+				t.Fatalf("reused workspace diverged at src=%d v=%d", src, v)
+			}
+		}
+	}
+}
+
+func TestExpanderSettlesInDistanceOrder(t *testing.T) {
+	g := randomConnected(80, 60, 17)
+	e := NewExpander(g, 0)
+	s := NewSSSP(g)
+	s.Run(0)
+	prev := -1.0
+	count := 0
+	for {
+		v, d, ok := e.Next()
+		if !ok {
+			break
+		}
+		count++
+		if d < prev {
+			t.Fatalf("settle order violated: %g after %g", d, prev)
+		}
+		if math.Abs(d-s.Dist(v)) > 1e-9 {
+			t.Fatalf("expander dist %g != sssp %g at %d", d, s.Dist(v), v)
+		}
+		if e.Radius() != d {
+			t.Fatalf("Radius %g != last settled %g", e.Radius(), d)
+		}
+		if got, ok := e.DistanceTo(v); !ok || got != d {
+			t.Fatalf("DistanceTo settled vertex = (%g, %v)", got, ok)
+		}
+		prev = d
+	}
+	if count != g.NumVertices() {
+		t.Fatalf("settled %d of %d", count, g.NumVertices())
+	}
+	if !e.Done() || !math.IsInf(e.Radius(), 1) {
+		t.Error("exhausted expander should be Done with infinite radius")
+	}
+	if e.SettledCount() != count {
+		t.Errorf("SettledCount = %d, want %d", e.SettledCount(), count)
+	}
+}
+
+func TestExpanderRadiusLowerBoundsUnsettled(t *testing.T) {
+	g := randomConnected(60, 40, 19)
+	s := NewSSSP(g)
+	s.Run(5)
+	e := NewExpander(g, 5)
+	for i := 0; i < 20; i++ {
+		e.Next()
+	}
+	r := e.Radius()
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, settled := e.DistanceTo(VertexID(v)); !settled {
+			if s.Dist(VertexID(v)) < r-1e-9 {
+				t.Fatalf("unsettled vertex %d closer (%g) than radius %g", v, s.Dist(VertexID(v)), r)
+			}
+		}
+	}
+}
+
+func TestExpanderReset(t *testing.T) {
+	g := randomConnected(40, 30, 23)
+	e := NewExpander(g, 0)
+	for i := 0; i < 10; i++ {
+		e.Next()
+	}
+	e.Reset(7)
+	s := NewSSSP(g)
+	s.Run(7)
+	for {
+		v, d, ok := e.Next()
+		if !ok {
+			break
+		}
+		if math.Abs(d-s.Dist(v)) > 1e-9 {
+			t.Fatalf("after Reset: dist %g != %g at %d", d, s.Dist(v), v)
+		}
+	}
+}
+
+func TestBidirectionalMatchesSSSP(t *testing.T) {
+	g := randomConnected(70, 50, 29)
+	b := NewBidirectional(g)
+	s := NewSSSP(g)
+	rng := rand.New(rand.NewPCG(31, 37))
+	for trial := 0; trial < 60; trial++ {
+		u := VertexID(rng.IntN(g.NumVertices()))
+		v := VertexID(rng.IntN(g.NumVertices()))
+		s.Run(u)
+		want := s.Dist(v)
+		got, ok := b.Dist(u, v)
+		if !ok || math.Abs(got-want) > 1e-9 {
+			t.Fatalf("bidir d(%d,%d) = (%g, %v), want %g", u, v, got, ok, want)
+		}
+		path, pd, ok := b.Path(u, v)
+		if !ok || math.Abs(pd-want) > 1e-9 {
+			t.Fatalf("bidir path d(%d,%d) = %g, want %g", u, v, pd, want)
+		}
+		if path[0] != u || path[len(path)-1] != v {
+			t.Fatalf("path endpoints %v for (%d,%d)", path, u, v)
+		}
+		var sum float64
+		for i := 1; i < len(path); i++ {
+			w, ok := g.EdgeWeight(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("path uses nonexistent edge")
+			}
+			sum += w
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("path edge sum %g != %g", sum, want)
+		}
+	}
+	// Same-vertex query.
+	if d, ok := b.Dist(3, 3); !ok || d != 0 {
+		t.Errorf("Dist(3,3) = (%g, %v)", d, ok)
+	}
+	if path, d, ok := b.Path(3, 3); !ok || d != 0 || len(path) != 1 || path[0] != 3 {
+		t.Errorf("Path(3,3) = (%v, %g, %v)", path, d, ok)
+	}
+}
+
+func TestBidirectionalDisconnected(t *testing.T) {
+	var bld Builder
+	bld.AddVertex(geo.Point{})
+	bld.AddVertex(geo.Point{X: 1})
+	bld.AddVertex(geo.Point{X: 2})
+	if err := bld.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBidirectional(g)
+	if _, ok := b.Dist(0, 2); ok {
+		t.Error("disconnected pair should report !ok")
+	}
+	if _, _, ok := b.Path(0, 2); ok {
+		t.Error("disconnected pair should have no path")
+	}
+}
+
+func TestAStarMatchesSSSP(t *testing.T) {
+	// City weights satisfy weight ≥ euclidean, making the heuristic exact
+	// scale 1; random graphs exercise the computed scale.
+	for _, g := range []*Graph{NRNLike(0.04, 5), randomConnected(60, 45, 41)} {
+		a := NewAStar(g)
+		s := NewSSSP(g)
+		rng := rand.New(rand.NewPCG(43, 47))
+		for trial := 0; trial < 40; trial++ {
+			u := VertexID(rng.IntN(g.NumVertices()))
+			v := VertexID(rng.IntN(g.NumVertices()))
+			s.Run(u)
+			want := s.Dist(v)
+			got, ok := a.Dist(u, v)
+			if want == Unreachable {
+				if ok {
+					t.Fatalf("A* found unreachable %d→%d", u, v)
+				}
+				continue
+			}
+			if !ok || math.Abs(got-want) > 1e-9 {
+				t.Fatalf("A* d(%d,%d) = %g, want %g", u, v, got, want)
+			}
+			path, pd, ok := a.Path(u, v)
+			if !ok || math.Abs(pd-want) > 1e-9 || path[0] != u || path[len(path)-1] != v {
+				t.Fatalf("A* path broken for (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestLandmarksLowerBound(t *testing.T) {
+	g := randomConnected(80, 60, 53)
+	lm := NewLandmarks(g, 8, 0)
+	if lm.Count() != 8 {
+		t.Fatalf("landmark count = %d", lm.Count())
+	}
+	s := NewSSSP(g)
+	rng := rand.New(rand.NewPCG(59, 61))
+	for trial := 0; trial < 50; trial++ {
+		u := VertexID(rng.IntN(g.NumVertices()))
+		v := VertexID(rng.IntN(g.NumVertices()))
+		s.Run(u)
+		want := s.Dist(v)
+		lb := lm.LowerBound(u, v)
+		if lb > want+1e-9 {
+			t.Fatalf("landmark LB %g exceeds true distance %g for (%d,%d)", lb, want, u, v)
+		}
+	}
+	// LowerBoundToSet must lower-bound the minimum distance to the set.
+	for trial := 0; trial < 20; trial++ {
+		u := VertexID(rng.IntN(g.NumVertices()))
+		set := []VertexID{VertexID(rng.IntN(g.NumVertices())), VertexID(rng.IntN(g.NumVertices()))}
+		s.Run(u)
+		want := math.Min(s.Dist(set[0]), s.Dist(set[1]))
+		if lb := lm.LowerBoundToSet(u, set); lb > want+1e-9 {
+			t.Fatalf("set LB %g exceeds %g", lb, want)
+		}
+	}
+	if lb := lm.LowerBoundToSet(0, nil); !math.IsInf(lb, 1) {
+		t.Errorf("empty set LB = %g", lb)
+	}
+	empty := NewLandmarks(g, 0, 0)
+	if empty.Count() != 0 || empty.LowerBound(0, 1) != 0 {
+		t.Error("zero landmarks should give trivial bounds")
+	}
+}
+
+func TestVertexIndexNearestMatchesBrute(t *testing.T) {
+	g := randomConnected(120, 80, 67)
+	idx := NewVertexIndex(g, 0)
+	rng := rand.New(rand.NewPCG(71, 73))
+	for trial := 0; trial < 100; trial++ {
+		p := geo.Point{X: rng.Float64()*14 - 2, Y: rng.Float64()*14 - 2}
+		got, gotD := idx.Nearest(p)
+		bestD := math.Inf(1)
+		for v := 0; v < g.NumVertices(); v++ {
+			if d := p.Dist(g.Point(VertexID(v))); d < bestD {
+				bestD = d
+			}
+		}
+		if math.Abs(gotD-bestD) > 1e-9 {
+			t.Fatalf("Nearest(%v) = (%d, %g), brute %g", p, got, gotD, bestD)
+		}
+	}
+}
+
+func TestVertexIndexWithin(t *testing.T) {
+	g := randomConnected(100, 70, 79)
+	idx := NewVertexIndex(g, 0.8)
+	rng := rand.New(rand.NewPCG(83, 89))
+	for trial := 0; trial < 50; trial++ {
+		p := geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		r := rng.Float64() * 3
+		got := idx.Within(p, r)
+		want := map[VertexID]bool{}
+		for v := 0; v < g.NumVertices(); v++ {
+			if p.Dist(g.Point(VertexID(v))) <= r {
+				want[VertexID(v)] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Within(%v, %g) returned %d, want %d", p, r, len(got), len(want))
+		}
+		for _, v := range got {
+			if !want[v] {
+				t.Fatalf("Within returned %d outside radius", v)
+			}
+		}
+	}
+	if got := idx.Within(geo.Point{}, -1); len(got) != 0 {
+		t.Errorf("negative radius returned %d vertices", len(got))
+	}
+}
+
+func TestGoalSearchDistToSet(t *testing.T) {
+	g := randomConnected(80, 60, 97)
+	gs := NewGoalSearch(g)
+	s := NewSSSP(g)
+	rng := rand.New(rand.NewPCG(101, 103))
+	for trial := 0; trial < 40; trial++ {
+		src := VertexID(rng.IntN(g.NumVertices()))
+		targetSet := map[VertexID]bool{}
+		box := geo.EmptyRect()
+		for i := 0; i < 3; i++ {
+			v := VertexID(rng.IntN(g.NumVertices()))
+			targetSet[v] = true
+			box = box.ExtendPoint(g.Point(v))
+		}
+		wantV, wantD := s.DistToSet(src, func(v VertexID) bool { return targetSet[v] })
+		_ = wantV
+		settles := 0
+		gotV, gotD := gs.DistToSet(src, box, math.Inf(1), func(v VertexID) bool { return targetSet[v] }, func() { settles++ })
+		if gotV < 0 || math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("goal DistToSet = (%d, %g), want %g", gotV, gotD, wantD)
+		}
+		if settles == 0 {
+			t.Fatal("onSettle never invoked")
+		}
+	}
+}
+
+func TestGoalSearchCapCertifiesLowerBound(t *testing.T) {
+	g := line(t, 30) // distances are trivially i - j
+	gs := NewGoalSearch(g)
+	target := VertexID(25)
+	box := geo.RectOf(g.Point(target))
+	v, d := gs.DistToSet(0, box, 5.0, func(x VertexID) bool { return x == target }, nil)
+	if v != -1 {
+		t.Fatalf("capped search found %d", v)
+	}
+	if d < 5 || d > 25 {
+		t.Fatalf("certified lower bound %g outside (5, 25]", d)
+	}
+	// Uncapped finds it exactly.
+	v, d = gs.DistToSet(0, box, math.Inf(1), func(x VertexID) bool { return x == target }, nil)
+	if v != target || d != 25 {
+		t.Fatalf("uncapped = (%d, %g), want (25, 25)", v, d)
+	}
+}
+
+func TestGoalSearchFromSet(t *testing.T) {
+	g := randomConnected(80, 60, 107)
+	gs := NewGoalSearch(g)
+	s := NewSSSP(g)
+	rng := rand.New(rand.NewPCG(109, 113))
+	for trial := 0; trial < 30; trial++ {
+		sources := make([]VertexID, 1+rng.IntN(5))
+		for i := range sources {
+			sources[i] = VertexID(rng.IntN(g.NumVertices()))
+		}
+		targets := make([]VertexID, 1+rng.IntN(4))
+		for i := range targets {
+			targets[i] = VertexID(rng.IntN(g.NumVertices()))
+		}
+		got := gs.FromSet(sources, targets, nil)
+		for i, tgt := range targets {
+			s.Run(tgt)
+			want := math.Inf(1)
+			for _, src := range sources {
+				if d := s.Dist(src); d < want {
+					want = d
+				}
+			}
+			if math.Abs(got[i]-want) > 1e-9 {
+				t.Fatalf("FromSet target %d = %g, want %g", tgt, got[i], want)
+			}
+		}
+	}
+	// Duplicate sources and targets must not break anything.
+	got := gs.FromSet([]VertexID{0, 0, 1}, []VertexID{2, 2}, nil)
+	if got[0] != got[1] {
+		t.Errorf("duplicate targets disagree: %v", got)
+	}
+}
+
+func TestShortestPathHelper(t *testing.T) {
+	g := line(t, 5)
+	path, d, ok := ShortestPath(g, 0, 4)
+	if !ok || d != 4 || len(path) != 5 {
+		t.Fatalf("ShortestPath = (%v, %g, %v)", path, d, ok)
+	}
+}

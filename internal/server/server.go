@@ -1,0 +1,417 @@
+// Package server exposes a trajectory-search engine as a JSON HTTP API —
+// the deployment surface a trip-recommendation service would put in front
+// of the library. Handlers are plain net/http and fully covered by
+// httptest-based tests; cmd/uotsserve wires them to a listener.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"uots/internal/core"
+	"uots/internal/geo"
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// Server serves search requests over one engine. Create with New and
+// mount via Handler.
+type Server struct {
+	engine *core.Engine
+	graph  *roadnet.Graph
+	vocab  *textual.Vocab
+	index  *roadnet.VertexIndex
+	mux    *http.ServeMux
+}
+
+// New creates a server over engine. vocab translates request keywords
+// (nil disables textual queries); idx snaps coordinate-based locations
+// (nil builds a fresh index).
+func New(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.VertexIndex) *Server {
+	g := engine.Store().Graph()
+	if idx == nil {
+		idx = roadnet.NewVertexIndex(g, 0)
+	}
+	s := &Server{engine: engine, graph: g, vocab: vocab, index: idx, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /trajectory/{id}", s.handleTrajectory)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SearchRequest is the POST /search body. Locations may be given as
+// vertex IDs, as planar coordinates to snap, or mixed.
+type SearchRequest struct {
+	// VertexIDs are network vertices to visit (optional).
+	VertexIDs []int32 `json:"vertexIds,omitempty"`
+	// Points are planar coordinates (km) snapped to the nearest vertices
+	// (optional).
+	Points [][2]float64 `json:"points,omitempty"`
+	// Keywords is the free-text travel intention (tokenized server-side).
+	Keywords string `json:"keywords,omitempty"`
+	// Lambda is the spatial/textual preference in [0,1] (default 0.5).
+	Lambda *float64 `json:"lambda,omitempty"`
+	// K is the number of results (default 5).
+	K int `json:"k,omitempty"`
+	// Algorithm selects expansion (default), exhaustive or textfirst.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Window optionally restricts departure times ("HH:MM-HH:MM").
+	Window string `json:"window,omitempty"`
+	// OrderAware switches to itinerary-order matching.
+	OrderAware bool `json:"orderAware,omitempty"`
+}
+
+// SearchResponse is the POST /search reply.
+type SearchResponse struct {
+	Results []ResultJSON `json:"results"`
+	Stats   StatsJSON    `json:"stats"`
+}
+
+// ResultJSON is one recommended trajectory.
+type ResultJSON struct {
+	Trajectory int32     `json:"trajectory"`
+	Score      float64   `json:"score"`
+	Spatial    float64   `json:"spatial"`
+	Textual    float64   `json:"textual"`
+	DistsKm    []float64 `json:"distsKm"`
+	Departs    string    `json:"departs"`
+	Samples    int       `json:"samples"`
+	Keywords   []string  `json:"keywords,omitempty"`
+}
+
+// StatsJSON summarizes the work a query performed.
+type StatsJSON struct {
+	ElapsedMs           float64 `json:"elapsedMs"`
+	VisitedTrajectories int     `json:"visitedTrajectories"`
+	Candidates          int     `json:"candidates"`
+	EarlyTerminated     bool    `json:"earlyTerminated"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Store()
+	resp := map[string]any{
+		"vertices":     s.graph.NumVertices(),
+		"edges":        s.graph.NumEdges(),
+		"trajectories": st.NumTrajectories(),
+	}
+	if v := s.vocab; v != nil {
+		resp["vocabulary"] = v.Size()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
+	var id int32
+	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"bad trajectory id"})
+		return
+	}
+	st := s.engine.Store()
+	if id < 0 || int(id) >= st.NumTrajectories() {
+		writeJSON(w, http.StatusNotFound, errorJSON{"trajectory not found"})
+		return
+	}
+	t := st.Traj(trajdb.TrajID(id))
+	type sampleJSON struct {
+		Vertex int32      `json:"vertex"`
+		Point  [2]float64 `json:"point"`
+		Time   string     `json:"time"`
+	}
+	samples := make([]sampleJSON, t.Len())
+	for i, smp := range t.Samples {
+		p := s.graph.Point(smp.V)
+		samples[i] = sampleJSON{
+			Vertex: int32(smp.V),
+			Point:  [2]float64{p.X, p.Y},
+			Time:   clock(smp.T),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":       id,
+		"samples":  samples,
+		"keywords": s.keywordNames(trajdb.TrajID(id)),
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"bad request body: " + err.Error()})
+		return
+	}
+	q, status, err := s.buildQuery(req)
+	if err != nil {
+		writeJSON(w, status, errorJSON{err.Error()})
+		return
+	}
+
+	var results []core.Result
+	var stats core.SearchStats
+	switch strings.ToLower(req.Algorithm) {
+	case "", "expansion":
+		switch {
+		case req.OrderAware:
+			results, stats, err = s.engine.OrderAwareSearch(q)
+		case req.Window != "":
+			var win core.TimeWindow
+			win, err = parseWindow(req.Window)
+			if err == nil {
+				results, stats, err = s.engine.SearchWindowed(q, win)
+			}
+		default:
+			results, stats, err = s.engine.Search(q)
+		}
+	case "exhaustive":
+		results, stats, err = s.engine.ExhaustiveSearch(q)
+	case "textfirst":
+		results, stats, err = s.engine.TextFirstSearch(q, core.TextFirstOptions{})
+	default:
+		err = fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+
+	resp := SearchResponse{
+		Results: make([]ResultJSON, len(results)),
+		Stats: StatsJSON{
+			ElapsedMs:           float64(stats.Elapsed.Microseconds()) / 1000,
+			VisitedTrajectories: stats.VisitedTrajectories,
+			Candidates:          stats.Candidates,
+			EarlyTerminated:     stats.EarlyTerminated,
+		},
+	}
+	st := s.engine.Store()
+	for i, res := range results {
+		t := st.Traj(res.Traj)
+		resp.Results[i] = ResultJSON{
+			Trajectory: int32(res.Traj),
+			Score:      res.Score,
+			Spatial:    res.Spatial,
+			Textual:    res.Textual,
+			DistsKm:    res.Dists,
+			Departs:    clock(t.Start()),
+			Samples:    t.Len(),
+			Keywords:   s.keywordNames(res.Traj),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest is the POST /batch body: many independent searches
+// answered concurrently by the engine's worker pool.
+type BatchRequest struct {
+	Queries []SearchRequest `json:"queries"`
+	// Workers sizes the goroutine pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResponse is the POST /batch reply; Responses align with the
+// request's Queries, and failed entries carry Error instead of Results.
+type BatchResponse struct {
+	Responses   []BatchEntry `json:"responses"`
+	WallClockMs float64      `json:"wallClockMs"`
+}
+
+// BatchEntry is one query's outcome within a batch.
+type BatchEntry struct {
+	Results []ResultJSON `json:"results,omitempty"`
+	Stats   *StatsJSON   `json:"stats,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// maxBatchQueries bounds one /batch request.
+const maxBatchQueries = 1024
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"batch needs at least one query"})
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeJSON(w, http.StatusBadRequest,
+			errorJSON{fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries)})
+		return
+	}
+	resp := BatchResponse{Responses: make([]BatchEntry, len(req.Queries))}
+	queries := make([]core.Query, len(req.Queries))
+	valid := make([]bool, len(req.Queries))
+	for i, sr := range req.Queries {
+		q, _, err := s.buildQuery(sr)
+		if err != nil {
+			resp.Responses[i].Error = err.Error()
+			continue
+		}
+		queries[i] = q
+		valid[i] = true
+	}
+	// Run only the valid subset through the batch engine, preserving
+	// positions.
+	idx := make([]int, 0, len(queries))
+	live := make([]core.Query, 0, len(queries))
+	for i, ok := range valid {
+		if ok {
+			idx = append(idx, i)
+			live = append(live, queries[i])
+		}
+	}
+	out, stats, err := s.engine.SearchBatch(r.Context(), live, core.BatchOptions{Workers: req.Workers})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
+		return
+	}
+	st := s.engine.Store()
+	for j, o := range out {
+		entry := &resp.Responses[idx[j]]
+		if o.Err != nil {
+			entry.Error = o.Err.Error()
+			continue
+		}
+		entry.Stats = &StatsJSON{
+			ElapsedMs:           float64(o.Stats.Elapsed.Microseconds()) / 1000,
+			VisitedTrajectories: o.Stats.VisitedTrajectories,
+			Candidates:          o.Stats.Candidates,
+			EarlyTerminated:     o.Stats.EarlyTerminated,
+		}
+		entry.Results = make([]ResultJSON, len(o.Results))
+		for k, res := range o.Results {
+			t := st.Traj(res.Traj)
+			entry.Results[k] = ResultJSON{
+				Trajectory: int32(res.Traj),
+				Score:      res.Score,
+				Spatial:    res.Spatial,
+				Textual:    res.Textual,
+				DistsKm:    res.Dists,
+				Departs:    clock(t.Start()),
+				Samples:    t.Len(),
+				Keywords:   s.keywordNames(res.Traj),
+			}
+		}
+	}
+	resp.WallClockMs = float64(stats.WallClock.Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildQuery validates and assembles the engine query from a request.
+func (s *Server) buildQuery(req SearchRequest) (core.Query, int, error) {
+	q := core.Query{Lambda: 0.5, K: req.K}
+	if req.Lambda != nil {
+		q.Lambda = *req.Lambda
+	}
+	if q.K == 0 {
+		q.K = 5
+	}
+	for _, id := range req.VertexIDs {
+		if id < 0 || int(id) >= s.graph.NumVertices() {
+			return q, http.StatusBadRequest, fmt.Errorf("vertex %d outside the network", id)
+		}
+		q.Locations = append(q.Locations, roadnet.VertexID(id))
+	}
+	for _, p := range req.Points {
+		v, _ := s.index.Nearest(geo.Point{X: p[0], Y: p[1]})
+		if v < 0 {
+			return q, http.StatusBadRequest, fmt.Errorf("cannot snap point (%g, %g)", p[0], p[1])
+		}
+		q.Locations = append(q.Locations, v)
+	}
+	if len(q.Locations) == 0 {
+		return q, http.StatusBadRequest, errors.New("request needs vertexIds or points")
+	}
+	if req.Keywords != "" {
+		if s.vocab == nil {
+			return q, http.StatusBadRequest, errors.New("this dataset has no vocabulary; keywords unsupported")
+		}
+		q.Keywords = s.vocab.InternAll(textual.Tokenize(req.Keywords))
+	}
+	return q, http.StatusOK, nil
+}
+
+func (s *Server) keywordNames(id trajdb.TrajID) []string {
+	if s.vocab == nil {
+		return nil
+	}
+	var names []string
+	for _, term := range s.engine.Store().Keywords(id) {
+		if name, ok := s.vocab.Term(term); ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+func parseWindow(sw string) (core.TimeWindow, error) {
+	parts := strings.Split(sw, "-")
+	if len(parts) != 2 {
+		return core.TimeWindow{}, fmt.Errorf("bad window %q (want HH:MM-HH:MM)", sw)
+	}
+	from, err := parseClock(parts[0])
+	if err != nil {
+		return core.TimeWindow{}, err
+	}
+	to, err := parseClock(parts[1])
+	if err != nil {
+		return core.TimeWindow{}, err
+	}
+	return core.TimeWindow{From: from, To: to}, nil
+}
+
+func parseClock(sc string) (float64, error) {
+	var h, m int
+	if _, err := fmt.Sscanf(strings.TrimSpace(sc), "%d:%d", &h, &m); err != nil {
+		return 0, fmt.Errorf("bad time %q (want HH:MM)", sc)
+	}
+	if h < 0 || h > 23 || m < 0 || m > 59 {
+		return 0, fmt.Errorf("time %q out of range", sc)
+	}
+	return float64(h*3600 + m*60), nil
+}
+
+func clock(seconds float64) string {
+	sec := int(seconds)
+	return fmt.Sprintf("%02d:%02d", sec/3600, sec%3600/60)
+}
+
+// writeJSON writes v with the given status, logging nothing: handlers are
+// pure functions of the request for testability.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+// ListenAndServe runs the server on addr until the listener fails.
+// Exposed for cmd/uotsserve; tests use Handler with httptest.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"uots/internal/core"
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+var (
+	worldOnce sync.Once
+	worldSrv  *Server
+	worldDB   *trajdb.Store
+)
+
+func testServer(t *testing.T) (*Server, *trajdb.Store) {
+	t.Helper()
+	worldOnce.Do(func() {
+		g := roadnet.BRNLike(0.1, 4)
+		vocab := textual.GenerateVocab(4, 20, 1.0, 2)
+		db, err := trajdb.Generate(g, trajdb.GenOptions{
+			Count: 600, MeanSamples: 15, Vocab: vocab, Seed: 6,
+		})
+		if err != nil {
+			panic(err)
+		}
+		engine, err := core.NewEngine(db, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		worldSrv = New(engine, vocab.Vocab, nil)
+		worldDB = db
+	})
+	return worldSrv, worldDB
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var parsed map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+			t.Fatalf("%s %s returned unparseable body %q", method, path, rec.Body.String())
+		}
+	}
+	return rec, parsed
+}
+
+func TestHealthAndStats(t *testing.T) {
+	s, db := testServer(t)
+	rec, body := doJSON(t, s.Handler(), "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", rec.Code, body)
+	}
+	rec, body = doJSON(t, s.Handler(), "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	if int(body["trajectories"].(float64)) != db.NumTrajectories() {
+		t.Errorf("stats trajectories = %v", body["trajectories"])
+	}
+	if body["vertices"].(float64) == 0 || body["vocabulary"].(float64) == 0 {
+		t.Errorf("stats incomplete: %v", body)
+	}
+}
+
+func TestSearchByVertexIDs(t *testing.T) {
+	s, db := testServer(t)
+	lambda := 0.5
+	rec, body := doJSON(t, s.Handler(), "POST", "/search", SearchRequest{
+		VertexIDs: []int32{5, 60},
+		Keywords:  "t0_kw0 t0_kw1",
+		Lambda:    &lambda,
+		K:         3,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d: %v", rec.Code, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	first := results[0].(map[string]any)
+	for _, key := range []string{"trajectory", "score", "spatial", "textual", "distsKm", "departs", "samples"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("result missing %q: %v", key, first)
+		}
+	}
+	// Scores descend.
+	prev := 2.0
+	for _, r := range results {
+		sc := r.(map[string]any)["score"].(float64)
+		if sc > prev {
+			t.Error("results not sorted by score")
+		}
+		prev = sc
+	}
+	// The response matches a direct engine call.
+	engineRes, _, err := mustEngine(s).Search(core.Query{
+		Locations: []roadnet.VertexID{5, 60},
+		Keywords:  mustVocab(s).InternAll([]string{"t0_kw0", "t0_kw1"}),
+		Lambda:    0.5, K: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(engineRes[0].Traj) != int32(first["trajectory"].(float64)) {
+		t.Errorf("HTTP top result %v != engine top %d", first["trajectory"], engineRes[0].Traj)
+	}
+	_ = db
+}
+
+func mustEngine(s *Server) *core.Engine  { return s.engine }
+func mustVocab(s *Server) *textual.Vocab { return s.vocab }
+
+func TestSearchByPoints(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := doJSON(t, s.Handler(), "POST", "/search", SearchRequest{
+		Points: [][2]float64{{1.0, 1.0}, {1.5, 1.2}},
+		K:      2,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d: %v", rec.Code, body)
+	}
+	if len(body["results"].([]any)) != 2 {
+		t.Fatalf("results = %v", body["results"])
+	}
+	stats := body["stats"].(map[string]any)
+	if stats["visitedTrajectories"].(float64) <= 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		name string
+		req  any
+		want int
+	}{
+		{"no locations", SearchRequest{K: 3}, http.StatusBadRequest},
+		{"bad vertex", SearchRequest{VertexIDs: []int32{99999}}, http.StatusBadRequest},
+		{"bad lambda", SearchRequest{VertexIDs: []int32{1}, Lambda: ptr(3.0)}, http.StatusBadRequest},
+		{"bad algorithm", SearchRequest{VertexIDs: []int32{1}, Algorithm: "magic"}, http.StatusBadRequest},
+		{"bad window", SearchRequest{VertexIDs: []int32{1}, Window: "25:99"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec, body := doJSON(t, s.Handler(), "POST", "/search", c.req)
+		if rec.Code != c.want {
+			t.Errorf("%s: code %d, want %d (%v)", c.name, rec.Code, c.want, body)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: missing error message", c.name)
+		}
+	}
+	// Malformed JSON body.
+	req := httptest.NewRequest("POST", "/search", strings.NewReader("{nope"))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body = %d", rec.Code)
+	}
+}
+
+func ptr(f float64) *float64 { return &f }
+
+func TestSearchAlgorithmsAgree(t *testing.T) {
+	s, _ := testServer(t)
+	base := SearchRequest{VertexIDs: []int32{5, 60}, Keywords: "t0_kw0", K: 3}
+	var scores [3][]float64
+	for i, algo := range []string{"expansion", "exhaustive", "textfirst"} {
+		req := base
+		req.Algorithm = algo
+		rec, body := doJSON(t, s.Handler(), "POST", "/search", req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %v", algo, rec.Code, body)
+		}
+		for _, r := range body["results"].([]any) {
+			scores[i] = append(scores[i], r.(map[string]any)["score"].(float64))
+		}
+	}
+	for i := 1; i < 3; i++ {
+		if fmt.Sprint(scores[i]) != fmt.Sprint(scores[0]) {
+			t.Errorf("algorithm %d scores %v != expansion %v", i, scores[i], scores[0])
+		}
+	}
+}
+
+func TestSearchWindowed(t *testing.T) {
+	s, db := testServer(t)
+	rec, body := doJSON(t, s.Handler(), "POST", "/search", SearchRequest{
+		VertexIDs: []int32{5, 60},
+		Window:    "06:00-12:00",
+		K:         3,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("windowed = %d: %v", rec.Code, body)
+	}
+	for _, r := range body["results"].([]any) {
+		id := trajdb.TrajID(r.(map[string]any)["trajectory"].(float64))
+		start := db.Traj(id).Start()
+		if start < 6*3600 || start > 12*3600 {
+			t.Errorf("result departs at %g outside window", start)
+		}
+	}
+}
+
+func TestSearchOrderAware(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := doJSON(t, s.Handler(), "POST", "/search", SearchRequest{
+		VertexIDs:  []int32{5, 60},
+		OrderAware: true,
+		K:          2,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("order-aware = %d: %v", rec.Code, body)
+	}
+	if len(body["results"].([]any)) == 0 {
+		t.Error("no order-aware results")
+	}
+}
+
+func TestTrajectoryEndpoint(t *testing.T) {
+	s, db := testServer(t)
+	rec, body := doJSON(t, s.Handler(), "GET", "/trajectory/0", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trajectory = %d", rec.Code)
+	}
+	if int(body["id"].(float64)) != 0 {
+		t.Errorf("id = %v", body["id"])
+	}
+	if len(body["samples"].([]any)) != db.Traj(0).Len() {
+		t.Errorf("samples = %d, want %d", len(body["samples"].([]any)), db.Traj(0).Len())
+	}
+	rec, _ = doJSON(t, s.Handler(), "GET", "/trajectory/999999", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("missing trajectory = %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s.Handler(), "GET", "/trajectory/abc", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id = %d", rec.Code)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	s, _ := testServer(t)
+	req := httptest.NewRequest("GET", "/search", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
+		t.Errorf("GET /search = %d", rec.Code)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	req := BatchRequest{
+		Queries: []SearchRequest{
+			{VertexIDs: []int32{5, 60}, Keywords: "t0_kw0", K: 2},
+			{K: 2}, // invalid: no locations
+			{Points: [][2]float64{{1.0, 1.0}}, K: 1},
+		},
+		Workers: 2,
+	}
+	rec, body := doJSON(t, s.Handler(), "POST", "/batch", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d: %v", rec.Code, body)
+	}
+	responses := body["responses"].([]any)
+	if len(responses) != 3 {
+		t.Fatalf("got %d responses", len(responses))
+	}
+	first := responses[0].(map[string]any)
+	if len(first["results"].([]any)) != 2 {
+		t.Errorf("first query results = %v", first["results"])
+	}
+	second := responses[1].(map[string]any)
+	if second["error"] == nil || second["error"] == "" {
+		t.Error("invalid query should carry an error")
+	}
+	third := responses[2].(map[string]any)
+	if len(third["results"].([]any)) != 1 {
+		t.Errorf("third query results = %v", third["results"])
+	}
+	if body["wallClockMs"].(float64) <= 0 {
+		t.Error("wall clock missing")
+	}
+
+	// Batch results must match single-query results.
+	singleRec, singleBody := doJSON(t, s.Handler(), "POST", "/search", req.Queries[0])
+	if singleRec.Code != http.StatusOK {
+		t.Fatal("single query failed")
+	}
+	singleTop := singleBody["results"].([]any)[0].(map[string]any)["trajectory"]
+	batchTop := first["results"].([]any)[0].(map[string]any)["trajectory"]
+	if singleTop != batchTop {
+		t.Errorf("batch top %v != single top %v", batchTop, singleTop)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	s, _ := testServer(t)
+	rec, _ := doJSON(t, s.Handler(), "POST", "/batch", BatchRequest{})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch = %d", rec.Code)
+	}
+	big := BatchRequest{Queries: make([]SearchRequest, maxBatchQueries+1)}
+	rec, _ = doJSON(t, s.Handler(), "POST", "/batch", big)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch = %d", rec.Code)
+	}
+	req := httptest.NewRequest("POST", "/batch", strings.NewReader("{bad"))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed batch body = %d", w.Code)
+	}
+}

@@ -1,0 +1,107 @@
+package textual
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// SyntheticVocab is a generated keyword universe with Zipf-distributed
+// popularity and a topic structure: terms are partitioned into topics, and
+// a trajectory generator draws most of a trip's keywords from the topic of
+// its destination region, giving the corpus the spatial–textual
+// correlation real check-in data exhibits.
+type SyntheticVocab struct {
+	Vocab    *Vocab
+	Topics   [][]TermID // Topics[t] = terms belonging to topic t
+	zipfCDF  []float64  // within-topic popularity CDF (same shape for all topics)
+	rngState *rand.Rand
+}
+
+// GenerateVocab creates numTopics topics of termsPerTopic terms each, with
+// within-topic popularity following a Zipf law with exponent s (s≈1 gives
+// classic web-text skew). Term strings look like "t3_kw17".
+func GenerateVocab(numTopics, termsPerTopic int, s float64, seed uint64) *SyntheticVocab {
+	if numTopics <= 0 || termsPerTopic <= 0 {
+		panic("textual: GenerateVocab needs positive topic and term counts")
+	}
+	if s <= 0 {
+		s = 1.0
+	}
+	v := NewVocab()
+	sv := &SyntheticVocab{
+		Vocab:    v,
+		Topics:   make([][]TermID, numTopics),
+		rngState: rand.New(rand.NewPCG(seed, seed^0xc2b2ae3d27d4eb4f)),
+	}
+	for t := 0; t < numTopics; t++ {
+		sv.Topics[t] = make([]TermID, termsPerTopic)
+		for k := 0; k < termsPerTopic; k++ {
+			id, ok := v.Intern(fmt.Sprintf("t%d_kw%d", t, k))
+			if !ok {
+				panic("textual: generated keyword normalized to empty")
+			}
+			sv.Topics[t][k] = id
+		}
+	}
+	// Zipf CDF over rank 1..termsPerTopic: weight(rank) = rank^-s.
+	cdf := make([]float64, termsPerTopic)
+	var total float64
+	for k := 0; k < termsPerTopic; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	sv.zipfCDF = cdf
+	return sv
+}
+
+// DrawTermSet samples count keywords for a document belonging to topic:
+// each keyword comes from the home topic with probability focus (drawn
+// Zipf-skewed within the topic) and from a uniformly random other topic
+// otherwise. The result is deduplicated, so it may be smaller than count.
+func (sv *SyntheticVocab) DrawTermSet(topic, count int, focus float64, rng *rand.Rand) TermSet {
+	if rng == nil {
+		rng = sv.rngState
+	}
+	ids := make([]TermID, 0, count)
+	for i := 0; i < count; i++ {
+		t := topic
+		if rng.Float64() >= focus && len(sv.Topics) > 1 {
+			for {
+				t = rng.IntN(len(sv.Topics))
+				if t != topic {
+					break
+				}
+			}
+		}
+		ids = append(ids, sv.Topics[t][sv.drawRank(rng)])
+	}
+	return NewTermSet(ids)
+}
+
+// DrawQueryTerms samples count query keywords biased toward topic, the
+// same way DrawTermSet samples document keywords. Queries drawn near a
+// destination region therefore share vocabulary with trips ending there.
+func (sv *SyntheticVocab) DrawQueryTerms(topic, count int, focus float64, rng *rand.Rand) TermSet {
+	return sv.DrawTermSet(topic, count, focus, rng)
+}
+
+// NumTopics returns the number of topics in the vocabulary.
+func (sv *SyntheticVocab) NumTopics() int { return len(sv.Topics) }
+
+func (sv *SyntheticVocab) drawRank(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(sv.zipfCDF)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sv.zipfCDF[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

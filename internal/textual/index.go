@@ -1,0 +1,167 @@
+package textual
+
+import (
+	"math"
+	"sort"
+)
+
+// DocID identifies a document (a trajectory, in this system) in an
+// inverted Index. The trajectory store guarantees density: documents are
+// numbered 0..n-1.
+type DocID int32
+
+// Index is a keyword inverted index: for each term, the ascending list of
+// documents containing it. It answers "which trajectories share at least
+// one keyword with the query" and computes exact textual scores for
+// exactly those documents — the textual-domain access path of the UOTS
+// engine.
+//
+// Build with Add calls followed by Freeze; a frozen Index is immutable and
+// safe for concurrent use.
+type Index struct {
+	postings map[TermID][]DocID
+	docTerms []TermSet // by DocID
+	frozen   bool
+	numDocs  int
+}
+
+// NewIndex returns an empty inverted index.
+func NewIndex() *Index {
+	return &Index{postings: make(map[TermID][]DocID)}
+}
+
+// Add registers a document and its term set. Documents must be added in
+// ascending DocID order starting from 0. Add panics on out-of-order IDs or
+// after Freeze, since both indicate a programming error in the loader.
+func (ix *Index) Add(doc DocID, terms TermSet) {
+	if ix.frozen {
+		panic("textual: Add after Freeze")
+	}
+	if int(doc) != ix.numDocs {
+		panic("textual: documents must be added densely in order")
+	}
+	ix.numDocs++
+	ix.docTerms = append(ix.docTerms, terms)
+	for _, t := range terms {
+		ix.postings[t] = append(ix.postings[t], doc)
+	}
+}
+
+// Freeze makes the index immutable. Postings are already sorted because
+// Add enforces ascending DocID order.
+func (ix *Index) Freeze() { ix.frozen = true }
+
+// NumDocs returns the number of documents added.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// DocTerms returns the term set of doc. The result must not be modified.
+func (ix *Index) DocTerms(doc DocID) TermSet { return ix.docTerms[doc] }
+
+// Postings returns the ascending document list for term (nil if the term
+// occurs nowhere). The result must not be modified.
+func (ix *Index) Postings(term TermID) []DocID { return ix.postings[term] }
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term TermID) int { return len(ix.postings[term]) }
+
+// DocsWithAny returns the ascending, deduplicated list of documents
+// containing at least one of the query terms. Every document outside this
+// list has Jaccard/Dice/cosine similarity exactly 0 with the query — the
+// textual pruning fact the engine's unseen-trajectory bound relies on.
+func (ix *Index) DocsWithAny(query TermSet) []DocID {
+	switch len(query) {
+	case 0:
+		return nil
+	case 1:
+		p := ix.postings[query[0]]
+		return append([]DocID(nil), p...)
+	}
+	// k-way merge by repeated pairwise union, smallest lists first.
+	lists := make([][]DocID, 0, len(query))
+	for _, t := range query {
+		if p := ix.postings[t]; len(p) > 0 {
+			lists = append(lists, p)
+		}
+	}
+	if len(lists) == 0 {
+		return nil
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	acc := append([]DocID(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		acc = unionSorted(acc, l)
+	}
+	return acc
+}
+
+func unionSorted(a, b []DocID) []DocID {
+	out := make([]DocID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// ScoreAll computes sim(query, doc) for every document sharing at least
+// one term with the query, using the given similarity function, and
+// returns parallel slices of documents (ascending) and scores.
+func (ix *Index) ScoreAll(query TermSet, sim func(a, b TermSet) float64) (docs []DocID, scores []float64) {
+	docs = ix.DocsWithAny(query)
+	scores = make([]float64, len(docs))
+	for i, d := range docs {
+		scores[i] = sim(query, ix.docTerms[d])
+	}
+	return docs, scores
+}
+
+// IDF returns the smoothed inverse document frequency of term:
+// ln(1 + N / (1 + df)). Terms seen nowhere get the maximum IDF.
+func (ix *Index) IDF(term TermID) float64 {
+	return math.Log(1 + float64(ix.numDocs)/float64(1+ix.DocFreq(term)))
+}
+
+// CosineIDF returns the IDF-weighted cosine similarity between the query
+// term set and a document's term set: both sides are 0/1 vectors weighted
+// by IDF. It rewards matches on rare terms more than Jaccard does.
+func (ix *Index) CosineIDF(query TermSet, doc DocID) float64 {
+	dterms := ix.docTerms[doc]
+	var dot, qn, dn float64
+	i, j := 0, 0
+	for i < len(query) || j < len(dterms) {
+		switch {
+		case j >= len(dterms) || (i < len(query) && query[i] < dterms[j]):
+			w := ix.IDF(query[i])
+			qn += w * w
+			i++
+		case i >= len(query) || query[i] > dterms[j]:
+			w := ix.IDF(dterms[j])
+			dn += w * w
+			j++
+		default:
+			w := ix.IDF(query[i])
+			dot += w * w
+			qn += w * w
+			dn += w * w
+			i++
+			j++
+		}
+	}
+	if qn == 0 || dn == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(qn) * math.Sqrt(dn))
+}

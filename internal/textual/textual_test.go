@@ -1,0 +1,342 @@
+package textual
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Food", "food"},
+		{"  Street Food  ", "streetfood"},
+		{"café", "café"},
+		{"live-music", "live-music"},
+		{"a_b", "a_b"},
+		{"!!!", ""},
+		{"", ""},
+		{"ROCK'N'ROLL", "rocknroll"},
+		{"kw42", "kw42"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("lakeside dinner, Live Jazz! river-walk")
+	want := []string{"lakeside", "dinner", "live", "jazz", "river-walk"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if got := Tokenize("  ,,, !!"); len(got) != 0 {
+		t.Errorf("Tokenize(punct) = %v", got)
+	}
+}
+
+func TestVocabIntern(t *testing.T) {
+	v := NewVocab()
+	id1, ok := v.Intern("Food")
+	if !ok || id1 != 0 {
+		t.Fatalf("first intern = (%d, %v)", id1, ok)
+	}
+	id2, ok := v.Intern("food") // same after normalization
+	if !ok || id2 != id1 {
+		t.Fatalf("re-intern = %d, want %d", id2, id1)
+	}
+	id3, _ := v.Intern("market")
+	if id3 != 1 {
+		t.Fatalf("second term id = %d", id3)
+	}
+	if v.Size() != 2 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	if _, ok := v.Intern("!!!"); ok {
+		t.Error("empty-normalizing keyword should fail")
+	}
+	if got, ok := v.Lookup("FOOD"); !ok || got != id1 {
+		t.Errorf("Lookup = (%d, %v)", got, ok)
+	}
+	if _, ok := v.Lookup("absent"); ok {
+		t.Error("Lookup of absent term should fail")
+	}
+	if term, ok := v.Term(0); !ok || term != "food" {
+		t.Errorf("Term(0) = (%q, %v)", term, ok)
+	}
+	if _, ok := v.Term(99); ok {
+		t.Error("Term(99) should fail")
+	}
+	set := v.InternAll([]string{"food", "Market", "food", "???"})
+	if len(set) != 2 {
+		t.Fatalf("InternAll = %v", set)
+	}
+}
+
+func TestNewTermSetSortsAndDedups(t *testing.T) {
+	s := NewTermSet([]TermID{5, 1, 5, 3, 1})
+	want := TermSet{1, 3, 5}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("NewTermSet = %v", s)
+	}
+	if NewTermSet(nil) != nil {
+		t.Error("empty input should give nil set")
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestSetSimilarities(t *testing.T) {
+	a := NewTermSet([]TermID{1, 2, 3})
+	b := NewTermSet([]TermID{2, 3, 4, 5})
+	if got := a.IntersectionSize(b); got != 2 {
+		t.Fatalf("IntersectionSize = %d", got)
+	}
+	if got := Jaccard(a, b); math.Abs(got-2.0/5.0) > 1e-12 {
+		t.Errorf("Jaccard = %g", got)
+	}
+	if got := Dice(a, b); math.Abs(got-4.0/7.0) > 1e-12 {
+		t.Errorf("Dice = %g", got)
+	}
+	if got := Overlap(a, b); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("Overlap = %g", got)
+	}
+	if Jaccard(nil, nil) != 0 || Dice(nil, nil) != 0 || Overlap(nil, a) != 0 {
+		t.Error("empty-set similarities should be 0")
+	}
+	if Jaccard(a, a) != 1 || Dice(a, a) != 1 || Overlap(a, a) != 1 {
+		t.Error("self similarity should be 1")
+	}
+}
+
+func TestSimilarityPropertiesQuick(t *testing.T) {
+	mk := func(raw []uint8) TermSet {
+		ids := make([]TermID, len(raw))
+		for i, r := range raw {
+			ids[i] = TermID(r % 32)
+		}
+		return NewTermSet(ids)
+	}
+	f := func(ra, rb []uint8) bool {
+		a, b := mk(ra), mk(rb)
+		j1, j2 := Jaccard(a, b), Jaccard(b, a)
+		d1, d2 := Dice(a, b), Dice(b, a)
+		return j1 == j2 && d1 == d2 && // symmetry
+			j1 >= 0 && j1 <= 1 && d1 >= 0 && d1 <= 1 && // range
+			j1 <= d1+1e-12 // Jaccard ≤ Dice always
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildIndex(t *testing.T, docs []TermSet) *Index {
+	t.Helper()
+	ix := NewIndex()
+	for i, d := range docs {
+		ix.Add(DocID(i), d)
+	}
+	ix.Freeze()
+	return ix
+}
+
+func TestIndexPostingsAndDocsWithAny(t *testing.T) {
+	docs := []TermSet{
+		NewTermSet([]TermID{1, 2}),
+		NewTermSet([]TermID{2, 3}),
+		NewTermSet([]TermID{4}),
+		nil,
+		NewTermSet([]TermID{1, 4}),
+	}
+	ix := buildIndex(t, docs)
+	if ix.NumDocs() != 5 {
+		t.Fatalf("NumDocs = %d", ix.NumDocs())
+	}
+	if got := ix.Postings(2); !reflect.DeepEqual(got, []DocID{0, 1}) {
+		t.Errorf("Postings(2) = %v", got)
+	}
+	if ix.DocFreq(4) != 2 || ix.DocFreq(9) != 0 {
+		t.Error("DocFreq wrong")
+	}
+	got := ix.DocsWithAny(NewTermSet([]TermID{1, 4}))
+	if !reflect.DeepEqual(got, []DocID{0, 2, 4}) {
+		t.Errorf("DocsWithAny = %v", got)
+	}
+	if got := ix.DocsWithAny(nil); got != nil {
+		t.Errorf("DocsWithAny(nil) = %v", got)
+	}
+	if got := ix.DocsWithAny(NewTermSet([]TermID{9})); len(got) != 0 {
+		t.Errorf("DocsWithAny(missing) = %v", got)
+	}
+	// Single-term fast path returns a copy, not the posting list itself.
+	single := ix.DocsWithAny(NewTermSet([]TermID{2}))
+	single[0] = 99
+	if ix.Postings(2)[0] == 99 {
+		t.Error("DocsWithAny aliases postings")
+	}
+}
+
+func TestDocsWithAnyMatchesBruteProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 50; trial++ {
+		nDocs := 1 + rng.IntN(60)
+		docs := make([]TermSet, nDocs)
+		for i := range docs {
+			raw := make([]TermID, rng.IntN(6))
+			for j := range raw {
+				raw[j] = TermID(rng.IntN(20))
+			}
+			docs[i] = NewTermSet(raw)
+		}
+		ix := buildIndex(t, docs)
+		qraw := make([]TermID, 1+rng.IntN(4))
+		for j := range qraw {
+			qraw[j] = TermID(rng.IntN(20))
+		}
+		q := NewTermSet(qraw)
+		got := ix.DocsWithAny(q)
+		var want []DocID
+		for i, d := range docs {
+			if d.IntersectionSize(q) > 0 {
+				want = append(want, DocID(i))
+			}
+		}
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("trial %d: DocsWithAny = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestIndexAddPanics(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(0, nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-order Add should panic")
+			}
+		}()
+		ix.Add(5, nil)
+	}()
+	ix.Freeze()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add after Freeze should panic")
+			}
+		}()
+		ix.Add(1, nil)
+	}()
+}
+
+func TestScoreAll(t *testing.T) {
+	docs := []TermSet{
+		NewTermSet([]TermID{1, 2}),
+		NewTermSet([]TermID{3}),
+		NewTermSet([]TermID{1, 2, 3}),
+	}
+	ix := buildIndex(t, docs)
+	q := NewTermSet([]TermID{1, 2})
+	ds, scores := ix.ScoreAll(q, Jaccard)
+	if len(ds) != 2 || ds[0] != 0 || ds[1] != 2 {
+		t.Fatalf("ScoreAll docs = %v", ds)
+	}
+	if scores[0] != 1 || math.Abs(scores[1]-2.0/3.0) > 1e-12 {
+		t.Fatalf("ScoreAll scores = %v", scores)
+	}
+}
+
+func TestCosineIDF(t *testing.T) {
+	docs := []TermSet{
+		NewTermSet([]TermID{1, 2}),
+		NewTermSet([]TermID{1}),
+		NewTermSet([]TermID{1}),
+		NewTermSet([]TermID{1}),
+		NewTermSet([]TermID{2, 3}),
+	}
+	ix := buildIndex(t, docs)
+	// Identical sets have cosine 1 regardless of IDF.
+	if got := ix.CosineIDF(NewTermSet([]TermID{1, 2}), 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cosine of identical sets = %g", got)
+	}
+	// No shared terms → 0.
+	if got := ix.CosineIDF(NewTermSet([]TermID{3}), 1); got != 0 {
+		t.Errorf("cosine with no overlap = %g", got)
+	}
+	// Term 2 is rarer than term 1, so matching on 2 scores higher than
+	// matching on 1 against the same two-term doc.
+	m1 := ix.CosineIDF(NewTermSet([]TermID{1}), 0)
+	m2 := ix.CosineIDF(NewTermSet([]TermID{2}), 0)
+	if m2 <= m1 {
+		t.Errorf("rare-term match %g should beat common-term match %g", m2, m1)
+	}
+	if got := ix.CosineIDF(nil, 0); got != 0 {
+		t.Errorf("empty query cosine = %g", got)
+	}
+	if ix.IDF(1) >= ix.IDF(3) {
+		t.Error("IDF of common term should be below rare term")
+	}
+}
+
+func TestGenerateVocab(t *testing.T) {
+	sv := GenerateVocab(5, 30, 1.0, 99)
+	if sv.NumTopics() != 5 {
+		t.Fatalf("NumTopics = %d", sv.NumTopics())
+	}
+	if sv.Vocab.Size() != 150 {
+		t.Fatalf("vocab size = %d", sv.Vocab.Size())
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	// Topic focus: most drawn terms should come from the home topic.
+	home := 0
+	homeTerms := map[TermID]bool{}
+	for _, id := range sv.Topics[home] {
+		homeTerms[id] = true
+	}
+	inHome, total := 0, 0
+	for i := 0; i < 200; i++ {
+		set := sv.DrawTermSet(home, 5, 0.9, rng)
+		for _, id := range set {
+			total++
+			if homeTerms[id] {
+				inHome++
+			}
+		}
+	}
+	if frac := float64(inHome) / float64(total); frac < 0.75 {
+		t.Errorf("home-topic fraction %.2f, want ≥ 0.75 at focus 0.9", frac)
+	}
+	// Zipf skew: the rank-0 term should be drawn much more often than the
+	// last-rank term.
+	counts := map[TermID]int{}
+	for i := 0; i < 5000; i++ {
+		for _, id := range sv.DrawTermSet(1, 1, 1.0, rng) {
+			counts[id]++
+		}
+	}
+	first := counts[sv.Topics[1][0]]
+	last := counts[sv.Topics[1][29]]
+	if first < 5*last {
+		t.Errorf("Zipf skew too weak: rank0=%d rank29=%d", first, last)
+	}
+	// Determinism of the universe itself.
+	sv2 := GenerateVocab(5, 30, 1.0, 99)
+	for tp := range sv.Topics {
+		if !reflect.DeepEqual(sv.Topics[tp], sv2.Topics[tp]) {
+			t.Fatal("same seed, different topics")
+		}
+	}
+}
+
+func TestGenerateVocabPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GenerateVocab(0, ...) should panic")
+		}
+	}()
+	GenerateVocab(0, 10, 1, 1)
+}

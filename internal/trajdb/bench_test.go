@@ -1,0 +1,49 @@
+package trajdb
+
+import (
+	"testing"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	g := roadnet.NRNLike(0.1, 2)
+	vocab := textual.GenerateVocab(8, 60, 1, 3)
+	db, err := Generate(g, GenOptions{Count: 10000, MeanSamples: 40, Vocab: vocab, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkGenerateCorpus(b *testing.B) {
+	g := roadnet.NRNLike(0.1, 2)
+	vocab := textual.GenerateVocab(8, 60, 1, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(g, GenOptions{Count: 2000, MeanSamples: 40, Vocab: vocab, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrajsAtVertex(b *testing.B) {
+	db := benchStore(b)
+	n := db.Graph().NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.TrajsAtVertex(roadnet.VertexID(i % n))
+	}
+}
+
+func BenchmarkContainsVertex(b *testing.B) {
+	db := benchStore(b)
+	n := db.Graph().NumVertices()
+	t := db.NumTrajectories()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ContainsVertex(TrajID(i%t), roadnet.VertexID(i%n))
+	}
+}

@@ -1,0 +1,64 @@
+package trajdb
+
+import (
+	"fmt"
+
+	"uots/internal/roadnet"
+)
+
+// Densify rebuilds a store with every trajectory's implied route made
+// explicit: between consecutive samples the map-matched model assumes
+// shortest-path travel, so the intermediate route vertices are inserted as
+// samples with distance-proportional interpolated timestamps. Searches
+// over a densified corpus measure distances to the *route*, not just to
+// the recorded sample points — the most faithful reading of the
+// trajectory model, at the cost of larger indexes (route-length × corpus
+// memory).
+//
+// Trajectories whose consecutive samples are disconnected are copied
+// unchanged (there is no route to make explicit).
+func Densify(s *Store) (*Store, error) {
+	b := NewBuilder(s.g, s.vocab)
+	bidir := roadnet.NewBidirectional(s.g)
+	for id := 0; id < s.NumTrajectories(); id++ {
+		t := s.Traj(TrajID(id))
+		dense, err := densifyOne(s.g, bidir, t)
+		if err != nil {
+			return nil, fmt.Errorf("trajdb: densifying trajectory %d: %w", id, err)
+		}
+		if _, err := b.Add(dense, t.Keywords); err != nil {
+			return nil, fmt.Errorf("trajdb: densifying trajectory %d: %w", id, err)
+		}
+	}
+	return b.Freeze(), nil
+}
+
+func densifyOne(g *roadnet.Graph, bidir *roadnet.Bidirectional, t *Trajectory) ([]Sample, error) {
+	out := make([]Sample, 1, t.Len()*2)
+	out[0] = t.Samples[0]
+	for i := 1; i < t.Len(); i++ {
+		prev, cur := t.Samples[i-1], t.Samples[i]
+		if prev.V == cur.V {
+			out = append(out, cur)
+			continue
+		}
+		path, total, ok := bidir.Path(prev.V, cur.V)
+		if !ok || total == 0 {
+			out = append(out, cur) // disconnected or degenerate: keep as is
+			continue
+		}
+		// Interpolate times along the path proportionally to distance.
+		elapsed := cur.T - prev.T
+		acc := 0.0
+		for j := 1; j < len(path)-1; j++ {
+			w, okW := g.EdgeWeight(path[j-1], path[j])
+			if !okW {
+				return nil, fmt.Errorf("route uses nonexistent edge {%d,%d}", path[j-1], path[j])
+			}
+			acc += w
+			out = append(out, Sample{V: path[j], T: prev.T + elapsed*acc/total})
+		}
+		out = append(out, cur)
+	}
+	return out, nil
+}

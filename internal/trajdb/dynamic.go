@@ -1,0 +1,157 @@
+package trajdb
+
+import (
+	"errors"
+	"sync"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+)
+
+// ExternalID is the stable handle a DynamicStore assigns to a trajectory.
+// Unlike TrajID it survives deletions: dense TrajIDs are reassigned per
+// snapshot, external handles never move.
+type ExternalID int64
+
+// DynamicStore is a mutable trajectory collection: trajectories can be
+// added and removed at any time, and queries run against immutable dense
+// snapshots (the engine requires dense IDs and frozen indexes). Snapshot
+// construction is O(live trajectories) and cached until the next
+// mutation, so mutation bursts pay one rebuild per query epoch.
+//
+// DynamicStore is safe for concurrent use.
+type DynamicStore struct {
+	g     *roadnet.Graph
+	vocab *textual.Vocab
+
+	mu     sync.Mutex
+	live   map[ExternalID]*Trajectory // keyed by external handle
+	order  []ExternalID               // insertion order of live handles
+	nextID ExternalID
+
+	snap     *Store
+	snapIDs  []ExternalID // dense TrajID → external handle for snap
+	snapKeep map[ExternalID]TrajID
+}
+
+// NewDynamic returns an empty dynamic store over g. vocab may be nil when
+// keywords are pre-interned.
+func NewDynamic(g *roadnet.Graph, vocab *textual.Vocab) *DynamicStore {
+	return &DynamicStore{
+		g:     g,
+		vocab: vocab,
+		live:  make(map[ExternalID]*Trajectory),
+	}
+}
+
+// Len returns the number of live trajectories.
+func (d *DynamicStore) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.live)
+}
+
+// Add validates and inserts a trajectory, returning its stable handle.
+func (d *DynamicStore) Add(samples []Sample, keywords textual.TermSet) (ExternalID, error) {
+	// Validate through a throwaway builder so the rules stay in one place.
+	b := NewBuilder(d.g, d.vocab)
+	if _, err := b.Add(samples, keywords); err != nil {
+		return -1, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextID
+	d.nextID++
+	d.live[id] = &Trajectory{
+		Samples:  append([]Sample(nil), samples...),
+		Keywords: keywords,
+	}
+	d.order = append(d.order, id)
+	d.invalidate()
+	return id, nil
+}
+
+// AddWithKeywords interns the keywords through the store's vocabulary.
+func (d *DynamicStore) AddWithKeywords(samples []Sample, keywords []string) (ExternalID, error) {
+	if d.vocab == nil {
+		return -1, errors.New("trajdb: AddWithKeywords requires a vocabulary")
+	}
+	return d.Add(samples, d.vocab.InternAll(keywords))
+}
+
+// Remove deletes a trajectory by handle, reporting whether it existed.
+func (d *DynamicStore) Remove(id ExternalID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.live[id]; !ok {
+		return false
+	}
+	delete(d.live, id)
+	d.invalidate()
+	return true
+}
+
+// Get returns a live trajectory by handle. The result must not be
+// modified.
+func (d *DynamicStore) Get(id ExternalID) (*Trajectory, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.live[id]
+	return t, ok
+}
+
+// invalidate drops the cached snapshot; callers hold d.mu.
+func (d *DynamicStore) invalidate() {
+	d.snap = nil
+	d.snapIDs = nil
+	d.snapKeep = nil
+}
+
+// Snapshot returns an immutable dense store of the current live set plus
+// the dense-ID→handle mapping, rebuilding only when the store mutated
+// since the previous call. The snapshot remains valid (and consistent)
+// after further mutations; only its contents are frozen in time.
+func (d *DynamicStore) Snapshot() (*Store, []ExternalID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.snap != nil {
+		return d.snap, d.snapIDs
+	}
+	b := NewBuilder(d.g, d.vocab)
+	ids := make([]ExternalID, 0, len(d.live))
+	compact := d.order[:0]
+	for _, id := range d.order {
+		t, ok := d.live[id]
+		if !ok {
+			continue // removed
+		}
+		compact = append(compact, id)
+		if _, err := b.Add(t.Samples, t.Keywords); err != nil {
+			// Add validated these samples when they entered the store;
+			// failure here means internal corruption.
+			panic("trajdb: snapshot rebuild failed: " + err.Error())
+		}
+		ids = append(ids, id)
+	}
+	d.order = compact
+	d.snap = b.Freeze()
+	d.snapIDs = ids
+	d.snapKeep = make(map[ExternalID]TrajID, len(ids))
+	for dense, ext := range ids {
+		d.snapKeep[ext] = TrajID(dense)
+	}
+	return d.snap, d.snapIDs
+}
+
+// DenseID translates a handle into the dense TrajID of the most recent
+// snapshot. ok is false when the handle is not live or no snapshot has
+// been taken since the last mutation.
+func (d *DynamicStore) DenseID(id ExternalID) (TrajID, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.snapKeep == nil {
+		return -1, false
+	}
+	dense, ok := d.snapKeep[id]
+	return dense, ok
+}

@@ -1,0 +1,201 @@
+package trajdb
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+)
+
+// CSV interop: one row per sample, long format —
+//
+//	traj_id,seq,vertex,time_seconds,keywords
+//
+// with the pipe-separated keyword list carried on each trajectory's first
+// row (seq 0) only. The format round-trips through ImportCSV and is
+// directly loadable into dataframe tooling.
+
+// ExportCSV writes the whole store in the CSV interchange format.
+func ExportCSV(w io.Writer, s *Store) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"traj_id", "seq", "vertex", "time_seconds", "keywords"}); err != nil {
+		return err
+	}
+	for id := 0; id < s.NumTrajectories(); id++ {
+		t := s.Traj(TrajID(id))
+		kws := ""
+		if s.vocab != nil && len(t.Keywords) > 0 {
+			names := make([]string, 0, len(t.Keywords))
+			for _, k := range t.Keywords {
+				if name, ok := s.vocab.Term(k); ok {
+					names = append(names, name)
+				}
+			}
+			kws = strings.Join(names, "|")
+		}
+		for i, smp := range t.Samples {
+			row := []string{
+				strconv.Itoa(id),
+				strconv.Itoa(i),
+				strconv.Itoa(int(smp.V)),
+				strconv.FormatFloat(smp.T, 'f', 3, 64),
+				"",
+			}
+			if i == 0 {
+				row[4] = kws
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV reads the CSV interchange format into a new store over g.
+// Rows may arrive grouped in any trajectory order, but samples within one
+// trajectory must be in ascending seq order; trajectory IDs are reassigned
+// densely in order of first appearance.
+func ImportCSV(r io.Reader, g *roadnet.Graph) (*Store, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trajdb: reading CSV header: %w", err)
+	}
+	if header[0] != "traj_id" {
+		return nil, fmt.Errorf("trajdb: unexpected CSV header %v", header)
+	}
+	type pending struct {
+		samples  []Sample
+		keywords []string
+		lastSeq  int
+		order    int
+	}
+	groups := make(map[string]*pending)
+	orderN := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trajdb: reading CSV: %w", err)
+		}
+		seq, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("trajdb: bad seq %q: %w", row[1], err)
+		}
+		vertex, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("trajdb: bad vertex %q: %w", row[2], err)
+		}
+		ts, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajdb: bad time %q: %w", row[3], err)
+		}
+		p := groups[row[0]]
+		if p == nil {
+			p = &pending{lastSeq: -1, order: orderN}
+			orderN++
+			groups[row[0]] = p
+		}
+		if seq != p.lastSeq+1 {
+			return nil, fmt.Errorf("trajdb: trajectory %q has seq %d after %d", row[0], seq, p.lastSeq)
+		}
+		p.lastSeq = seq
+		p.samples = append(p.samples, Sample{V: roadnet.VertexID(vertex), T: ts})
+		if seq == 0 && row[4] != "" {
+			p.keywords = strings.Split(row[4], "|")
+		}
+	}
+	ordered := make([]*pending, 0, len(groups))
+	for _, p := range groups {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+	vocab := textual.NewVocab()
+	b := NewBuilder(g, vocab)
+	for _, p := range ordered {
+		if _, err := b.AddWithKeywords(p.samples, p.keywords); err != nil {
+			return nil, fmt.Errorf("trajdb: CSV trajectory %d: %w", p.order, err)
+		}
+	}
+	return b.Freeze(), nil
+}
+
+// geoJSON types, kept minimal and local: the export needs nothing more.
+type geoJSONFeatureCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoJSONLine    `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geoJSONLine struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"`
+}
+
+// ExportGeoJSON writes the given trajectories (all of them when ids is
+// empty) as a GeoJSON FeatureCollection of LineStrings — one feature per
+// trajectory with id, departure and keyword properties — for inspection
+// in any map tool. Coordinates are the planar kilometre coordinates of
+// the synthetic world (real data would be unprojected first).
+func ExportGeoJSON(w io.Writer, s *Store, ids ...TrajID) error {
+	if len(ids) == 0 {
+		ids = make([]TrajID, s.NumTrajectories())
+		for i := range ids {
+			ids[i] = TrajID(i)
+		}
+	}
+	fc := geoJSONFeatureCollection{Type: "FeatureCollection"}
+	for _, id := range ids {
+		if id < 0 || int(id) >= s.NumTrajectories() {
+			return fmt.Errorf("trajdb: ExportGeoJSON: trajectory %d out of range", id)
+		}
+		t := s.Traj(id)
+		coords := make([][2]float64, t.Len())
+		for i, smp := range t.Samples {
+			p := s.g.Point(smp.V)
+			coords[i] = [2]float64{p.X, p.Y}
+		}
+		props := map[string]any{
+			"id":      int(id),
+			"departs": t.Start(),
+			"samples": t.Len(),
+		}
+		if s.vocab != nil {
+			var names []string
+			for _, k := range t.Keywords {
+				if name, ok := s.vocab.Term(k); ok {
+					names = append(names, name)
+				}
+			}
+			props["keywords"] = names
+		}
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type:       "Feature",
+			Geometry:   geoJSONLine{Type: "LineString", Coordinates: coords},
+			Properties: props,
+		})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(fc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

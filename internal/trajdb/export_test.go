@@ -1,0 +1,143 @@
+package trajdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"uots/internal/textual"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	vocab := textual.GenerateVocab(3, 12, 1, 5)
+	db, err := Generate(g, GenOptions{Count: 40, MeanSamples: 10, Vocab: vocab, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportCSV(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTrajectories() != db.NumTrajectories() {
+		t.Fatalf("count %d vs %d", got.NumTrajectories(), db.NumTrajectories())
+	}
+	for id := 0; id < db.NumTrajectories(); id++ {
+		a, b := db.Traj(TrajID(id)), got.Traj(TrajID(id))
+		if a.Len() != b.Len() {
+			t.Fatalf("traj %d length", id)
+		}
+		for i := range a.Samples {
+			if a.Samples[i].V != b.Samples[i].V {
+				t.Fatalf("traj %d sample %d vertex", id, i)
+			}
+			// Times round through 3 decimal places.
+			if diff := a.Samples[i].T - b.Samples[i].T; diff > 0.001 || diff < -0.001 {
+				t.Fatalf("traj %d sample %d time %g vs %g", id, i, a.Samples[i].T, b.Samples[i].T)
+			}
+		}
+		if len(a.Keywords) != len(b.Keywords) {
+			t.Fatalf("traj %d keywords %d vs %d", id, len(a.Keywords), len(b.Keywords))
+		}
+		// Keyword strings survive (IDs may be renumbered).
+		aName := keywordStrings(db, TrajID(id))
+		bName := keywordStrings(got, TrajID(id))
+		if aName != bName {
+			t.Fatalf("traj %d keywords %q vs %q", id, aName, bName)
+		}
+	}
+}
+
+func keywordStrings(s *Store, id TrajID) string {
+	var names []string
+	for _, k := range s.Keywords(id) {
+		if n, ok := s.Vocab().Term(k); ok {
+			names = append(names, n)
+		}
+	}
+	// Keywords are sorted by TermID which differs across vocabularies;
+	// normalize by sorting strings.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return strings.Join(names, "|")
+}
+
+func TestImportCSVRejectsBadInput(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct{ name, csv string }{
+		{"bad header", "a,b,c,d,e\n"},
+		{"bad seq", "traj_id,seq,vertex,time_seconds,keywords\n0,x,1,0,\n"},
+		{"bad vertex", "traj_id,seq,vertex,time_seconds,keywords\n0,0,x,0,\n"},
+		{"bad time", "traj_id,seq,vertex,time_seconds,keywords\n0,0,1,x,\n"},
+		{"seq gap", "traj_id,seq,vertex,time_seconds,keywords\n0,0,1,0,\n0,2,1,5,\n"},
+		{"vertex range", "traj_id,seq,vertex,time_seconds,keywords\n0,0,99999,0,\n"},
+		{"short row", "traj_id,seq,vertex,time_seconds,keywords\n0,0,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ImportCSV(strings.NewReader(c.csv), g); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestExportGeoJSON(t *testing.T) {
+	g := testGraph(t)
+	vocab := textual.GenerateVocab(2, 8, 1, 7)
+	db, err := Generate(g, GenOptions{Count: 10, MeanSamples: 8, Vocab: vocab, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportGeoJSON(&buf, db, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string       `json:"type"`
+				Coordinates [][2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) != 2 {
+		t.Fatalf("collection = %s with %d features", fc.Type, len(fc.Features))
+	}
+	f := fc.Features[0]
+	if f.Geometry.Type != "LineString" {
+		t.Errorf("geometry = %s", f.Geometry.Type)
+	}
+	if len(f.Geometry.Coordinates) != db.Traj(0).Len() {
+		t.Errorf("coordinates %d, want %d", len(f.Geometry.Coordinates), db.Traj(0).Len())
+	}
+	if int(f.Properties["id"].(float64)) != 0 {
+		t.Errorf("id property = %v", f.Properties["id"])
+	}
+	if _, ok := f.Properties["keywords"]; !ok {
+		t.Error("keywords property missing")
+	}
+	// Whole-store export.
+	buf.Reset()
+	if err := ExportGeoJSON(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range id.
+	if err := ExportGeoJSON(&buf, db, 999); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}

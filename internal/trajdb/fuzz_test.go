@@ -1,0 +1,99 @@
+package trajdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+)
+
+func fuzzGraph(f *testing.F) *roadnet.Graph {
+	f.Helper()
+	g, err := roadnet.GenerateCity(roadnet.CityOptions{
+		Rows: 6, Cols: 6, Style: roadnet.StyleDense, Seed: 2,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return g
+}
+
+// FuzzReadStore asserts the binary store reader never panics: arbitrary
+// bytes either parse into a valid store or error out.
+func FuzzReadStore(f *testing.F) {
+	g := fuzzGraph(f)
+	vocab := textual.GenerateVocab(2, 6, 1, 1)
+	db, err := Generate(g, GenOptions{Count: 8, MeanSamples: 5, Vocab: vocab, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, db); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)*2/3])
+	f.Add([]byte(trajMagic))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)-3] ^= 0x7F
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadStore(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		// A parsed store must satisfy its invariants.
+		for id := 0; id < got.NumTrajectories(); id++ {
+			tr := got.Traj(TrajID(id))
+			if tr.Len() == 0 {
+				t.Fatal("parsed trajectory has no samples")
+			}
+			prev := -1.0
+			for _, s := range tr.Samples {
+				if int(s.V) >= g.NumVertices() || s.V < 0 {
+					t.Fatalf("sample vertex %d out of range", s.V)
+				}
+				if s.T < prev {
+					t.Fatal("sample times not monotone")
+				}
+				prev = s.T
+			}
+		}
+	})
+}
+
+// FuzzImportCSV asserts the CSV importer never panics on arbitrary text.
+func FuzzImportCSV(f *testing.F) {
+	g := fuzzGraph(f)
+	db, err := Generate(g, GenOptions{Count: 4, MeanSamples: 4, Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, db); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("traj_id,seq,vertex,time_seconds,keywords\n0,0,1,0,\n")
+	f.Add("traj_id,seq,vertex,time_seconds,keywords\n")
+	f.Add("")
+	f.Add("garbage\nmore garbage")
+	f.Add("traj_id,seq,vertex,time_seconds,keywords\n0,0,999999,0,\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ImportCSV(strings.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		for id := 0; id < got.NumTrajectories(); id++ {
+			if got.Traj(TrajID(id)).Len() == 0 {
+				t.Fatal("imported trajectory has no samples")
+			}
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package trajdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+)
+
+// trajMagic identifies the binary trajectory-set format, version 1.
+const trajMagic = "UOTSTRJ1"
+
+// WriteStore serializes the trajectories and vocabulary of s (not the
+// graph — serialize that separately with roadnet.WriteGraph) in a compact
+// little-endian binary format.
+func WriteStore(w io.Writer, s *Store) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(trajMagic); err != nil {
+		return err
+	}
+	// Vocabulary: term count, then length-prefixed normalized strings in
+	// TermID order.
+	vocabSize := 0
+	if s.vocab != nil {
+		vocabSize = s.vocab.Size()
+	}
+	if err := writeU32(bw, uint32(vocabSize)); err != nil {
+		return err
+	}
+	for id := 0; id < vocabSize; id++ {
+		term, ok := s.vocab.Term(textual.TermID(id))
+		if !ok {
+			return fmt.Errorf("trajdb: vocabulary hole at term %d", id)
+		}
+		if err := writeU32(bw, uint32(len(term))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(term); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(bw, uint32(len(s.trajs))); err != nil {
+		return err
+	}
+	for i := range s.trajs {
+		t := &s.trajs[i]
+		if err := writeU32(bw, uint32(len(t.Samples))); err != nil {
+			return err
+		}
+		for _, smp := range t.Samples {
+			if err := writeU32(bw, uint32(smp.V)); err != nil {
+				return err
+			}
+			if err := writeU64(bw, math.Float64bits(smp.T)); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(bw, uint32(len(t.Keywords))); err != nil {
+			return err
+		}
+		for _, k := range t.Keywords {
+			if err := writeU32(bw, uint32(k)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStore deserializes a trajectory set written by WriteStore and
+// rebuilds its indexes over the given graph.
+func ReadStore(r io.Reader, g *roadnet.Graph) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(trajMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trajdb: reading magic: %w", err)
+	}
+	if string(magic) != trajMagic {
+		return nil, fmt.Errorf("trajdb: bad magic %q", magic)
+	}
+	vocabSize, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("trajdb: reading vocab size: %w", err)
+	}
+	const maxReasonable = 1 << 30
+	if vocabSize > maxReasonable {
+		return nil, fmt.Errorf("trajdb: implausible vocab size %d", vocabSize)
+	}
+	vocab := textual.NewVocab()
+	for i := uint32(0); i < vocabSize; i++ {
+		n, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("trajdb: reading term %d: %w", i, err)
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("trajdb: implausible term length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trajdb: reading term %d: %w", i, err)
+		}
+		id, ok := vocab.Intern(string(buf))
+		if !ok || id != textual.TermID(i) {
+			return nil, fmt.Errorf("trajdb: term %d (%q) does not re-intern to its ID", i, buf)
+		}
+	}
+	count, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("trajdb: reading trajectory count: %w", err)
+	}
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trajdb: implausible trajectory count %d", count)
+	}
+	b := NewBuilder(g, vocab)
+	for i := uint32(0); i < count; i++ {
+		ns, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("trajdb: trajectory %d: %w", i, err)
+		}
+		if ns > maxReasonable {
+			return nil, fmt.Errorf("trajdb: implausible sample count %d", ns)
+		}
+		samples := make([]Sample, ns)
+		for j := range samples {
+			v, err := readU32(br)
+			if err != nil {
+				return nil, fmt.Errorf("trajdb: trajectory %d sample %d: %w", i, j, err)
+			}
+			bits, err := readU64(br)
+			if err != nil {
+				return nil, fmt.Errorf("trajdb: trajectory %d sample %d: %w", i, j, err)
+			}
+			samples[j] = Sample{V: roadnet.VertexID(v), T: math.Float64frombits(bits)}
+		}
+		nk, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("trajdb: trajectory %d keywords: %w", i, err)
+		}
+		if nk > maxReasonable {
+			return nil, fmt.Errorf("trajdb: implausible keyword count %d", nk)
+		}
+		terms := make([]textual.TermID, nk)
+		for j := range terms {
+			k, err := readU32(br)
+			if err != nil {
+				return nil, fmt.Errorf("trajdb: trajectory %d keyword %d: %w", i, j, err)
+			}
+			if k >= vocabSize {
+				return nil, fmt.Errorf("trajdb: trajectory %d keyword %d out of vocab (%d ≥ %d)", i, j, k, vocabSize)
+			}
+			terms[j] = textual.TermID(k)
+		}
+		if _, err := b.Add(samples, textual.NewTermSet(terms)); err != nil {
+			return nil, fmt.Errorf("trajdb: trajectory %d: %w", i, err)
+		}
+	}
+	return b.Freeze(), nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}

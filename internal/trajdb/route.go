@@ -1,0 +1,43 @@
+package trajdb
+
+import (
+	"fmt"
+
+	"uots/internal/roadnet"
+)
+
+// ReconstructRoute expands a trajectory's sample sequence into the full
+// vertex path it implies under the map-matched-trajectory model (between
+// consecutive samples the object follows a shortest path). The result
+// starts at the first sample, visits every sample in order, and its
+// length (km) is returned alongside. Consecutive identical samples
+// collapse. An error is returned when two consecutive samples are
+// disconnected in the network.
+//
+// The bidir workspace is reused across segments; pass nil to allocate one
+// internally (callers reconstructing many routes should share one, but a
+// shared workspace is not safe for concurrent use).
+func ReconstructRoute(g *roadnet.Graph, t *Trajectory, bidir *roadnet.Bidirectional) ([]roadnet.VertexID, float64, error) {
+	if t.Len() == 0 {
+		return nil, 0, fmt.Errorf("trajdb: trajectory %d has no samples", t.ID)
+	}
+	if bidir == nil {
+		bidir = roadnet.NewBidirectional(g)
+	}
+	route := []roadnet.VertexID{t.Samples[0].V}
+	var total float64
+	for i := 1; i < t.Len(); i++ {
+		from, to := t.Samples[i-1].V, t.Samples[i].V
+		if from == to {
+			continue
+		}
+		seg, dist, ok := bidir.Path(from, to)
+		if !ok {
+			return nil, 0, fmt.Errorf("trajdb: trajectory %d: samples %d and %d are disconnected (%d → %d)",
+				t.ID, i-1, i, from, to)
+		}
+		route = append(route, seg[1:]...)
+		total += dist
+	}
+	return route, total, nil
+}

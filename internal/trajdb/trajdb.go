@@ -1,0 +1,273 @@
+// Package trajdb implements the trajectory-database substrate: the
+// trajectory model (map-matched, timestamped sample sequences with textual
+// attributes), an immutable in-memory store with the two access paths the
+// UOTS engine needs — a vertex→trajectories inverted index for network
+// expansion scanning and a keyword inverted index for textual scoring —
+// plus a synthetic trip generator and binary serialization.
+package trajdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"uots/internal/geo"
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+)
+
+// TrajID identifies a trajectory in a Store. IDs are dense: a store with n
+// trajectories uses IDs 0..n-1.
+type TrajID int32
+
+// SecondsPerDay is the length of the temporal domain. Timestamps are
+// seconds of day in [0, SecondsPerDay): dates are dropped because daily
+// commuting patterns repeat (the convention of this research line).
+const SecondsPerDay = 24 * 60 * 60
+
+// Sample is one map-matched trajectory point: a network vertex and the
+// time of day it was visited, in seconds.
+type Sample struct {
+	V roadnet.VertexID
+	T float64
+}
+
+// Trajectory is a finite time-ordered sequence of samples plus the trip's
+// textual attributes. Between consecutive samples the object is assumed to
+// follow a shortest path (the standard map-matched-trajectory model).
+type Trajectory struct {
+	ID       TrajID
+	Samples  []Sample
+	Keywords textual.TermSet
+}
+
+// Len returns the number of samples.
+func (t *Trajectory) Len() int { return len(t.Samples) }
+
+// Start returns the first sample's timestamp.
+func (t *Trajectory) Start() float64 { return t.Samples[0].T }
+
+// End returns the last sample's timestamp.
+func (t *Trajectory) End() float64 { return t.Samples[len(t.Samples)-1].T }
+
+// Duration returns End − Start in seconds.
+func (t *Trajectory) Duration() float64 { return t.End() - t.Start() }
+
+// Vertices returns the sample vertices in visit order (a fresh slice).
+func (t *Trajectory) Vertices() []roadnet.VertexID {
+	out := make([]roadnet.VertexID, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.V
+	}
+	return out
+}
+
+// Errors reported by Builder.Add.
+var (
+	ErrNoSamples     = errors.New("trajdb: trajectory needs at least one sample")
+	ErrVertexRange   = errors.New("trajdb: sample vertex out of graph range")
+	ErrTimeOrder     = errors.New("trajdb: sample timestamps must be non-decreasing")
+	ErrTimeRange     = errors.New("trajdb: sample timestamp outside [0, 86400)")
+	ErrFrozenBuilder = errors.New("trajdb: builder already frozen")
+)
+
+// Builder accumulates trajectories and freezes them into a Store.
+type Builder struct {
+	g      *roadnet.Graph
+	vocab  *textual.Vocab
+	trajs  []Trajectory
+	frozen bool
+}
+
+// NewBuilder returns a builder for trajectories on g. vocab is the keyword
+// vocabulary used by AddWithKeywords; it may be nil when all trajectories
+// are added with pre-interned term sets.
+func NewBuilder(g *roadnet.Graph, vocab *textual.Vocab) *Builder {
+	return &Builder{g: g, vocab: vocab}
+}
+
+// Count returns the number of trajectories added so far.
+func (b *Builder) Count() int { return len(b.trajs) }
+
+// Add validates and appends a trajectory with an already-interned keyword
+// set, returning its assigned ID.
+func (b *Builder) Add(samples []Sample, keywords textual.TermSet) (TrajID, error) {
+	if b.frozen {
+		return -1, ErrFrozenBuilder
+	}
+	if len(samples) == 0 {
+		return -1, ErrNoSamples
+	}
+	n := roadnet.VertexID(b.g.NumVertices())
+	prev := -1.0
+	for i, s := range samples {
+		if s.V < 0 || s.V >= n {
+			return -1, fmt.Errorf("%w: sample %d has vertex %d (graph has %d)", ErrVertexRange, i, s.V, n)
+		}
+		if s.T < 0 || s.T >= SecondsPerDay {
+			return -1, fmt.Errorf("%w: sample %d has t=%g", ErrTimeRange, i, s.T)
+		}
+		if s.T < prev {
+			return -1, fmt.Errorf("%w: sample %d has t=%g after %g", ErrTimeOrder, i, s.T, prev)
+		}
+		prev = s.T
+	}
+	id := TrajID(len(b.trajs))
+	b.trajs = append(b.trajs, Trajectory{
+		ID:       id,
+		Samples:  append([]Sample(nil), samples...),
+		Keywords: keywords,
+	})
+	return id, nil
+}
+
+// AddWithKeywords interns the keyword strings through the builder's vocab
+// and appends the trajectory. It requires a non-nil vocab.
+func (b *Builder) AddWithKeywords(samples []Sample, keywords []string) (TrajID, error) {
+	if b.vocab == nil {
+		return -1, errors.New("trajdb: AddWithKeywords requires a vocabulary")
+	}
+	return b.Add(samples, b.vocab.InternAll(keywords))
+}
+
+// Freeze builds the vertex and keyword indexes and returns the immutable
+// Store. The builder must not be used afterwards.
+func (b *Builder) Freeze() *Store {
+	b.frozen = true
+	s := &Store{
+		g:        b.g,
+		vocab:    b.vocab,
+		trajs:    b.trajs,
+		vertexIx: make([][]TrajID, b.g.NumVertices()),
+		vertsOf:  make([][]int32, len(b.trajs)),
+		textIx:   textual.NewIndex(),
+	}
+	for i := range s.trajs {
+		t := &s.trajs[i]
+		// Sorted unique vertex list per trajectory (membership tests).
+		vs := make([]int32, len(t.Samples))
+		for j, smp := range t.Samples {
+			vs[j] = int32(smp.V)
+		}
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+		uniq := vs[:1]
+		for _, v := range vs[1:] {
+			if v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		s.vertsOf[i] = uniq
+		box := geo.EmptyRect()
+		for _, v := range uniq {
+			s.vertexIx[v] = append(s.vertexIx[v], TrajID(i))
+			box = box.ExtendPoint(b.g.Point(roadnet.VertexID(v)))
+		}
+		s.bboxes = append(s.bboxes, box)
+		s.textIx.Add(textual.DocID(i), t.Keywords)
+		s.totalSamples += len(t.Samples)
+	}
+	s.textIx.Freeze()
+	return s
+}
+
+// Store is an immutable trajectory database over one road network.
+// It is safe for concurrent use.
+type Store struct {
+	g            *roadnet.Graph
+	vocab        *textual.Vocab
+	trajs        []Trajectory
+	vertexIx     [][]TrajID // ascending trajectory IDs per vertex
+	vertsOf      [][]int32  // ascending unique vertices per trajectory
+	bboxes       []geo.Rect // bounding box of each trajectory's samples
+	textIx       *textual.Index
+	totalSamples int
+}
+
+// BBox returns the planar bounding rectangle of trajectory id's samples —
+// the goal summary used by targeted (A*) distance queries.
+func (s *Store) BBox(id TrajID) geo.Rect { return s.bboxes[id] }
+
+// Graph returns the road network the trajectories live on.
+func (s *Store) Graph() *roadnet.Graph { return s.g }
+
+// Vocab returns the keyword vocabulary (nil if the store was built without
+// one).
+func (s *Store) Vocab() *textual.Vocab { return s.vocab }
+
+// NumTrajectories returns the number of trajectories.
+func (s *Store) NumTrajectories() int { return len(s.trajs) }
+
+// TotalSamples returns the total sample count across all trajectories.
+func (s *Store) TotalSamples() int { return s.totalSamples }
+
+// AvgSamples returns the mean trajectory length in samples.
+func (s *Store) AvgSamples() float64 {
+	if len(s.trajs) == 0 {
+		return 0
+	}
+	return float64(s.totalSamples) / float64(len(s.trajs))
+}
+
+// Traj returns the trajectory with the given ID. The result must not be
+// modified.
+func (s *Store) Traj(id TrajID) *Trajectory { return &s.trajs[id] }
+
+// TrajsAtVertex returns the ascending list of trajectories that contain
+// vertex v as a sample point — the inverted list scanned during network
+// expansion. The result must not be modified.
+func (s *Store) TrajsAtVertex(v roadnet.VertexID) []TrajID { return s.vertexIx[v] }
+
+// ContainsVertex reports whether trajectory id has v among its samples.
+func (s *Store) ContainsVertex(id TrajID, v roadnet.VertexID) bool {
+	vs := s.vertsOf[id]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] >= int32(v) })
+	return i < len(vs) && vs[i] == int32(v)
+}
+
+// UniqueVertices returns the ascending unique vertex IDs of trajectory id.
+// The result must not be modified.
+func (s *Store) UniqueVertices(id TrajID) []roadnet.VertexID {
+	vs := s.vertsOf[id]
+	out := make([]roadnet.VertexID, len(vs))
+	for i, v := range vs {
+		out[i] = roadnet.VertexID(v)
+	}
+	return out
+}
+
+// TextIndex returns the keyword inverted index (DocID == TrajID).
+func (s *Store) TextIndex() *textual.Index { return s.textIx }
+
+// Keywords returns the keyword set of trajectory id.
+func (s *Store) Keywords(id TrajID) textual.TermSet { return s.trajs[id].Keywords }
+
+// Stats summarizes a store for logging and experiment tables.
+type Stats struct {
+	Trajectories  int
+	TotalSamples  int
+	AvgSamples    float64
+	AvgKeywords   float64
+	VertexesTouch int // vertices with at least one trajectory
+}
+
+// Stats computes summary statistics.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Trajectories: len(s.trajs),
+		TotalSamples: s.totalSamples,
+		AvgSamples:   s.AvgSamples(),
+	}
+	var kw int
+	for i := range s.trajs {
+		kw += len(s.trajs[i].Keywords)
+	}
+	if len(s.trajs) > 0 {
+		st.AvgKeywords = float64(kw) / float64(len(s.trajs))
+	}
+	for _, l := range s.vertexIx {
+		if len(l) > 0 {
+			st.VertexesTouch++
+		}
+	}
+	return st
+}
