@@ -1,0 +1,23 @@
+# Development targets. `make check` is the pre-merge gate: vet plus the
+# full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: vet race

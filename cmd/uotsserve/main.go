@@ -4,21 +4,34 @@
 // Usage:
 //
 //	uotsserve -data dataset -addr :8080 [-cache 67108864 -disk dataset.dsk]
+//	          [-timeout 10s -max-inflight 64 -max-body 8388608 -drain 10s]
 //
 // Endpoints:
 //
 //	GET  /healthz             liveness
-//	GET  /stats               dataset shape
+//	GET  /stats               dataset shape + serving counters
 //	POST /search              {"points":[[x,y],...], "keywords":"...", "lambda":0.5, "k":5}
 //	POST /batch               {"queries":[<search bodies>...], "workers":4}
 //	GET  /trajectory/{id}     full trajectory record
+//
+// Search requests run under the -timeout deadline (503 on expiry),
+// concurrency beyond -max-inflight is shed with 429, and bodies beyond
+// -max-body are rejected with 413. On SIGINT/SIGTERM the server stops
+// accepting connections, gives in-flight requests up to -drain to finish,
+// then exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"uots"
 	"uots/internal/core"
@@ -31,6 +44,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	disk := flag.String("disk", "", "serve from a disk-resident store file instead of loading trajectories into memory")
 	cache := flag.Int("cache", 0, "disk-store LRU buffer budget in bytes (0 = 64 MiB default)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request search deadline (0 disables; expiry answers 503)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrent search weight before shedding with 429 (0 = unlimited)")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes (oversized bodies answer 413)")
+	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 
 	gf, err := os.Open(*data + ".graph")
@@ -70,10 +87,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := server.New(engine, vocab, nil)
-	log.Printf("uotsserve: %d vertices, %d trajectories, listening on %s",
-		g.NumVertices(), store.NumTrajectories(), *addr)
-	fatal(srv.ListenAndServe(*addr))
+	srv := server.NewWithConfig(engine, vocab, nil, server.Config{
+		Timeout:      *timeout,
+		MaxInFlight:  *maxInflight,
+		MaxBodyBytes: *maxBody,
+	})
+	log.Printf("uotsserve: %d vertices, %d trajectories, listening on %s (timeout=%s max-inflight=%d)",
+		g.NumVertices(), store.NumTrajectories(), *addr, *timeout, *maxInflight)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, *addr, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("uotsserve: shut down cleanly")
 }
 
 func fatal(err error) {

@@ -1,12 +1,15 @@
 package uots_test
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -65,13 +68,16 @@ func TestCommandLineTools(t *testing.T) {
 	}
 
 	// Serve it and hit the API.
-	srv := exec.Command(bin("uotsserve"), "-data", data, "-addr", "127.0.0.1:18931")
+	srv := exec.Command(bin("uotsserve"), "-data", data, "-addr", "127.0.0.1:18931", "-drain", "10s")
 	if err := srv.Start(); err != nil {
 		t.Fatalf("uotsserve start: %v", err)
 	}
+	exited := false
 	defer func() {
-		srv.Process.Kill()
-		srv.Wait()
+		if !exited {
+			srv.Process.Kill()
+			srv.Wait()
+		}
 	}()
 	var resp *http.Response
 	for attempt := 0; attempt < 50; attempt++ {
@@ -106,5 +112,99 @@ func TestCommandLineTools(t *testing.T) {
 	}
 	if len(sr.Results) != 2 {
 		t.Fatalf("search returned %d results", len(sr.Results))
+	}
+
+	// Graceful shutdown: put a large batch in flight, SIGTERM the server
+	// mid-request, and verify the in-flight work drains to a full 200
+	// response and the process exits 0 (not killed, not erroring out).
+	var batch struct {
+		Queries []map[string]any `json:"queries"`
+	}
+	for i := 0; i < 400; i++ {
+		batch.Queries = append(batch.Queries, map[string]any{
+			"points":   [][2]float64{{1.0, 1.0}, {1.5, 1.2}},
+			"keywords": "t0_kw0 t0_kw1",
+			"k":        3,
+		})
+	}
+	batchRaw, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchDone := make(chan error, 1)
+	var batchStatus int
+	go func() {
+		resp, err := http.Post("http://127.0.0.1:18931/batch", "application/json", bytes.NewReader(batchRaw))
+		if err != nil {
+			batchDone <- err
+			return
+		}
+		batchStatus = resp.StatusCode
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		batchDone <- err
+	}()
+
+	// Wait until /stats shows the batch actually in flight so the SIGTERM
+	// demonstrably lands mid-request. If the batch somehow finishes first,
+	// the drain assertion degenerates but the clean-exit one still holds.
+	waitInFlight := time.Now().Add(10 * time.Second)
+poll:
+	for {
+		select {
+		case err := <-batchDone:
+			batchDone <- err
+			break poll
+		default:
+		}
+		resp, err := http.Get("http://127.0.0.1:18931/stats")
+		if err == nil {
+			var stats struct {
+				Serving struct {
+					InFlight int `json:"inFlight"`
+				} `json:"serving"`
+			}
+			decodeErr := json.NewDecoder(resp.Body).Decode(&stats)
+			resp.Body.Close()
+			if decodeErr == nil && stats.Serving.InFlight > 0 {
+				break poll
+			}
+		}
+		if time.Now().After(waitInFlight) {
+			t.Fatal("batch never showed up in /stats inFlight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-batchDone:
+		if err != nil {
+			t.Fatalf("in-flight batch was not drained: %v", err)
+		}
+		if batchStatus != http.StatusOK {
+			t.Fatalf("in-flight batch status %d, want 200", batchStatus)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight batch never completed after SIGTERM")
+	}
+
+	exitc := make(chan error, 1)
+	go func() { exitc <- srv.Wait() }()
+	select {
+	case err := <-exitc:
+		exited = true
+		if err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+
+	// The listener must actually be gone.
+	if _, err := http.Get("http://127.0.0.1:18931/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -17,53 +18,84 @@ import (
 // expansion algorithm is validated against, and as the "no pruning" end of
 // the experiment spectrum.
 func (e *Engine) ExhaustiveSearch(q Query) ([]Result, SearchStats, error) {
+	return e.ExhaustiveSearchCtx(context.Background(), q)
+}
+
+// ExhaustiveSearchCtx is ExhaustiveSearch with cancellation: both the
+// Dijkstra field computation and the scoring scan poll ctx at bounded
+// intervals (see SearchCtx).
+func (e *Engine) ExhaustiveSearchCtx(ctx context.Context, q Query) (results []Result, stats SearchStats, err error) {
+	defer recoverStoreFault(&results, &err)
 	start := time.Now()
-	q, err := q.normalize(e.g)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
 	topk := pqueue.NewTopK[Result](q.K)
-	stats := e.exhaustiveScan(q, func(r Result) {
+	stats, err = e.exhaustiveScan(ctx, q, func(r Result) {
 		topk.Offer(r.Score, int64(r.Traj), r)
 	})
-	results := topk.Results()
 	stats.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, stats, err
+	}
+	results = topk.Results()
 	return results, stats, nil
 }
 
 // ExhaustiveThreshold answers the threshold variant exhaustively.
 func (e *Engine) ExhaustiveThreshold(q Query, theta float64) ([]Result, SearchStats, error) {
+	return e.ExhaustiveThresholdCtx(context.Background(), q, theta)
+}
+
+// ExhaustiveThresholdCtx is ExhaustiveThreshold with cancellation.
+func (e *Engine) ExhaustiveThresholdCtx(ctx context.Context, q Query, theta float64) (results []Result, stats SearchStats, err error) {
+	defer recoverStoreFault(&results, &err)
 	start := time.Now()
-	q, err := q.normalize(e.g)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
 	if !(theta > 0) || theta > 1 || math.IsNaN(theta) {
 		return nil, SearchStats{}, ErrBadThreshold
 	}
-	var results []Result
-	stats := e.exhaustiveScan(q, func(r Result) {
+	stats, err = e.exhaustiveScan(ctx, q, func(r Result) {
 		if r.Score >= theta {
 			results = append(results, r)
 		}
 	})
-	sortResults(results)
 	stats.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, stats, err
+	}
+	sortResults(results)
 	return results, stats, nil
 }
 
 // exhaustiveScan computes the exact Result of every trajectory and feeds
-// it to sink, returning the work counters.
-func (e *Engine) exhaustiveScan(q Query, sink func(Result)) SearchStats {
+// it to sink, returning the work counters. Cancellation is polled every
+// cancelPollEvery scored trajectories and every 1024 settled vertices, so
+// even the full-network Dijkstra phase aborts promptly.
+func (e *Engine) exhaustiveScan(ctx context.Context, q Query, sink func(Result)) (SearchStats, error) {
 	var stats SearchStats
+	cancel := newCanceller(ctx)
 	n := e.db.NumTrajectories()
 	fields := make([][]float64, len(q.Locations))
 	sssp := roadnet.NewSSSP(e.g)
+	var cancelErr error
 	for i, o := range q.Locations {
 		sssp.RunUntil(o, func(roadnet.VertexID, float64) bool {
 			stats.SettledVertices++
+			if stats.SettledVertices%1024 == 0 {
+				if cancelErr = cancel.check(); cancelErr != nil {
+					return false
+				}
+			}
 			return true
 		})
+		if cancelErr != nil {
+			return stats, cancelErr
+		}
 		field := make([]float64, e.g.NumVertices())
 		for v := range field {
 			field[v] = sssp.Dist(roadnet.VertexID(v))
@@ -71,6 +103,12 @@ func (e *Engine) exhaustiveScan(q Query, sink func(Result)) SearchStats {
 		fields[i] = field
 	}
 	for id := 0; id < n; id++ {
+		if id%cancelPollEvery == 0 {
+			if err := cancel.check(); err != nil {
+				stats.VisitedTrajectories, stats.Candidates, stats.TextScored = id, id, id
+				return stats, err
+			}
+		}
 		tid := trajdb.TrajID(id)
 		verts := e.db.UniqueVertices(tid)
 		dists := make([]float64, len(q.Locations))
@@ -96,7 +134,7 @@ func (e *Engine) exhaustiveScan(q Query, sink func(Result)) SearchStats {
 	stats.VisitedTrajectories = n
 	stats.Candidates = n
 	stats.TextScored = n
-	return stats
+	return stats, nil
 }
 
 // TextFirstOptions tunes the TextFirst baseline.
@@ -116,15 +154,24 @@ type TextFirstOptions struct {
 // whenever the bar allows it — the structural weakness the paper's
 // expansion algorithm removes.
 func (e *Engine) TextFirstSearch(q Query, opts TextFirstOptions) ([]Result, SearchStats, error) {
+	return e.TextFirstSearchCtx(context.Background(), q, opts)
+}
+
+// TextFirstSearchCtx is TextFirstSearch with cancellation: the candidate
+// scan polls ctx between per-trajectory evaluations and inside each
+// evaluation's Dijkstras (see SearchCtx).
+func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirstOptions) (results []Result, stats SearchStats, err error) {
+	defer recoverStoreFault(&results, &err)
 	start := time.Now()
-	q, err := q.normalize(e.g)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	var stats SearchStats
+	cancel := newCanceller(ctx)
 	topk := pqueue.NewTopK[Result](q.K)
 	sssp := roadnet.NewSSSP(e.g)
 
+	var cancelErr error
 	evaluate := func(tid trajdb.TrajID, text float64) {
 		stats.VisitedTrajectories++
 		// Landmark pruning: a lower bound on every query-location distance
@@ -144,12 +191,20 @@ func (e *Engine) TextFirstSearch(q Query, opts TextFirstOptions) ([]Result, Sear
 		for i, o := range q.Locations {
 			sssp.RunUntil(o, func(v roadnet.VertexID, d float64) bool {
 				stats.SettledVertices++
+				if stats.SettledVertices%1024 == 0 {
+					if cancelErr = cancel.check(); cancelErr != nil {
+						return false
+					}
+				}
 				if e.db.ContainsVertex(tid, v) {
 					dists[i] = d
 					return false
 				}
 				return true
 			})
+			if cancelErr != nil {
+				return
+			}
 			if dists[i] == 0 && !e.db.ContainsVertex(tid, o) {
 				dists[i] = math.Inf(1) // unreachable from o
 			}
@@ -176,7 +231,13 @@ func (e *Engine) TextFirstSearch(q Query, opts TextFirstOptions) ([]Result, Sear
 		docs := e.db.TextIndex().DocsWithAny(q.Keywords)
 		stats.TextScored = len(docs)
 		ranked = make([]scored, 0, len(docs))
-		for _, d := range docs {
+		for i, d := range docs {
+			if i%cancelPollEvery == 0 {
+				if err := cancel.check(); err != nil {
+					stats.Elapsed = time.Since(start)
+					return nil, stats, err
+				}
+			}
 			id := trajdb.TrajID(d)
 			ranked = append(ranked, scored{id, e.textScore(q.Keywords, id)})
 			inRanked[id] = true
@@ -189,11 +250,19 @@ func (e *Engine) TextFirstSearch(q Query, opts TextFirstOptions) ([]Result, Sear
 		})
 	}
 	for _, s := range ranked {
+		if err := cancel.check(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, err
+		}
 		if bar, ok := topk.Threshold(); ok && combine(q.Lambda, 1, s.text) < bar {
 			stats.EarlyTerminated = true
 			break
 		}
 		evaluate(s.id, s.text)
+		if cancelErr != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, cancelErr
+		}
 	}
 
 	// Phase 2: the zero-text tail, unless even a spatially perfect
@@ -204,17 +273,27 @@ func (e *Engine) TextFirstSearch(q Query, opts TextFirstOptions) ([]Result, Sear
 			if inRanked[tid] {
 				continue
 			}
+			if id%cancelPollEvery == 0 {
+				if err := cancel.check(); err != nil {
+					stats.Elapsed = time.Since(start)
+					return nil, stats, err
+				}
+			}
 			if bar, ok := topk.Threshold(); ok && combine(q.Lambda, 1, 0) < bar {
 				stats.EarlyTerminated = true
 				break
 			}
 			evaluate(tid, 0)
+			if cancelErr != nil {
+				stats.Elapsed = time.Since(start)
+				return nil, stats, cancelErr
+			}
 		}
 	} else {
 		stats.EarlyTerminated = true
 	}
 
-	results := topk.Results()
+	results = topk.Results()
 	stats.Elapsed = time.Since(start)
 	return results, stats, nil
 }

@@ -65,8 +65,11 @@ type BatchStats struct {
 // SearchBatch processes the queries with a fixed pool of worker
 // goroutines — the per-query searches are fully independent, which is the
 // parallelism this research line exploits. Results arrive indexed by input
-// position. The context cancels remaining work; queries already running
-// finish normally.
+// position. The context cancels the whole batch: unscheduled queries are
+// marked with ctx.Err(), and queries already running observe the
+// cancellation inside their search loops and abort within one poll
+// interval. SearchBatch itself always drains its workers before
+// returning, so no goroutines outlive the call.
 func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]BatchResult, BatchStats, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -85,7 +88,13 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts BatchOpt
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				res, stats, err := e.runOne(queries[idx], opts)
+				// A cancelled batch drains scheduled jobs without running
+				// them, so the pool exits promptly.
+				if err := ctx.Err(); err != nil {
+					out[idx] = BatchResult{Index: idx, Err: err}
+					continue
+				}
+				res, stats, err := e.runOne(ctx, queries[idx], opts)
 				out[idx] = BatchResult{Index: idx, Results: res, Stats: stats, Err: err}
 			}
 		}()
@@ -119,13 +128,13 @@ feed:
 	return out, stats, ctx.Err()
 }
 
-func (e *Engine) runOne(q Query, opts BatchOptions) ([]Result, SearchStats, error) {
+func (e *Engine) runOne(ctx context.Context, q Query, opts BatchOptions) ([]Result, SearchStats, error) {
 	switch opts.Algorithm {
 	case AlgoExhaustive:
-		return e.ExhaustiveSearch(q)
+		return e.ExhaustiveSearchCtx(ctx, q)
 	case AlgoTextFirst:
-		return e.TextFirstSearch(q, opts.TextFirst)
+		return e.TextFirstSearchCtx(ctx, q, opts.TextFirst)
 	default:
-		return e.Search(q)
+		return e.SearchCtx(ctx, q)
 	}
 }

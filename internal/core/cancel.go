@@ -1,0 +1,50 @@
+package core
+
+import "context"
+
+// Cancellation support. Every public entry point has a Ctx variant that
+// polls the context at bounded intervals inside its hot loop and returns
+// context.Canceled / context.DeadlineExceeded together with the stats of
+// the work done so far. The paper's early-termination bounds cap the work
+// of well-behaved queries; the context caps the work of everything else
+// (disconnected clients, deadline-bearing servers, operator aborts).
+//
+// Polling cadence: checking a context costs a channel select, which is
+// cheap but not free inside a loop that settles one Dijkstra vertex per
+// iteration, so the loops consult the context once every cancelPollEvery
+// units of work. A cancelled search therefore stops within one poll
+// interval of the cancellation, never mid-invariant.
+
+// cancelPollEvery is the bounded poll interval, in loop-specific work
+// units (expansion steps, settled vertices, scored trajectories).
+const cancelPollEvery = 64
+
+// canceller wraps a context for cheap polling inside search loops. The
+// zero value (and any context with a nil Done channel, e.g.
+// context.Background) never reports cancellation and costs one nil check
+// per poll.
+type canceller struct {
+	ctx  context.Context
+	done <-chan struct{}
+}
+
+func newCanceller(ctx context.Context) canceller {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return canceller{ctx: ctx, done: ctx.Done()}
+}
+
+// check returns the context's error if it has been cancelled, nil
+// otherwise. Callers apply their own modulo to bound the poll rate.
+func (c canceller) check() error {
+	if c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}

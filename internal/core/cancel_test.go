@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// ctxVariant names one context-aware engine entry point for table tests.
+type ctxVariant struct {
+	name string
+	run  func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error)
+}
+
+func ctxVariants() []ctxVariant {
+	return []ctxVariant{
+		{"SearchCtx", func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error) {
+			return e.SearchCtx(ctx, q)
+		}},
+		{"SearchThresholdCtx", func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error) {
+			return e.SearchThresholdCtx(ctx, q, 0.4)
+		}},
+		{"ExhaustiveSearchCtx", func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error) {
+			return e.ExhaustiveSearchCtx(ctx, q)
+		}},
+		{"ExhaustiveThresholdCtx", func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error) {
+			return e.ExhaustiveThresholdCtx(ctx, q, 0.4)
+		}},
+		{"TextFirstSearchCtx", func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error) {
+			return e.TextFirstSearchCtx(ctx, q, TextFirstOptions{})
+		}},
+		{"OrderAwareSearchCtx", func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error) {
+			return e.OrderAwareSearchCtx(ctx, q)
+		}},
+		{"SearchWindowedCtx", func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error) {
+			return e.SearchWindowedCtx(ctx, q, TimeWindow{From: 0, To: 24*3600 - 1})
+		}},
+		{"DiversifiedSearchCtx", func(e *Engine, ctx context.Context, q Query) ([]Result, SearchStats, error) {
+			return e.DiversifiedSearchCtx(ctx, q, DiversifyOptions{})
+		}},
+	}
+}
+
+// TestPreCancelledContext verifies every entry point observes an
+// already-cancelled context before doing meaningful work: the error is
+// context.Canceled and no results leak out.
+func TestPreCancelledContext(t *testing.T) {
+	e, f := newTestEngine(t, Options{})
+	rng := rand.New(rand.NewPCG(71, 0))
+	q := f.randomQuery(rng, 3, 4, 0.5, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, v := range ctxVariants() {
+		res, _, err := v.run(e, ctx, q)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", v.name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: returned %d results on a cancelled context", v.name, len(res))
+		}
+	}
+}
+
+// TestExpiredDeadline verifies an already-expired deadline surfaces as
+// context.DeadlineExceeded.
+func TestExpiredDeadline(t *testing.T) {
+	e, f := newTestEngine(t, Options{})
+	rng := rand.New(rand.NewPCG(72, 0))
+	q := f.randomQuery(rng, 2, 3, 0.5, 5)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, v := range ctxVariants() {
+		if _, _, err := v.run(e, ctx, q); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", v.name, err)
+		}
+	}
+}
+
+// TestBackgroundCtxMatchesLegacy verifies the ctx-free wrappers and the
+// ctx variants with context.Background() return identical rankings — the
+// cancellation plumbing must not change results.
+func TestBackgroundCtxMatchesLegacy(t *testing.T) {
+	e, f := newTestEngine(t, Options{})
+	rng := rand.New(rand.NewPCG(73, 0))
+	for i := 0; i < 5; i++ {
+		q := f.randomQuery(rng, 3, 4, 0.5, 8)
+		legacy, _, err := e.Search(q)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		withCtx, _, err := e.SearchCtx(context.Background(), q)
+		if err != nil {
+			t.Fatalf("SearchCtx: %v", err)
+		}
+		sameScores(t, "SearchCtx vs Search", withCtx, legacy)
+	}
+}
+
+// TestMidSearchCancellation cancels a context while a search is running
+// and verifies the search returns promptly with ctx.Err() and partial
+// stats rather than running to completion.
+func TestMidSearchCancellation(t *testing.T) {
+	f := testFixture(t)
+	// A latency-injecting store slows every Keywords call so the search is
+	// guaranteed to still be inside its loops when the cancel fires.
+	slow := NewFaultStore(f.db, FaultConfig{Latency: 200 * time.Microsecond})
+	e, err := NewEngine(slow, Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(74, 0))
+	q := f.randomQuery(rng, 3, 4, 0.5, 5)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.ExhaustiveSearchCtx(ctx, q)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled search returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("search did not observe cancellation within 5s")
+	}
+}
+
+// TestBatchCancellation cancels a running batch and verifies (a) the call
+// returns promptly with ctx.Err(), (b) every entry carries an error or a
+// finished result, and (c) no worker goroutines outlive the call.
+func TestBatchCancellation(t *testing.T) {
+	f := testFixture(t)
+	slow := NewFaultStore(f.db, FaultConfig{Latency: 100 * time.Microsecond})
+	e, err := NewEngine(slow, Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(75, 0))
+	queries := make([]Query, 64)
+	for i := range queries {
+		queries[i] = f.randomQuery(rng, 2, 3, 0.5, 5)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	out, _, err := e.SearchBatch(ctx, queries, BatchOptions{Workers: 4, Algorithm: AlgoExhaustive})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled batch took %s to return", elapsed)
+	}
+	var cancelled int
+	for i, o := range out {
+		if o.Err == nil && o.Results == nil {
+			t.Errorf("entry %d: neither error nor results after cancellation", i)
+		}
+		if errors.Is(o.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no batch entry recorded context.Canceled; cancel fired too late to test anything")
+	}
+
+	// The worker pool must be fully drained: goroutine count returns to
+	// (roughly) the pre-call level once the runtime settles.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before batch, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancellationBoundsWork verifies a pre-cancelled context keeps the
+// expansion search from settling more than one poll interval of work.
+func TestCancellationBoundsWork(t *testing.T) {
+	e, f := newTestEngine(t, Options{})
+	rng := rand.New(rand.NewPCG(76, 0))
+	q := f.randomQuery(rng, 3, 4, 0.5, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, stats, err := e.SearchCtx(ctx, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.SettledVertices > cancelPollEvery {
+		t.Errorf("cancelled search settled %d vertices, want ≤ %d", stats.SettledVertices, cancelPollEvery)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -35,8 +36,17 @@ type DiversifyOptions struct {
 
 // DiversifiedSearch answers a top-k query re-ranked for route diversity.
 func (e *Engine) DiversifiedSearch(q Query, opts DiversifyOptions) ([]Result, SearchStats, error) {
+	return e.DiversifiedSearchCtx(context.Background(), q, opts)
+}
+
+// DiversifiedSearchCtx is DiversifiedSearch with cancellation: the pool
+// retrieval polls ctx (see SearchCtx), and the MMR selection polls between
+// greedy picks.
+func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q Query, opts DiversifyOptions) (results []Result, stats SearchStats, err error) {
+	defer recoverStoreFault(&results, &err)
+	cancel := newCanceller(ctx)
 	start := time.Now()
-	q, err := q.normalize(e.g)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
@@ -54,7 +64,7 @@ func (e *Engine) DiversifiedSearch(q Query, opts DiversifyOptions) ([]Result, Se
 	if poolQ.K < 16 {
 		poolQ.K = 16
 	}
-	pool, stats, err := e.Search(poolQ)
+	pool, stats, err := e.SearchCtx(ctx, poolQ)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -62,6 +72,10 @@ func (e *Engine) DiversifiedSearch(q Query, opts DiversifyOptions) ([]Result, Se
 	picked := make([]Result, 0, q.K)
 	used := make([]bool, len(pool))
 	for len(picked) < q.K && len(picked) < len(pool) {
+		if err := cancel.check(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, err
+		}
 		bestIdx, bestMMR := -1, math.Inf(-1)
 		for i, cand := range pool {
 			if used[i] {

@@ -83,8 +83,9 @@ func combine(lambda, spatial, textual float64) float64 {
 // recommendation; it runs one early-terminating Dijkstra per query
 // location and costs far more than an engine search amortizes per
 // trajectory.
-func (e *Engine) Evaluate(q Query, id trajdb.TrajID) (Result, error) {
-	q, err := q.normalize(e.g)
+func (e *Engine) Evaluate(q Query, id trajdb.TrajID) (res Result, err error) {
+	defer recoverStoreFault(nil, &err)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return Result{}, err
 	}

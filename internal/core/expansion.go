@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -21,19 +22,34 @@ import (
 // the trajectories the search scored exactly; equal-scoring trajectories
 // pruned by the bound may be excluded.
 func (e *Engine) Search(q Query) ([]Result, SearchStats, error) {
+	return e.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search with cancellation: the expansion loop polls ctx at
+// bounded intervals (every cancelPollEvery steps) and, once the context is
+// cancelled or its deadline expires, stops within one poll interval and
+// returns nil results, the stats of the work done so far, and ctx.Err().
+func (e *Engine) SearchCtx(ctx context.Context, q Query) (results []Result, stats SearchStats, err error) {
+	defer recoverStoreFault(&results, &err)
 	start := time.Now()
-	q, err := q.normalize(e.g)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
 	if q.Lambda == 0 {
-		res, stats := e.textOnlyTopK(q, nil)
+		res, stats, err := e.textOnlyTopK(ctx, q, nil)
 		stats.Elapsed = time.Since(start)
+		if err != nil {
+			return nil, stats, err
+		}
 		return res, stats, nil
 	}
-	st := newExpansionState(e, q, 0, true)
-	st.run()
-	results := st.topk.Results()
+	st := newExpansionState(ctx, e, q, 0, true)
+	if err := st.run(); err != nil {
+		st.stats.Elapsed = time.Since(start)
+		return nil, st.stats, err
+	}
+	results = st.topk.Results()
 	st.stats.Elapsed = time.Since(start)
 	return results, st.stats, nil
 }
@@ -42,8 +58,14 @@ func (e *Engine) Search(q Query) ([]Result, SearchStats, error) {
 // trajectory with SimST ≥ theta, best-first. theta must be in (0, 1];
 // thresholds near 1 prune hardest.
 func (e *Engine) SearchThreshold(q Query, theta float64) ([]Result, SearchStats, error) {
+	return e.SearchThresholdCtx(context.Background(), q, theta)
+}
+
+// SearchThresholdCtx is SearchThreshold with cancellation (see SearchCtx).
+func (e *Engine) SearchThresholdCtx(ctx context.Context, q Query, theta float64) (results []Result, stats SearchStats, err error) {
+	defer recoverStoreFault(&results, &err)
 	start := time.Now()
-	q, err := q.normalize(e.g)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
@@ -51,12 +73,18 @@ func (e *Engine) SearchThreshold(q Query, theta float64) ([]Result, SearchStats,
 		return nil, SearchStats{}, ErrBadThreshold
 	}
 	if q.Lambda == 0 {
-		res, stats := e.textOnlyThreshold(q, theta)
+		res, stats, err := e.textOnlyThreshold(ctx, q, theta)
 		stats.Elapsed = time.Since(start)
+		if err != nil {
+			return nil, stats, err
+		}
 		return res, stats, nil
 	}
-	st := newExpansionState(e, q, theta, false)
-	st.run()
+	st := newExpansionState(ctx, e, q, theta, false)
+	if err := st.run(); err != nil {
+		st.stats.Elapsed = time.Since(start)
+		return nil, st.stats, err
+	}
 	sortResults(st.qualified)
 	st.stats.Elapsed = time.Since(start)
 	return st.qualified, st.stats, nil
@@ -111,14 +139,18 @@ type expansionState struct {
 	goal  *roadnet.GoalSearch // lazy; text-probe random accesses only
 	stats SearchStats
 
+	cancel  canceller // bounded-interval cancellation polls
+	initErr error     // cancellation observed during initText
+
 	slabCands []cand    // arena for cand structs (one allocation per chunk)
 	slabDists []float64 // arena for per-cand distance vectors
 }
 
-func newExpansionState(e *Engine, q Query, theta float64, useTopK bool) *expansionState {
+func newExpansionState(ctx context.Context, e *Engine, q Query, theta float64, useTopK bool) *expansionState {
 	st := &expansionState{
 		e:       e,
 		q:       q,
+		cancel:  newCanceller(ctx),
 		theta:   theta,
 		useTopK: useTopK,
 		sources: make([]*roadnet.Expander, len(q.Locations)),
@@ -159,7 +191,16 @@ func (st *expansionState) initText() {
 	ix := st.e.db.TextIndex()
 	docs := ix.DocsWithAny(st.q.Keywords)
 	st.stats.TextScored = len(docs)
-	for _, d := range docs {
+	for i, d := range docs {
+		// Text scoring touches the store's keyword path per document, so
+		// this pre-pass honours cancellation too; run() aborts on initErr
+		// before expanding.
+		if i%cancelPollEvery == 0 {
+			if err := st.cancel.check(); err != nil {
+				st.initErr = err
+				return
+			}
+		}
 		id := trajdb.TrajID(d)
 		s := st.e.textScore(st.q.Keywords, id)
 		if s > 0 {
@@ -179,9 +220,17 @@ func (st *expansionState) bar() (float64, bool) {
 	return st.topk.Threshold()
 }
 
-func (st *expansionState) run() {
+func (st *expansionState) run() error {
+	if st.initErr != nil {
+		return st.initErr
+	}
 	relabel := st.e.opts.RelabelEvery
 	for st.liveN > 0 {
+		if st.steps%cancelPollEvery == 0 {
+			if err := st.cancel.check(); err != nil {
+				return err
+			}
+		}
 		i := st.pickSource()
 		v, d, ok := st.sources[i].Next()
 		if !ok {
@@ -207,10 +256,10 @@ func (st *expansionState) run() {
 		st.steps++
 		if st.steps%relabel == 0 && st.rescan() {
 			st.stats.EarlyTerminated = true
-			return
+			return nil
 		}
 	}
-	st.finalizeExhausted()
+	return st.finalizeExhausted()
 }
 
 // candFor returns the candidate state for tid, creating it on first touch.
@@ -542,8 +591,13 @@ func (st *expansionState) minRadiusSource() int {
 // components) still compete on their textual score alone — and when the
 // top-k still has room, even zero-scoring trajectories fill the remaining
 // slots (ascending ID, matching the exhaustive baseline's tie order).
-func (st *expansionState) finalizeExhausted() {
-	for {
+func (st *expansionState) finalizeExhausted() error {
+	for drained := 0; ; drained++ {
+		if drained%cancelPollEvery == 0 {
+			if err := st.cancel.check(); err != nil {
+				return err
+			}
+		}
 		_, tid, ok := st.textHeap.Pop()
 		if !ok {
 			break
@@ -557,11 +611,16 @@ func (st *expansionState) finalizeExhausted() {
 		}
 	}
 	if !st.useTopK || st.topk.Full() {
-		return
+		return nil
 	}
 	// Every remaining trajectory is unreachable from all sources and
 	// shares no query keyword: its exact score is exactly 0.
 	for id := 0; id < st.e.db.NumTrajectories() && !st.topk.Full(); id++ {
+		if id%4096 == 0 {
+			if err := st.cancel.check(); err != nil {
+				return err
+			}
+		}
 		tid := trajdb.TrajID(id)
 		if c := st.cands[tid]; c != nil && c.complete {
 			continue
@@ -571,20 +630,27 @@ func (st *expansionState) finalizeExhausted() {
 			st.complete(tid, c)
 		}
 	}
+	return nil
 }
 
 // textOnlyTopK is the λ=0 fast path: the ranking is fully determined by
 // the textual index; spatial distances are resolved only for the k
 // returned trajectories so the Result decomposition stays complete.
 // A non-nil keep restricts the ranking to accepted trajectories.
-func (e *Engine) textOnlyTopK(q Query, keep func(trajdb.TrajID) bool) ([]Result, SearchStats) {
+func (e *Engine) textOnlyTopK(ctx context.Context, q Query, keep func(trajdb.TrajID) bool) ([]Result, SearchStats, error) {
 	var stats SearchStats
+	cancel := newCanceller(ctx)
 	topk := pqueue.NewTopK[trajdb.TrajID](q.K)
 	scored := make(map[trajdb.TrajID]bool)
 	if len(q.Keywords) > 0 {
 		docs := e.db.TextIndex().DocsWithAny(q.Keywords)
 		stats.TextScored = len(docs)
-		for _, d := range docs {
+		for i, d := range docs {
+			if i%cancelPollEvery == 0 {
+				if err := cancel.check(); err != nil {
+					return nil, stats, err
+				}
+			}
 			id := trajdb.TrajID(d)
 			scored[id] = true
 			if keep != nil && !keep(id) {
@@ -596,6 +662,11 @@ func (e *Engine) textOnlyTopK(q Query, keep func(trajdb.TrajID) bool) ([]Result,
 	// Fill remaining slots with zero-score trajectories (smallest IDs win
 	// the ties), so λ=0 agrees with the general algorithms on result size.
 	for id := 0; id < e.db.NumTrajectories() && !topk.Full(); id++ {
+		if id%4096 == 0 {
+			if err := cancel.check(); err != nil {
+				return nil, stats, err
+			}
+		}
 		tid := trajdb.TrajID(id)
 		if !scored[tid] && (keep == nil || keep(tid)) {
 			topk.Offer(0, int64(id), tid)
@@ -609,23 +680,34 @@ func (e *Engine) textOnlyTopK(q Query, keep func(trajdb.TrajID) bool) ([]Result,
 	sssp := roadnet.NewSSSP(e.g)
 	results := make([]Result, len(ids))
 	for i, id := range ids {
+		// One early-terminating Dijkstra per returned result: poll every
+		// iteration, the per-unit work dwarfs the poll.
+		if err := cancel.check(); err != nil {
+			return nil, stats, err
+		}
 		dists := e.exactDists(sssp, q.Locations, id)
 		spatial := e.spatialFromDists(dists)
 		text := e.textScore(q.Keywords, id)
 		results[i] = Result{Traj: id, Score: text, Spatial: spatial, Textual: text, Dists: dists}
 	}
-	return results, stats
+	return results, stats, nil
 }
 
 // textOnlyThreshold is the λ=0 fast path for the threshold variant.
-func (e *Engine) textOnlyThreshold(q Query, theta float64) ([]Result, SearchStats) {
+func (e *Engine) textOnlyThreshold(ctx context.Context, q Query, theta float64) ([]Result, SearchStats, error) {
 	var stats SearchStats
+	cancel := newCanceller(ctx)
 	var results []Result
 	sssp := roadnet.NewSSSP(e.g)
 	if len(q.Keywords) > 0 {
 		docs := e.db.TextIndex().DocsWithAny(q.Keywords)
 		stats.TextScored = len(docs)
-		for _, d := range docs {
+		for i, d := range docs {
+			if i%cancelPollEvery == 0 {
+				if err := cancel.check(); err != nil {
+					return nil, stats, err
+				}
+			}
 			id := trajdb.TrajID(d)
 			text := e.textScore(q.Keywords, id)
 			if text < theta {
@@ -645,5 +727,5 @@ func (e *Engine) textOnlyThreshold(q Query, theta float64) ([]Result, SearchStat
 	stats.Candidates = len(results)
 	stats.EarlyTerminated = true
 	sortResults(results)
-	return results, stats
+	return results, stats, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand/v2"
@@ -62,7 +63,7 @@ func TestSearchWindowedMatchesFilteredExhaustive(t *testing.T) {
 		}
 		// Ground truth: exhaustive over the filtered subset.
 		var want []Result
-		e.exhaustiveScan(mustNormalize(t, q, e), func(r Result) {
+		e.exhaustiveScan(context.Background(), mustNormalize(t, q, e), func(r Result) {
 			if w.Contains(f.db.Traj(r.Traj).Start()) {
 				want = append(want, r)
 			}

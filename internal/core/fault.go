@@ -1,0 +1,38 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"uots/internal/trajdb"
+)
+
+// ErrStoreFault tags trajectory-store failures surfaced as query errors.
+// TrajStore access paths return no errors, so implementations signal an
+// unrecoverable mid-query failure by panicking with a *trajdb.StoreError
+// (see that type's documentation); every public engine entry point
+// recovers that panic and returns an error wrapping both ErrStoreFault and
+// the StoreError instead of crashing the process. Test with
+// errors.Is(err, core.ErrStoreFault), inspect with errors.As into
+// *trajdb.StoreError.
+var ErrStoreFault = errors.New("core: trajectory store failure")
+
+// recoverStoreFault is the deferred guard at every public entry point: it
+// converts a *trajdb.StoreError panic into an error on the named returns,
+// discarding any partial result list (its scores may be incomplete), and
+// re-panics on anything else. Stats keep whatever the search accumulated
+// before the fault.
+func recoverStoreFault(results *[]Result, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	se, ok := r.(*trajdb.StoreError)
+	if !ok {
+		panic(r)
+	}
+	if results != nil {
+		*results = nil
+	}
+	*err = fmt.Errorf("%w: %w", ErrStoreFault, se)
+}

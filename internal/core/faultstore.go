@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// ErrInjected is the default cause carried by FaultStore failures.
+var ErrInjected = errors.New("core: injected store fault")
+
+// FaultConfig tunes a FaultStore. The zero value injects nothing.
+type FaultConfig struct {
+	// FailEveryTraj makes every N-th Traj call panic with a
+	// *trajdb.StoreError (0 disables). The count is global across
+	// goroutines, so failures are deterministic for a serial caller.
+	FailEveryTraj int
+	// FailEveryKeywords does the same for Keywords calls.
+	FailEveryKeywords int
+	// Latency is added to every Traj and Keywords call before it
+	// completes or fails — a stand-in for a slow or degraded device.
+	Latency time.Duration
+	// Err is the injected underlying cause (default ErrInjected).
+	Err error
+}
+
+// FaultStore wraps a TrajStore with deterministic fault and latency
+// injection on the record-payload access paths (Traj, Keywords) — the
+// paths that fault in pages on a disk-resident store. It exists to prove,
+// in tests, that the engine surfaces mid-query storage failures as errors
+// with sane stats rather than panicking, and to make queries slow enough
+// to exercise deadlines and load shedding without timing flakiness.
+// Safe for concurrent use whenever the wrapped store is.
+type FaultStore struct {
+	TrajStore
+	cfg   FaultConfig
+	trajN atomic.Int64
+	kwN   atomic.Int64
+}
+
+// NewFaultStore wraps db with the given injection policy.
+func NewFaultStore(db TrajStore, cfg FaultConfig) *FaultStore {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjected
+	}
+	return &FaultStore{TrajStore: db, cfg: cfg}
+}
+
+// Calls reports how many Traj and Keywords calls the store has served
+// (including the failed ones).
+func (f *FaultStore) Calls() (traj, keywords int64) {
+	return f.trajN.Load(), f.kwN.Load()
+}
+
+// Traj implements TrajStore, failing every cfg.FailEveryTraj-th call.
+func (f *FaultStore) Traj(id trajdb.TrajID) *trajdb.Trajectory {
+	n := f.trajN.Add(1)
+	f.dwell()
+	if k := int64(f.cfg.FailEveryTraj); k > 0 && n%k == 0 {
+		panic(&trajdb.StoreError{Op: "Traj", ID: id, Err: f.cfg.Err})
+	}
+	return f.TrajStore.Traj(id)
+}
+
+// Keywords implements TrajStore, failing every cfg.FailEveryKeywords-th
+// call.
+func (f *FaultStore) Keywords(id trajdb.TrajID) textual.TermSet {
+	n := f.kwN.Add(1)
+	f.dwell()
+	if k := int64(f.cfg.FailEveryKeywords); k > 0 && n%k == 0 {
+		panic(&trajdb.StoreError{Op: "Keywords", ID: id, Err: f.cfg.Err})
+	}
+	return f.TrajStore.Keywords(id)
+}
+
+func (f *FaultStore) dwell() {
+	if f.cfg.Latency > 0 {
+		time.Sleep(f.cfg.Latency)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -25,8 +26,9 @@ import (
 // trajectory: per-(location, sample) network distances from |O| Dijkstra
 // runs, then an O(|O|·m) dynamic program for the best order-preserving
 // assignment.
-func (e *Engine) OrderAwareEvaluate(q Query, id trajdb.TrajID) (Result, error) {
-	q, err := q.normalize(e.g)
+func (e *Engine) OrderAwareEvaluate(q Query, id trajdb.TrajID) (res Result, err error) {
+	defer recoverStoreFault(nil, &err)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return Result{}, err
 	}
@@ -123,11 +125,21 @@ func (e *Engine) orderAwareResult(sssp *roadnet.SSSP, q Query, id trajdb.TrajID)
 // until the unordered bound certifies the ordered top-k — an exact
 // algorithm, since the unordered score upper-bounds the ordered one.
 func (e *Engine) OrderAwareSearch(q Query) ([]Result, SearchStats, error) {
+	return e.OrderAwareSearchCtx(context.Background(), q)
+}
+
+// OrderAwareSearchCtx is OrderAwareSearch with cancellation: the
+// underlying unordered retrieval polls ctx, and the reranking loop polls
+// between per-trajectory scorings (each one runs |O| Dijkstras, so the
+// poll interval is one trajectory).
+func (e *Engine) OrderAwareSearchCtx(ctx context.Context, q Query) (results []Result, stats SearchStats, err error) {
+	defer recoverStoreFault(&results, &err)
 	start := time.Now()
-	q, err := q.normalize(e.g)
+	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
+	cancel := newCanceller(ctx)
 	var total SearchStats
 	sssp := roadnet.NewSSSP(e.g)
 	kPrime := q.K * 4
@@ -137,14 +149,19 @@ func (e *Engine) OrderAwareSearch(q Query) ([]Result, SearchStats, error) {
 	for {
 		uq := q
 		uq.K = kPrime
-		unordered, stats, err := e.Search(uq)
+		unordered, stats, err := e.SearchCtx(ctx, uq)
+		total.add(stats)
 		if err != nil {
+			total.Elapsed = time.Since(start)
 			return nil, total, err
 		}
-		total.add(stats)
 
 		reranked := make([]Result, len(unordered))
 		for i, r := range unordered {
+			if err := cancel.check(); err != nil {
+				total.Elapsed = time.Since(start)
+				return nil, total, err
+			}
 			reranked[i] = e.orderAwareResult(sssp, q, r.Traj)
 			total.Probes++
 		}

@@ -15,6 +15,13 @@ import (
 //
 // Implementations must be safe for concurrent use: the batch engine calls
 // every method from multiple goroutines.
+//
+// The interface returns no errors — its methods sit inside tight search
+// loops. An implementation that hits an unrecoverable mid-query failure
+// (truncated record file, failed device) must panic with a
+// *trajdb.StoreError; every public engine entry point recovers that panic
+// and returns it to the caller as an error wrapping ErrStoreFault. See
+// FaultStore for a test wrapper that injects such failures.
 type TrajStore interface {
 	// Graph returns the road network the trajectories live on.
 	Graph() *roadnet.Graph

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -42,10 +43,16 @@ func (w TimeWindow) Contains(t float64) bool {
 // scoring, so the k results are the best departures inside the window, not
 // a post-filtered global top-k.
 func (e *Engine) SearchWindowed(q Query, window TimeWindow) ([]Result, SearchStats, error) {
+	return e.SearchWindowedCtx(context.Background(), q, window)
+}
+
+// SearchWindowedCtx is SearchWindowed with cancellation (see SearchCtx).
+func (e *Engine) SearchWindowedCtx(ctx context.Context, q Query, window TimeWindow) (results []Result, stats SearchStats, err error) {
+	defer recoverStoreFault(&results, &err)
 	if err := window.Validate(); err != nil {
 		return nil, SearchStats{}, err
 	}
-	return e.searchFiltered(q, func(id trajdb.TrajID) bool {
+	return e.searchFiltered(ctx, q, func(id trajdb.TrajID) bool {
 		return window.Contains(e.db.Traj(id).Start())
 	})
 }
@@ -53,22 +60,29 @@ func (e *Engine) SearchWindowed(q Query, window TimeWindow) ([]Result, SearchSta
 // searchFiltered runs the expansion search over the subset of trajectories
 // accepted by keep. The filter is pushed into every access path: filtered
 // trajectories never become candidates, never enter the textual bound, and
-// never trigger probes.
-func (e *Engine) searchFiltered(q Query, keep func(trajdb.TrajID) bool) ([]Result, SearchStats, error) {
+// never trigger probes. Callers hold the store-fault guard: keep typically
+// touches the store's record path.
+func (e *Engine) searchFiltered(ctx context.Context, q Query, keep func(trajdb.TrajID) bool) ([]Result, SearchStats, error) {
 	start := time.Now()
 	q, err := q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
 	if q.Lambda == 0 {
-		res, stats := e.textOnlyTopK(q, keep)
+		res, stats, err := e.textOnlyTopK(ctx, q, keep)
 		stats.Elapsed = time.Since(start)
+		if err != nil {
+			return nil, stats, err
+		}
 		return res, stats, nil
 	}
-	st := newExpansionState(e, q, 0, true)
+	st := newExpansionState(ctx, e, q, 0, true)
 	st.keep = keep
 	st.dropFilteredText()
-	st.run()
+	if err := st.run(); err != nil {
+		st.stats.Elapsed = time.Since(start)
+		return nil, st.stats, err
+	}
 	results := st.topk.Results()
 	st.stats.Elapsed = time.Since(start)
 	return results, st.stats, nil

@@ -350,11 +350,13 @@ func (s *Store) load(id trajdb.TrajID) *entry {
 	if _, err := s.f.ReadAt(buf, s.offsets[id]); err != nil {
 		// The file was validated at Open; a read failure here means the
 		// environment broke underneath us (file truncated, device gone).
-		panic(fmt.Sprintf("diskstore: reading record %d: %v", id, err))
+		// The typed panic is the core.TrajStore fault convention: the
+		// engine recovers it and surfaces the failure as a query error.
+		panic(&trajdb.StoreError{Op: "read", ID: id, Err: err})
 	}
 	t, uniq, err := decodeRecordBytes(buf, id, s.g.NumVertices())
 	if err != nil {
-		panic(fmt.Sprintf("diskstore: corrupt record %d: %v", id, err))
+		panic(&trajdb.StoreError{Op: "decode", ID: id, Err: err})
 	}
 	e := &entry{id: id, traj: t, uniq: uniq, cost: len(buf) + 64}
 

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"uots/internal/core"
+)
+
+// slowServer builds a server over the shared world wrapped in a FaultStore
+// — Latency makes every query slow enough to exercise deadlines and
+// cancellation deterministically, FailEvery* injects storage failures.
+func slowServer(t *testing.T, cfg Config, fault core.FaultConfig) *Server {
+	t.Helper()
+	_, db := testServer(t) // materializes the shared world
+	fs := core.NewFaultStore(db, fault)
+	engine, err := core.NewEngine(fs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithConfig(engine, mustVocab(worldSrv), nil, cfg)
+}
+
+// exhaustiveReq is a query that must touch every trajectory's keywords —
+// with injected latency it runs for (numTrajectories × Latency) unless a
+// deadline or cancellation stops it.
+func exhaustiveReq() SearchRequest {
+	return SearchRequest{VertexIDs: []int32{5, 60}, Keywords: "t0_kw0", K: 3, Algorithm: "exhaustive"}
+}
+
+func errCode(t *testing.T, body map[string]any) string {
+	t.Helper()
+	code, _ := body["code"].(string)
+	return code
+}
+
+// TestRequestDeadline verifies a search that outlives the configured
+// timeout is answered 503 with code "deadline_exceeded", and that the
+// expiry is counted in /stats.
+func TestRequestDeadline(t *testing.T) {
+	s := slowServer(t, Config{Timeout: 10 * time.Millisecond},
+		core.FaultConfig{Latency: 500 * time.Microsecond})
+	rec, body := doJSON(t, s.Handler(), "POST", "/search", exhaustiveReq())
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("slow search = %d (%v), want 503", rec.Code, body)
+	}
+	if errCode(t, body) != "deadline_exceeded" {
+		t.Errorf("code = %q, want deadline_exceeded", errCode(t, body))
+	}
+	_, stats := doJSON(t, s.Handler(), "GET", "/stats", nil)
+	serving := stats["serving"].(map[string]any)
+	if serving["deadlineExpiredTotal"].(float64) < 1 {
+		t.Errorf("deadlineExpiredTotal = %v, want ≥ 1", serving["deadlineExpiredTotal"])
+	}
+	if serving["timeoutMs"].(float64) != 10 {
+		t.Errorf("timeoutMs = %v, want 10", serving["timeoutMs"])
+	}
+}
+
+// TestClientDisconnectCancelsSearch verifies a client that goes away
+// mid-search cancels the engine work: the handler observes
+// context.Canceled and records the 499 client-closed-request status.
+func TestClientDisconnectCancelsSearch(t *testing.T) {
+	s := slowServer(t, Config{}, core.FaultConfig{Latency: 500 * time.Microsecond})
+	raw, _ := json.Marshal(exhaustiveReq())
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/search", bytes.NewReader(raw)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Handler().ServeHTTP(rec, req)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the search get into its loops
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after client cancellation")
+	}
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("cancelled search = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("unparseable body %q", rec.Body.String())
+	}
+	if errCode(t, body) != "client_closed_request" {
+		t.Errorf("code = %q, want client_closed_request", errCode(t, body))
+	}
+}
+
+// TestLoadShedding verifies requests beyond MaxInFlight are shed with 429
+// and code "overloaded", the shed count shows up in /stats, and capacity
+// freed by release is reusable.
+func TestLoadShedding(t *testing.T) {
+	s := slowServer(t, Config{MaxInFlight: 2}, core.FaultConfig{})
+	// Deterministically saturate the semaphore, as two in-flight searches
+	// would.
+	granted, ok := s.sem.acquire(2)
+	if !ok || granted != 2 {
+		t.Fatalf("could not saturate semaphore: granted=%d ok=%v", granted, ok)
+	}
+	rec, body := doJSON(t, s.Handler(), "POST", "/search",
+		SearchRequest{VertexIDs: []int32{5}, K: 1})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated search = %d (%v), want 429", rec.Code, body)
+	}
+	if errCode(t, body) != "overloaded" {
+		t.Errorf("code = %q, want overloaded", errCode(t, body))
+	}
+	// /stats stays reachable under saturation and reports the pressure.
+	recStats, stats := doJSON(t, s.Handler(), "GET", "/stats", nil)
+	if recStats.Code != http.StatusOK {
+		t.Fatalf("stats under saturation = %d", recStats.Code)
+	}
+	serving := stats["serving"].(map[string]any)
+	if serving["inFlight"].(float64) != 2 || serving["maxInFlight"].(float64) != 2 {
+		t.Errorf("serving = %v, want inFlight=2 maxInFlight=2", serving)
+	}
+	if serving["shedTotal"].(float64) < 1 {
+		t.Errorf("shedTotal = %v, want ≥ 1", serving["shedTotal"])
+	}
+	s.sem.release(granted)
+	rec, body = doJSON(t, s.Handler(), "POST", "/search",
+		SearchRequest{VertexIDs: []int32{5}, K: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-release search = %d (%v), want 200", rec.Code, body)
+	}
+}
+
+// TestBatchWeightClamped verifies a /batch (weight batchWeight) still runs
+// on a server whose capacity is below that weight — oversized requests are
+// clamped, not unserveable.
+func TestBatchWeightClamped(t *testing.T) {
+	s := slowServer(t, Config{MaxInFlight: 1}, core.FaultConfig{})
+	rec, body := doJSON(t, s.Handler(), "POST", "/batch", BatchRequest{
+		Queries: []SearchRequest{{VertexIDs: []int32{5}, K: 1}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch on capacity-1 server = %d (%v), want 200", rec.Code, body)
+	}
+}
+
+// TestPanicRecovery verifies handler panics become 500s: a typed store
+// fault keeps its "store_failure" code, anything else maps to
+// "internal_error", and net/http's ErrAbortHandler passes through.
+func TestPanicRecovery(t *testing.T) {
+	// A store fault escaping a raw (non-engine) access: /trajectory/{id}
+	// loads the record directly, so a first-call Traj fault panics out of
+	// the handler.
+	s := slowServer(t, Config{}, core.FaultConfig{FailEveryTraj: 1})
+	rec, body := doJSON(t, s.Handler(), "GET", "/trajectory/0", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("faulted trajectory fetch = %d (%v), want 500", rec.Code, body)
+	}
+	if errCode(t, body) != "store_failure" {
+		t.Errorf("code = %q, want store_failure", errCode(t, body))
+	}
+
+	// A generic panic maps to internal_error.
+	h := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if errCode(t, parsed) != "internal_error" {
+		t.Errorf("code = %q, want internal_error", errCode(t, parsed))
+	}
+
+	// http.ErrAbortHandler is net/http control flow and must re-panic.
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Error("ErrAbortHandler was swallowed")
+		}
+	}()
+	h = s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+}
+
+// TestBodyCap verifies oversized request bodies are rejected with 413 and
+// code "body_too_large" instead of being read to the end.
+func TestBodyCap(t *testing.T) {
+	s := slowServer(t, Config{MaxBodyBytes: 512}, core.FaultConfig{})
+	big := SearchRequest{VertexIDs: []int32{5}, Keywords: strings.Repeat("word ", 500)}
+	rec, body := doJSON(t, s.Handler(), "POST", "/search", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d (%v), want 413", rec.Code, body)
+	}
+	if errCode(t, body) != "body_too_large" {
+		t.Errorf("code = %q, want body_too_large", errCode(t, body))
+	}
+	// A body under the cap still works.
+	rec, body = doJSON(t, s.Handler(), "POST", "/search",
+		SearchRequest{VertexIDs: []int32{5}, K: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small body = %d (%v), want 200", rec.Code, body)
+	}
+}
+
+// TestBatchAllInvalid verifies a batch whose every query fails validation
+// short-circuits the engine entirely but still answers 200 with the
+// per-entry errors — partial-failure semantics don't degenerate into a
+// whole-request failure.
+func TestBatchAllInvalid(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := doJSON(t, s.Handler(), "POST", "/batch", BatchRequest{
+		Queries: []SearchRequest{
+			{K: 2},                        // no locations
+			{VertexIDs: []int32{1 << 30}}, // vertex outside the network
+			{VertexIDs: []int32{-4}},      // negative vertex
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("all-invalid batch = %d (%v), want 200", rec.Code, body)
+	}
+	responses := body["responses"].([]any)
+	if len(responses) != 3 {
+		t.Fatalf("got %d responses, want 3", len(responses))
+	}
+	for i, r := range responses {
+		entry := r.(map[string]any)
+		msg, _ := entry["error"].(string)
+		if msg == "" {
+			t.Errorf("entry %d: missing error (%v)", i, entry)
+		}
+		if entry["results"] != nil {
+			t.Errorf("entry %d: results on an invalid query (%v)", i, entry)
+		}
+	}
+	if wall := body["wallClockMs"].(float64); wall != 0 {
+		t.Errorf("wallClockMs = %v, want 0 (engine must not run)", wall)
+	}
+}
+
+// TestTrajectoryIDParsing pins the strict ID syntax: trailing garbage and
+// overflow are 400s, not partial parses.
+func TestTrajectoryIDParsing(t *testing.T) {
+	s, _ := testServer(t)
+	for _, bad := range []string{"12abc", "0x10", "1e3", "99999999999999999999", "--1"} {
+		rec, body := doJSON(t, s.Handler(), "GET", "/trajectory/"+bad, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("/trajectory/%s = %d (%v), want 400", bad, rec.Code, body)
+		}
+		if errCode(t, body) != "bad_request" {
+			t.Errorf("/trajectory/%s code = %q, want bad_request", bad, errCode(t, body))
+		}
+	}
+}
+
+// TestParseClock pins the accepted and rejected clock syntaxes.
+func TestParseClock(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    float64
+		wantErr bool
+	}{
+		{"00:00", 0, false},
+		{"23:59", 23*3600 + 59*60, false},
+		{"09:05", 9*3600 + 5*60, false},
+		{" 09:05 ", 9*3600 + 5*60, false}, // surrounding space tolerated
+		{"24:00", 0, true},                // a day has hours 0..23
+		{"12:60", 0, true},
+		{"-1:30", 0, true},
+		{"12:-5", 0, true},
+		{"", 0, true},
+		{":", 0, true},
+		{"12", 0, true},
+		{"12:", 0, true},
+		{":30", 0, true},
+		{"12:3x", 0, true},
+		{"ab:cd", 0, true},
+		{"12:30:45", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseClock(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseClock(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("parseClock(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseWindow pins window syntax edge cases.
+func TestParseWindow(t *testing.T) {
+	if w, err := parseWindow("06:00-12:30"); err != nil {
+		t.Errorf("parseWindow valid: %v", err)
+	} else if w.From != 6*3600 || w.To != 12*3600+30*60 {
+		t.Errorf("parseWindow = %+v", w)
+	}
+	for _, bad := range []string{"", "-", "06:00-", "-12:00", "06:00", "06:00-12:00-18:00", "24:00-25:00"} {
+		if _, err := parseWindow(bad); err == nil {
+			t.Errorf("parseWindow(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClockWraps pins the HH:MM rendering, including wrap-around of times
+// outside one day (trajectory departure times can exceed 24h or, from
+// synthetic data, go negative).
+func TestClockWraps(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{0, "00:00"},
+		{9*3600 + 5*60, "09:05"},
+		{23*3600 + 59*60 + 59, "23:59"},
+		{24 * 3600, "00:00"},      // midnight next day
+		{25*3600 + 10*60, "01:10"}, // 25:10 wraps
+		{-3600, "23:00"},          // an hour before midnight
+		{-1, "23:59"},
+		{48*3600 + 30*60, "00:30"},
+	}
+	for _, c := range cases {
+		if got := clock(c.sec); got != c.want {
+			t.Errorf("clock(%g) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}

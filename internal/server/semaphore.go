@@ -1,0 +1,52 @@
+package server
+
+import "sync"
+
+// semaphore is a weighted concurrency limiter with a non-blocking
+// acquire: work beyond capacity is shed (the handler answers 429) rather
+// than queued, so worst-case latency stays bounded under overload instead
+// of growing with the backlog. Weights let a heavy endpoint (/batch fans
+// one request out to a worker pool) count for more than a single search.
+type semaphore struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+}
+
+func newSemaphore(capacity int64) *semaphore {
+	return &semaphore{capacity: capacity}
+}
+
+// acquire attempts to reserve n units without blocking. A unit count
+// above the total capacity is clamped to it, so a heavy request can still
+// run on an otherwise idle server instead of being unserveable; the
+// granted weight is returned for the matching release.
+func (s *semaphore) acquire(n int64) (granted int64, ok bool) {
+	if n > s.capacity {
+		n = s.capacity
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used+n > s.capacity {
+		return 0, false
+	}
+	s.used += n
+	return n, true
+}
+
+// release returns n previously granted units.
+func (s *semaphore) release(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.used -= n
+	if s.used < 0 {
+		panic("server: semaphore released more than acquired")
+	}
+}
+
+// inFlight reports the currently reserved weight.
+func (s *semaphore) inFlight() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}

@@ -2,14 +2,27 @@
 // the deployment surface a trip-recommendation service would put in front
 // of the library. Handlers are plain net/http and fully covered by
 // httptest-based tests; cmd/uotsserve wires them to a listener.
+//
+// The serving layer is hardened for production traffic: every search
+// request runs under an optional deadline (503 "deadline_exceeded" on
+// expiry), concurrency is capped by a weighted semaphore that sheds excess
+// load (429 "overloaded"), request bodies are size-capped
+// (413 "body_too_large"), handler panics become 500s instead of killing
+// the process, and a client that disconnects mid-search cancels the
+// engine's expansion within one poll interval (499 "client_closed_request"
+// is recorded on the server side). Error bodies always carry a
+// machine-readable "code" next to the human-readable "error".
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"uots/internal/core"
@@ -19,35 +32,155 @@ import (
 	"uots/internal/trajdb"
 )
 
-// Server serves search requests over one engine. Create with New and
-// mount via Handler.
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is 0.
+const DefaultMaxBodyBytes = 8 << 20
+
+// batchWeight is the semaphore weight of one /batch request: a batch fans
+// out to an engine worker pool, so it consumes several search slots.
+const batchWeight = 4
+
+// statusClientClosedRequest is the nginx convention for "client closed
+// the connection before the response was ready"; net/http has no name
+// for it. The response never reaches the client — it exists for logs,
+// tests, and proxies.
+const statusClientClosedRequest = 499
+
+// Machine-readable error codes carried in every error body.
+const (
+	codeBadRequest   = "bad_request"
+	codeNotFound     = "not_found"
+	codeOverloaded   = "overloaded"
+	codeDeadline     = "deadline_exceeded"
+	codeCanceled     = "client_closed_request"
+	codeBodyTooLarge = "body_too_large"
+	codeStoreFailure = "store_failure"
+	codeInternal     = "internal_error"
+)
+
+// Config tunes the serving hardening. The zero value disables deadlines
+// and load shedding and uses DefaultMaxBodyBytes.
+type Config struct {
+	// Timeout bounds each search request's engine work (0 = no deadline).
+	// On expiry the response is 503 with code "deadline_exceeded".
+	Timeout time.Duration
+	// MaxInFlight caps concurrently served search weight (/search and
+	// /trajectory count 1, /batch counts batchWeight). 0 = unlimited.
+	// Saturated requests are shed with 429, code "overloaded".
+	MaxInFlight int
+	// MaxBodyBytes caps request bodies (0 = DefaultMaxBodyBytes).
+	// Oversized bodies get 413, code "body_too_large".
+	MaxBodyBytes int64
+}
+
+// Server serves search requests over one engine. Create with New or
+// NewWithConfig and mount via Handler.
 type Server struct {
 	engine *core.Engine
 	graph  *roadnet.Graph
 	vocab  *textual.Vocab
 	index  *roadnet.VertexIndex
 	mux    *http.ServeMux
+
+	cfg Config
+	sem *semaphore // nil when MaxInFlight is 0
+
+	shed    atomic.Int64 // requests answered 429
+	expired atomic.Int64 // requests answered 503 (deadline)
 }
 
-// New creates a server over engine. vocab translates request keywords
-// (nil disables textual queries); idx snaps coordinate-based locations
-// (nil builds a fresh index).
+// New creates a server over engine with a zero Config. vocab translates
+// request keywords (nil disables textual queries); idx snaps
+// coordinate-based locations (nil builds a fresh index).
 func New(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.VertexIndex) *Server {
+	return NewWithConfig(engine, vocab, idx, Config{})
+}
+
+// NewWithConfig creates a server with explicit hardening configuration.
+func NewWithConfig(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.VertexIndex, cfg Config) *Server {
 	g := engine.Store().Graph()
 	if idx == nil {
 		idx = roadnet.NewVertexIndex(g, 0)
 	}
-	s := &Server{engine: engine, graph: g, vocab: vocab, index: idx, mux: http.NewServeMux()}
+	s := &Server{engine: engine, graph: g, vocab: vocab, index: idx, mux: http.NewServeMux(), cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.sem = newSemaphore(int64(cfg.MaxInFlight))
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /search", s.handleSearch)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
-	s.mux.HandleFunc("GET /trajectory/{id}", s.handleTrajectory)
+	s.mux.HandleFunc("POST /search", s.guarded(1, s.handleSearch))
+	s.mux.HandleFunc("POST /batch", s.guarded(batchWeight, s.handleBatch))
+	s.mux.HandleFunc("GET /trajectory/{id}", s.guarded(1, s.handleTrajectory))
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the route mux wrapped in the
+// panic-recovery and body-cap middleware. Liveness and stats stay outside
+// the load-shedding guard so the server remains observable under
+// saturation.
+func (s *Server) Handler() http.Handler {
+	return s.recoverPanics(s.capBody(s.mux))
+}
+
+// recoverPanics converts handler panics into 500 responses instead of
+// letting one bad request kill the whole process. Store faults escaping a
+// raw store access (outside an engine call) keep their specific code.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { // net/http's own control flow
+				panic(rec)
+			}
+			if se, ok := rec.(*trajdb.StoreError); ok {
+				writeError(w, http.StatusInternalServerError, codeStoreFailure, "storage failure: "+se.Error())
+				return
+			}
+			writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("internal error: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// capBody bounds every request body; json decoding surfaces the cap as an
+// *http.MaxBytesError, answered with 413.
+func (s *Server) capBody(next http.Handler) http.Handler {
+	limit := s.cfg.MaxBodyBytes
+	if limit <= 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// guarded wraps a search handler with load shedding and the per-request
+// deadline. weight is the request's cost against Config.MaxInFlight.
+func (s *Server) guarded(weight int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			granted, ok := s.sem.acquire(weight)
+			if !ok {
+				s.shed.Add(1)
+				writeError(w, http.StatusTooManyRequests, codeOverloaded,
+					fmt.Sprintf("server at capacity (%d in-flight units); retry later", s.cfg.MaxInFlight))
+				return
+			}
+			defer s.sem.release(granted)
+		}
+		if s.cfg.Timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
 
 // SearchRequest is the POST /search body. Locations may be given as
 // vertex IDs, as planar coordinates to snap, or mixed.
@@ -99,6 +232,7 @@ type StatsJSON struct {
 
 type errorJSON struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -107,10 +241,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.Store()
+	var inFlight int64
+	if s.sem != nil {
+		inFlight = s.sem.inFlight()
+	}
 	resp := map[string]any{
 		"vertices":     s.graph.NumVertices(),
 		"edges":        s.graph.NumEdges(),
 		"trajectories": st.NumTrajectories(),
+		"serving": map[string]any{
+			"inFlight":             inFlight,
+			"maxInFlight":          s.cfg.MaxInFlight,
+			"shedTotal":            s.shed.Load(),
+			"deadlineExpiredTotal": s.expired.Load(),
+			"timeoutMs":            s.cfg.Timeout.Milliseconds(),
+		},
 	}
 	if v := s.vocab; v != nil {
 		resp["vocabulary"] = v.Size()
@@ -119,14 +264,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
-	var id int32
-	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"bad trajectory id"})
+	// strconv, not Sscanf: "12abc" must be a 400, not trajectory 12.
+	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad trajectory id")
 		return
 	}
+	id := int32(id64)
 	st := s.engine.Store()
 	if id < 0 || int(id) >= st.NumTrajectories() {
-		writeJSON(w, http.StatusNotFound, errorJSON{"trajectory not found"})
+		writeError(w, http.StatusNotFound, codeNotFound, "trajectory not found")
 		return
 	}
 	t := st.Traj(trajdb.TrajID(id))
@@ -151,70 +298,110 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// decodeJSON decodes a request body, distinguishing the body-cap limit
+// from plain malformed JSON.
+func decodeJSON(r *http.Request, v any) (status int, code string, err error) {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	return http.StatusOK, "", nil
+}
+
+// writeEngineError maps an engine-side failure onto the documented error
+// contract: deadline expiry → 503, client cancellation → 499, storage
+// failure → 500, anything else → 400 (a query the engine rejected).
+func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.expired.Add(1)
+		writeError(w, http.StatusServiceUnavailable, codeDeadline,
+			fmt.Sprintf("search deadline (%s) exceeded", s.cfg.Timeout))
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, codeCanceled, "client closed request")
+	case errors.Is(err, core.ErrStoreFault):
+		writeError(w, http.StatusInternalServerError, codeStoreFailure, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+	}
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"bad request body: " + err.Error()})
+	if status, code, err := decodeJSON(r, &req); err != nil {
+		writeError(w, status, code, err.Error())
 		return
 	}
 	q, status, err := s.buildQuery(req)
 	if err != nil {
-		writeJSON(w, status, errorJSON{err.Error()})
+		writeError(w, status, codeBadRequest, err.Error())
 		return
 	}
 
+	ctx := r.Context()
 	var results []core.Result
 	var stats core.SearchStats
 	switch strings.ToLower(req.Algorithm) {
 	case "", "expansion":
 		switch {
 		case req.OrderAware:
-			results, stats, err = s.engine.OrderAwareSearch(q)
+			results, stats, err = s.engine.OrderAwareSearchCtx(ctx, q)
 		case req.Window != "":
 			var win core.TimeWindow
 			win, err = parseWindow(req.Window)
 			if err == nil {
-				results, stats, err = s.engine.SearchWindowed(q, win)
+				results, stats, err = s.engine.SearchWindowedCtx(ctx, q, win)
 			}
 		default:
-			results, stats, err = s.engine.Search(q)
+			results, stats, err = s.engine.SearchCtx(ctx, q)
 		}
 	case "exhaustive":
-		results, stats, err = s.engine.ExhaustiveSearch(q)
+		results, stats, err = s.engine.ExhaustiveSearchCtx(ctx, q)
 	case "textfirst":
-		results, stats, err = s.engine.TextFirstSearch(q, core.TextFirstOptions{})
+		results, stats, err = s.engine.TextFirstSearchCtx(ctx, q, core.TextFirstOptions{})
 	default:
 		err = fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		s.writeEngineError(w, err)
 		return
 	}
 
 	resp := SearchResponse{
 		Results: make([]ResultJSON, len(results)),
-		Stats: StatsJSON{
-			ElapsedMs:           float64(stats.Elapsed.Microseconds()) / 1000,
-			VisitedTrajectories: stats.VisitedTrajectories,
-			Candidates:          stats.Candidates,
-			EarlyTerminated:     stats.EarlyTerminated,
-		},
+		Stats:   statsJSON(stats),
 	}
-	st := s.engine.Store()
 	for i, res := range results {
-		t := st.Traj(res.Traj)
-		resp.Results[i] = ResultJSON{
-			Trajectory: int32(res.Traj),
-			Score:      res.Score,
-			Spatial:    res.Spatial,
-			Textual:    res.Textual,
-			DistsKm:    res.Dists,
-			Departs:    clock(t.Start()),
-			Samples:    t.Len(),
-			Keywords:   s.keywordNames(res.Traj),
-		}
+		resp.Results[i] = s.resultJSON(res)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func statsJSON(stats core.SearchStats) StatsJSON {
+	return StatsJSON{
+		ElapsedMs:           float64(stats.Elapsed.Microseconds()) / 1000,
+		VisitedTrajectories: stats.VisitedTrajectories,
+		Candidates:          stats.Candidates,
+		EarlyTerminated:     stats.EarlyTerminated,
+	}
+}
+
+func (s *Server) resultJSON(res core.Result) ResultJSON {
+	t := s.engine.Store().Traj(res.Traj)
+	return ResultJSON{
+		Trajectory: int32(res.Traj),
+		Score:      res.Score,
+		Spatial:    res.Spatial,
+		Textual:    res.Textual,
+		DistsKm:    res.Dists,
+		Departs:    clock(t.Start()),
+		Samples:    t.Len(),
+		Keywords:   s.keywordNames(res.Traj),
+	}
 }
 
 // BatchRequest is the POST /batch body: many independent searches
@@ -244,17 +431,17 @@ const maxBatchQueries = 1024
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"bad request body: " + err.Error()})
+	if status, code, err := decodeJSON(r, &req); err != nil {
+		writeError(w, status, code, err.Error())
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"batch needs at least one query"})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "batch needs at least one query")
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		writeJSON(w, http.StatusBadRequest,
-			errorJSON{fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries)})
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries))
 		return
 	}
 	resp := BatchResponse{Responses: make([]BatchEntry, len(req.Queries))}
@@ -270,7 +457,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		valid[i] = true
 	}
 	// Run only the valid subset through the batch engine, preserving
-	// positions.
+	// positions. When nothing validated, skip the engine entirely — the
+	// per-entry errors are the whole answer.
 	idx := make([]int, 0, len(queries))
 	live := make([]core.Query, 0, len(queries))
 	for i, ok := range valid {
@@ -279,40 +467,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			live = append(live, queries[i])
 		}
 	}
-	out, stats, err := s.engine.SearchBatch(r.Context(), live, core.BatchOptions{Workers: req.Workers})
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
-		return
-	}
-	st := s.engine.Store()
-	for j, o := range out {
-		entry := &resp.Responses[idx[j]]
-		if o.Err != nil {
-			entry.Error = o.Err.Error()
-			continue
+	if len(live) > 0 {
+		out, stats, err := s.engine.SearchBatch(r.Context(), live, core.BatchOptions{Workers: req.Workers})
+		if err != nil {
+			s.writeEngineError(w, err)
+			return
 		}
-		entry.Stats = &StatsJSON{
-			ElapsedMs:           float64(o.Stats.Elapsed.Microseconds()) / 1000,
-			VisitedTrajectories: o.Stats.VisitedTrajectories,
-			Candidates:          o.Stats.Candidates,
-			EarlyTerminated:     o.Stats.EarlyTerminated,
-		}
-		entry.Results = make([]ResultJSON, len(o.Results))
-		for k, res := range o.Results {
-			t := st.Traj(res.Traj)
-			entry.Results[k] = ResultJSON{
-				Trajectory: int32(res.Traj),
-				Score:      res.Score,
-				Spatial:    res.Spatial,
-				Textual:    res.Textual,
-				DistsKm:    res.Dists,
-				Departs:    clock(t.Start()),
-				Samples:    t.Len(),
-				Keywords:   s.keywordNames(res.Traj),
+		for j, o := range out {
+			entry := &resp.Responses[idx[j]]
+			if o.Err != nil {
+				entry.Error = o.Err.Error()
+				continue
+			}
+			st := statsJSON(o.Stats)
+			entry.Stats = &st
+			entry.Results = make([]ResultJSON, len(o.Results))
+			for k, res := range o.Results {
+				entry.Results[k] = s.resultJSON(res)
 			}
 		}
+		resp.WallClockMs = float64(stats.WallClock.Microseconds()) / 1000
 	}
-	resp.WallClockMs = float64(stats.WallClock.Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -380,8 +555,14 @@ func parseWindow(sw string) (core.TimeWindow, error) {
 }
 
 func parseClock(sc string) (float64, error) {
-	var h, m int
-	if _, err := fmt.Sscanf(strings.TrimSpace(sc), "%d:%d", &h, &m); err != nil {
+	// strconv, not Sscanf: "12:30xx" must be rejected, not truncated.
+	hs, ms, ok := strings.Cut(strings.TrimSpace(sc), ":")
+	if !ok {
+		return 0, fmt.Errorf("bad time %q (want HH:MM)", sc)
+	}
+	h, errH := strconv.Atoi(hs)
+	m, errM := strconv.Atoi(ms)
+	if errH != nil || errM != nil {
 		return 0, fmt.Errorf("bad time %q (want HH:MM)", sc)
 	}
 	if h < 0 || h > 23 || m < 0 || m > 59 {
@@ -390,8 +571,15 @@ func parseClock(sc string) (float64, error) {
 	return float64(h*3600 + m*60), nil
 }
 
+// clock renders seconds-of-day as HH:MM, wrapping times outside one day
+// (a trajectory generated to depart at 25:10 renders as 01:10, not
+// "25:10").
 func clock(seconds float64) string {
-	sec := int(seconds)
+	const day = 24 * 3600
+	sec := int(seconds) % day
+	if sec < 0 {
+		sec += day
+	}
 	return fmt.Sprintf("%02d:%02d", sec/3600, sec%3600/60)
 }
 
@@ -405,13 +593,48 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the connection is the only failure mode here
 }
 
+// writeError writes the machine-readable error body of the serving
+// contract: {"error": <human text>, "code": <stable code>}.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorJSON{Error: msg, Code: code})
+}
+
 // ListenAndServe runs the server on addr until the listener fails.
-// Exposed for cmd/uotsserve; tests use Handler with httptest.
+// Exposed for compatibility; prefer Serve, which adds graceful shutdown.
 func (s *Server) ListenAndServe(addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           s.mux,
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return srv.ListenAndServe()
+}
+
+// Serve runs the server on addr until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get up
+// to drain to finish (their own deadlines still apply), and stragglers
+// are cut off — closing their connections cancels their request contexts,
+// which aborts the searches inside. A nil error is a clean, fully drained
+// shutdown; errors from a failed listener pass through.
+func (s *Server) Serve(ctx context.Context, addr string, drain time.Duration) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown was asked for
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	if err != nil {
+		srv.Close() // drain window expired: cancel the stragglers
+	}
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	return err
 }

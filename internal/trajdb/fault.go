@@ -1,0 +1,25 @@
+package trajdb
+
+import "fmt"
+
+// StoreError is the panic payload convention for unrecoverable storage
+// failures hit on a trajectory-store access path mid-query. The store
+// interface the engine runs on (core.TrajStore) returns no errors — its
+// access paths sit inside tight search loops — so an implementation that
+// loses its backing medium (truncated record file, failed device, injected
+// fault) panics with a *StoreError instead of returning garbage. The
+// engine's public entry points recover exactly this type and surface it to
+// the caller as an ordinary error; any other panic value keeps unwinding.
+type StoreError struct {
+	Op  string // the access path that failed ("Traj", "read", "decode", ...)
+	ID  TrajID // the trajectory record involved
+	Err error  // the underlying cause
+}
+
+// Error implements error.
+func (e *StoreError) Error() string {
+	return fmt.Sprintf("store %s of trajectory %d: %v", e.Op, e.ID, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *StoreError) Unwrap() error { return e.Err }

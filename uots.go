@@ -110,7 +110,19 @@ type (
 	BatchStats = core.BatchStats
 	// Algorithm names a query-processing strategy for batch runs.
 	Algorithm = core.Algorithm
+	// FaultStore wraps a TrajStore with deterministic fault and latency
+	// injection for robustness testing.
+	FaultStore = core.FaultStore
+	// FaultConfig tunes a FaultStore.
+	FaultConfig = core.FaultConfig
+	// StoreError is the typed panic payload a TrajStore uses to signal an
+	// unrecoverable mid-query failure.
+	StoreError = trajdb.StoreError
 )
+
+// ErrStoreFault wraps every storage failure an engine entry point
+// surfaces; test with errors.Is.
+var ErrStoreFault = core.ErrStoreFault
 
 // Map-matching substrate.
 type (
@@ -148,6 +160,10 @@ const (
 // *Store or a *DiskStore. A zero Options selects the paper configuration
 // (heuristic scheduling, Jaccard text similarity, γ = 1 km).
 func NewEngine(db TrajStore, opts Options) (*Engine, error) { return core.NewEngine(db, opts) }
+
+// NewFaultStore wraps db with a deterministic fault/latency injection
+// policy for robustness testing.
+func NewFaultStore(db TrajStore, cfg FaultConfig) *FaultStore { return core.NewFaultStore(db, cfg) }
 
 // CreateDiskStore converts an in-memory store into a disk-store file.
 func CreateDiskStore(path string, src *Store) error { return diskstore.Create(path, src) }
