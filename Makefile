@@ -1,15 +1,23 @@
-# Development targets. `make check` is the pre-merge gate: vet plus the
-# full test suite under the race detector.
+# Development targets. `make check` is the pre-merge gate: vet, the
+# project's own contract analyzers (uotsvet), and the full test suite
+# under the race detector.
 
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet lint test race bench check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint builds the project's analyzer suite and runs it over every
+# package through go vet's vettool protocol. See CONTRIBUTING.md for
+# the enforced contracts and the //uots:allow escape hatch.
+lint:
+	$(GO) build -o bin/uotsvet ./cmd/uotsvet
+	$(GO) vet -vettool=$(CURDIR)/bin/uotsvet ./...
 
 test:
 	$(GO) test ./...
@@ -20,4 +28,4 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-check: vet race
+check: vet lint race

@@ -6,13 +6,18 @@
 //	uotsbench [-profile small|medium|full] [-exp all|settings|pruning|...]
 //
 // Profiles scale the datasets to the host; the experiment set and
-// expected result shapes are documented in EXPERIMENTS.md.
+// expected result shapes are documented in EXPERIMENTS.md. Interrupting
+// the run (SIGINT/SIGTERM) cancels the in-flight experiment's searches
+// and exits promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"uots/internal/experiments"
 )
@@ -29,12 +34,15 @@ func main() {
 		}
 		return
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	p, err := experiments.ProfileByName(*profile)
 	if err != nil {
 		fatal(err)
 	}
 	if *exp == "all" {
-		if err := experiments.RunAll(os.Stdout, p); err != nil {
+		if err := experiments.RunAll(ctx, os.Stdout, p); err != nil {
 			fatal(err)
 		}
 		return
@@ -44,7 +52,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("=== %s %s — %s ===\n\n", e.ID, e.Name, e.Desc)
-	if err := e.Run(os.Stdout, p); err != nil {
+	if err := e.Run(ctx, os.Stdout, p); err != nil {
 		fatal(err)
 	}
 }

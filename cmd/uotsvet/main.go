@@ -1,0 +1,13 @@
+// Command uotsvet runs the project's contract analyzers. Use it as a
+// vet tool (go vet -vettool=bin/uotsvet ./...) or standalone
+// (bin/uotsvet ./...); `uotsvet help` prints the contract docs.
+package main
+
+import (
+	"uots/internal/analysis/driver"
+	"uots/internal/analysis/uotsvet"
+)
+
+func main() {
+	driver.Main(uotsvet.Analyzers())
+}

@@ -1,0 +1,222 @@
+// Package analysistest runs an analyzer over testdata fixture packages
+// and checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library alone.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. Imports resolve
+// against sibling fixture directories first (so a fixture tree may stub
+// net/http or uots/internal/trajdb with just the declarations the test
+// needs), then against the real standard library, type-checked from
+// GOROOT source.
+//
+// A diagnostic expectation is a trailing comment on the flagged line:
+//
+//	_ = context.Background() // want `context\.Background`
+//
+// Each quoted (or backquoted) string is a regular expression that must
+// match one diagnostic message reported on that line. Lines without a
+// want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"uots/internal/analysis"
+)
+
+// Run loads each fixture package under dir/src and applies a to it,
+// failing t on any mismatch between diagnostics and want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		pkg, files, info, err := l.check(path, true)
+		if err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, path, err)
+			continue
+		}
+		pass := analysis.NewPass(a, l.fset, files, pkg, info)
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: run on %s: %v", a.Name, path, err)
+			continue
+		}
+		compare(t, a.Name, l.fset, files, pass.Diagnostics())
+	}
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\")|(?:`([^`]*)`)")
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// compare checks reported diagnostics against the want comments.
+func compare(t *testing.T, name string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+diag:
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				continue diag
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s: %s", name, pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: %s:%d: no diagnostic matched %q", name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// loader type-checks fixture packages, resolving imports against the
+// fixture tree first and GOROOT source second.
+type loader struct {
+	root     string
+	fset     *token.FileSet
+	pkgs     map[string]*types.Package
+	loading  map[string]bool
+	fallback types.ImporterFrom
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:     root,
+		fset:     fset,
+		pkgs:     make(map[string]*types.Package),
+		loading:  make(map[string]bool),
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		pkg, _, _, err := l.check(path, false)
+		return pkg, err
+	}
+	return l.fallback.Import(path)
+}
+
+// check parses and type-checks one fixture package. withInfo requests
+// the full types.Info needed to run an analyzer over the package.
+func (l *loader) check(path string, withInfo bool) (*types.Package, []*ast.File, *types.Info, error) {
+	if l.loading[path] {
+		return nil, nil, nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if withInfo {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, info, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

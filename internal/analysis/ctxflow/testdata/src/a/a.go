@@ -1,0 +1,55 @@
+// Package a exercises the ctxflow analyzer: flagged drops, allowed
+// compat wrappers, and clean threading.
+package a
+
+import "context"
+
+// SearchCtx stands in for a context-threaded engine entry point.
+func SearchCtx(ctx context.Context, q int) error { return nil }
+
+// Drop mints a fresh context although the caller supplied one.
+func Drop(ctx context.Context, q int) error {
+	return SearchCtx(context.Background(), q) // want `context\.Background\(\) drops the caller's context`
+}
+
+// DropTODO does the same with TODO.
+func DropTODO(ctx context.Context, q int) error {
+	return SearchCtx(context.TODO(), q) // want `context\.TODO\(\) drops the caller's context`
+}
+
+// NilCtx passes an explicit nil context.
+func NilCtx(q int) error {
+	return SearchCtx(nil, q) // want `nil context passed`
+}
+
+// Threads passes the caller's context and is clean.
+func Threads(ctx context.Context, q int) error {
+	return SearchCtx(ctx, q)
+}
+
+// Search is a designated compat wrapper for callers without a context.
+//
+//uots:allow ctxflow -- compat wrapper: documented entry point for callers without a context
+func Search(q int) error {
+	return SearchCtx(context.Background(), q)
+}
+
+// InlineAllow demonstrates a statement-level exemption.
+func InlineAllow(q int) error {
+	//uots:allow ctxflow -- detached lifetime: this work outlives the request on purpose
+	return SearchCtx(context.Background(), q)
+}
+
+// BareDirective shows that an allow without a reason does not silence
+// the analyzer.
+func BareDirective(q int) error {
+	//uots:allow ctxflow
+	return SearchCtx(context.Background(), q) // want `drops the caller's context`
+}
+
+// WrongName shows that a directive for another analyzer does not
+// silence ctxflow.
+func WrongName(q int) error {
+	//uots:allow nodrift -- reason that names the wrong analyzer
+	return SearchCtx(context.Background(), q) // want `drops the caller's context`
+}

@@ -1,0 +1,13 @@
+package a
+
+import "context"
+
+// secondFile proves multi-file fixture packages are analyzed whole.
+func secondFile() context.Context {
+	return context.Background() // want `drops the caller's context`
+}
+
+// trailingAllow uses a same-line directive.
+func trailingAllow() context.Context {
+	return context.Background() //uots:allow ctxflow -- background poller root, spawned at startup
+}

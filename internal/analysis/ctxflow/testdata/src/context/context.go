@@ -1,0 +1,18 @@
+// Package context stubs the standard library context package for
+// analyzer fixtures: ctxflow matches by import path and identifier, so
+// only the declarations under test are needed.
+package context
+
+// Context mirrors context.Context closely enough for the fixtures.
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+var background Context
+
+// Background mirrors context.Background.
+func Background() Context { return background }
+
+// TODO mirrors context.TODO.
+func TODO() Context { return background }

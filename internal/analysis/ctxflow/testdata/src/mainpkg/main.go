@@ -1,0 +1,20 @@
+// Command mainpkg shows the process-root exemption: main and init own
+// the root context.
+package main
+
+import "context"
+
+var sink context.Context
+
+func init() {
+	sink = context.Background() // ok: process root
+}
+
+func main() {
+	sink = context.Background() // ok: process root
+	helper()
+}
+
+func helper() {
+	sink = context.Background() // want `drops the caller's context`
+}

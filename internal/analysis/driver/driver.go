@@ -1,0 +1,336 @@
+// Package driver runs a set of analysis.Analyzers over type-checked
+// packages. It speaks two dialects:
+//
+//   - the cmd/go vet-tool protocol (go vet -vettool=bin/uotsvet ./...):
+//     respond to -V=full and -flags, then accept a *.cfg JSON file per
+//     package, type-checking from the export data cmd/go already built;
+//   - a standalone mode (bin/uotsvet ./...): shell out to
+//     `go list -e -deps -export -json` and load packages the same way.
+//
+// Both modes print diagnostics as file:line:col: [analyzer] message and
+// exit non-zero when any diagnostic fires.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"uots/internal/analysis"
+)
+
+// Main is the entry point shared by cmd/uotsvet. It never returns.
+func Main(analyzers []*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	if len(args) == 1 && args[0] == "help" {
+		printHelp(progname, analyzers)
+		os.Exit(0)
+	}
+	if len(args) >= 1 && strings.HasPrefix(args[0], "-V") {
+		// cmd/go version handshake: at least three fields, the third
+		// must not be "devel". Hash the executable so edits to the
+		// tool invalidate vet's result cache.
+		fmt.Printf("%s version %s\n", progname, selfHash())
+		os.Exit(0)
+	}
+	if len(args) >= 1 && args[0] == "-flags" {
+		// We expose no analyzer flags to cmd/go.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnitchecker(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s [package pattern ...] | go vet -vettool=%s ./...\n", progname, progname)
+		os.Exit(1)
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+func printHelp(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Printf("%s: project contract checks for the uots codebase\n\n", progname)
+	for _, a := range analyzers {
+		fmt.Printf("%s\n\n", a.Doc)
+	}
+}
+
+// selfHash fingerprints the running binary for vet's cache key.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil))
+			}
+		}
+	}
+	return "unversioned" // fallback; anything but "devel" satisfies cmd/go
+}
+
+// vetConfig mirrors the JSON cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "uotsvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// We compute no cross-package facts, but cmd/go caches the output
+	// file, so it must exist even in facts-only mode.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, info, err := typecheck(fset, cfg.ImportPath, cfg.Compiler, cfg.GoVersion, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "uotsvet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := runAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	printDiags(fset, diags)
+	if len(diags) > 0 {
+		return 2 // the vet-tool convention for "diagnostics reported"
+	}
+	return 0
+}
+
+// listPackage is the subset of `go list -json` output the standalone
+// loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,ImportMap,Export,DepOnly,Error"}, patterns...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var targets []*listPackage
+	index := make(map[string]*listPackage) // import path -> package
+	importMap := make(map[string]string)   // merged source path -> canonical
+	dec := json.NewDecoder(out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "uotsvet: go list: %v\n", err)
+			return 1
+		}
+		pp := p
+		index[p.ImportPath] = &pp
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if !p.DepOnly {
+			targets = append(targets, &pp)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		fmt.Fprintf(os.Stderr, "uotsvet: go list: %v\n", err)
+		return 1
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		p, ok := index[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+
+	exit := 0
+	for _, p := range targets {
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "uotsvet: %s: %s\n", p.ImportPath, p.Error.Err)
+			exit = 1
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		var paths []string
+		for _, f := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, f))
+		}
+		files, err := parseFiles(fset, paths)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		pkg, info, err := typecheck(fset, p.ImportPath, "gc", "", files, lookup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uotsvet: typechecking %s: %v\n", p.ImportPath, err)
+			exit = 1
+			continue
+		}
+		diags, err := runAnalyzers(analyzers, fset, files, pkg, info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		printDiags(fset, diags)
+		if len(diags) > 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// unsafeAwareImporter resolves "unsafe" itself and delegates the rest to
+// the export-data importer.
+type unsafeAwareImporter struct{ under types.Importer }
+
+func (i unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.under.Import(path)
+}
+
+func typecheck(fset *token.FileSet, importPath, compiler, goVersion string, files []*ast.File, lookup func(string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	if compiler == "" {
+		compiler = "gc"
+	}
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	conf := types.Config{
+		Importer: unsafeAwareImporter{importer.ForCompiler(fset, compiler, lookup)},
+		Sizes:    types.SizesFor(compiler, goarch),
+	}
+	if strings.HasPrefix(goVersion, "go") {
+		conf.GoVersion = goVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info)
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("uotsvet: analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+	return diags, nil
+}
+
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

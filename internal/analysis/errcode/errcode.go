@@ -1,0 +1,83 @@
+// Package errcode keeps HTTP error responses on the typed coded-error
+// path so clients always receive the structured JSON error envelope.
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"uots/internal/analysis"
+)
+
+const name = "errcode"
+
+// Analyzer flags ad-hoc HTTP error writes in the server package.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: `errcode: forbid ad-hoc HTTP error responses in internal/server.
+
+Handlers must emit 4xx/5xx responses only through the typed coded-error
+helpers (writeError and friends), which produce the machine-readable
+JSON envelope clients and the fleet's alerting parse. Direct calls to
+http.Error / http.NotFound, or WriteHeader with a constant status >= 400,
+bypass the envelope and break that contract. Exempt deliberate sites
+with //uots:allow errcode -- <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathBase(pass.Pkg.Path()) != "server" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if analysis.IsPkgFunc(fn, "net/http", "Error") || analysis.IsPkgFunc(fn, "net/http", "NotFound") {
+		if !pass.Allowed(name, call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"http.%s writes a plain-text error, bypassing the coded JSON envelope; use the writeError helper (//uots:allow errcode -- reason to exempt)",
+				fn.Name())
+		}
+		return
+	}
+	// w.WriteHeader(<constant >= 400>) outside the helper.
+	if fn.Name() != "WriteHeader" || fn.Type() == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	code, ok := constant.Int64Val(tv.Value)
+	if !ok || code < 400 {
+		return
+	}
+	if pass.Allowed(name, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"WriteHeader(%d) emits an error status without the coded JSON envelope; use the writeError helper (//uots:allow errcode -- reason to exempt)",
+		code)
+}

@@ -1,0 +1,12 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"uots/internal/analysis/analysistest"
+	"uots/internal/analysis/errcode"
+)
+
+func TestErrcode(t *testing.T) {
+	analysistest.Run(t, "testdata", errcode.Analyzer, "server", "client")
+}

@@ -1,0 +1,8 @@
+// Package client is out of scope: errcode only patrols the server package.
+package client
+
+import "net/http"
+
+func probe(w http.ResponseWriter) {
+	http.Error(w, "nope", 500) // ok: out of scope
+}

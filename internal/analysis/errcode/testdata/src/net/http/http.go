@@ -1,0 +1,21 @@
+// Package http is a fixture stub of net/http, just enough surface for
+// the errcode analyzer.
+package http
+
+const (
+	StatusOK                  = 200
+	StatusBadRequest          = 400
+	StatusNotFound            = 404
+	StatusInternalServerError = 500
+)
+
+type Request struct{}
+
+type ResponseWriter interface {
+	WriteHeader(statusCode int)
+	Write(b []byte) (int, error)
+}
+
+func Error(w ResponseWriter, error string, code int) {}
+
+func NotFound(w ResponseWriter, r *Request) {}

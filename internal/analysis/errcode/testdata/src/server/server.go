@@ -1,0 +1,49 @@
+// Package server is a fixture of the HTTP serving layer.
+package server
+
+import "net/http"
+
+type apiError struct {
+	Code    string
+	Status  int
+	Message string
+}
+
+// writeError is the blessed helper: the only place allowed to emit
+// error statuses, and it needs a directive because it calls WriteHeader
+// with whatever coded status the handler chose.
+func writeError(w http.ResponseWriter, e apiError) {
+	w.WriteHeader(e.Status) // ok: non-constant status
+	w.Write([]byte(e.Code))
+}
+
+func handleSearch(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad query", http.StatusBadRequest) // want `http\.Error writes a plain-text error`
+}
+
+func handleLookup(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r) // want `http\.NotFound writes a plain-text error`
+}
+
+func handleRaw(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusInternalServerError) // want `WriteHeader\(500\) emits an error status`
+}
+
+func handleLiteral(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(404) // want `WriteHeader\(404\) emits an error status`
+}
+
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK) // ok: success status
+	writeError(w, apiError{Code: "not_found", Status: http.StatusNotFound})
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	//uots:allow errcode -- plain-text 503 is the load-balancer health protocol, not an API response
+	http.Error(w, "draining", 503)
+}
+
+func handleBare(w http.ResponseWriter, r *http.Request) {
+	//uots:allow errcode
+	http.Error(w, "oops", 500) // want `http\.Error writes a plain-text error`
+}

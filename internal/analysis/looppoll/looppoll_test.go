@@ -1,0 +1,12 @@
+package looppoll_test
+
+import (
+	"testing"
+
+	"uots/internal/analysis/analysistest"
+	"uots/internal/analysis/looppoll"
+)
+
+func TestLooppoll(t *testing.T) {
+	analysistest.Run(t, "testdata", looppoll.Analyzer, "roadnet", "util")
+}

@@ -1,0 +1,112 @@
+// Package roadnet is a fixture of the graph-search kernels.
+package roadnet
+
+type heap struct{ n int }
+
+func (h *heap) Pop() (int, float64, bool) { h.n--; return h.n, 0, h.n >= 0 }
+func (h *heap) Len() int                  { return h.n }
+
+type canceller struct{}
+
+func (c *canceller) check() error { return nil }
+
+// drainNoPoll is the bug this analyzer exists for.
+func drainNoPoll(h *heap) {
+	for { // want `unbounded drain loop never polls for cancellation`
+		if _, _, ok := h.Pop(); !ok {
+			return
+		}
+	}
+}
+
+// condDrainNoPoll shows condition-only loops are candidates too.
+func condDrainNoPoll(h *heap) {
+	for h.Len() > 0 { // want `unbounded drain loop never polls for cancellation`
+		h.Pop()
+	}
+}
+
+// drainWithCheck polls the canceller each iteration.
+func drainWithCheck(h *heap, c *canceller) error {
+	for {
+		if err := c.check(); err != nil {
+			return err
+		}
+		if _, _, ok := h.Pop(); !ok {
+			return nil
+		}
+	}
+}
+
+// drainWithSelect polls a done channel via select.
+func drainWithSelect(h *heap, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if _, _, ok := h.Pop(); !ok {
+			return
+		}
+	}
+}
+
+// drainWithRecv polls by non-blocking channel receive inside the body
+// of a nested bounded loop — still inside the unbounded loop's body.
+func drainWithRecv(h *heap, done chan struct{}) {
+	for {
+		if len(done) > 0 {
+			<-done
+			return
+		}
+		if _, _, ok := h.Pop(); !ok {
+			return
+		}
+	}
+}
+
+// runUntil's poll lives in the caller-supplied visit callback.
+func runUntil(h *heap, visit func(v int) bool) {
+	//uots:allow looppoll -- visit callback is the cancellation point; every caller polls there
+	for {
+		v, _, ok := h.Pop()
+		if !ok || !visit(v) {
+			return
+		}
+	}
+}
+
+// bareDirective has no reason, so the directive is inert.
+func bareDirective(h *heap) {
+	//uots:allow looppoll
+	for { // want `unbounded drain loop never polls for cancellation`
+		if _, _, ok := h.Pop(); !ok {
+			return
+		}
+	}
+}
+
+// boundedCount terminates by construction; not a candidate.
+func boundedCount(h *heap) {
+	for i := 0; i < 64; i++ {
+		h.Pop()
+	}
+}
+
+// noDrain has no frontier method; not a candidate.
+func noDrain() {
+	n := 0
+	for n < 10 {
+		n++
+	}
+}
+
+// litOnly only drains inside a nested function literal, which has its
+// own frame and is judged where it is invoked.
+func litOnly(h *heap) func() {
+	for {
+		f := func() { h.Pop() }
+		return f
+	}
+}

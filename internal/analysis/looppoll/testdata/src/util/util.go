@@ -1,0 +1,15 @@
+// Package util is out of scope: only core and roadnet expansion loops
+// are patrolled.
+package util
+
+type q struct{ n int }
+
+func (s *q) Pop() (int, bool) { s.n--; return s.n, s.n >= 0 }
+
+func drain(s *q) {
+	for { // ok: out of scope
+		if _, ok := s.Pop(); !ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package nodrift keeps wall-clock reads and global randomness out of
+// the deterministic search core.
+package nodrift
+
+import (
+	"go/ast"
+
+	"uots/internal/analysis"
+)
+
+const name = "nodrift"
+
+// scopePkgs are the deterministic packages: scoring/pruning in core and
+// graph expansion in roadnet.
+var scopePkgs = map[string]bool{
+	"core":    true,
+	"roadnet": true,
+}
+
+// timeFuncs are the wall-clock reads that make results run-dependent.
+var timeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randConstructors build seeded local generators, which are the
+// deterministic way to get randomness; everything else in math/rand
+// reads process-global state.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// Analyzer flags nondeterminism sources in the search core.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: `nodrift: forbid wall-clock reads and global randomness in the
+deterministic core (internal/core scoring/pruning, internal/roadnet
+expansion).
+
+The experiments pipeline and the replay tests both rely on the search
+core being a pure function of (graph, query, seed): time.Now/Since/Until
+make scores drift between runs, and package-level math/rand[, /v2]
+functions read shared global state that any import can perturb. Use the
+seeded generators (rand.New(rand.NewPCG(seed, ...))) threaded through
+the query instead. Timing belongs only in the designated stats helpers,
+which carry //uots:allow nodrift -- <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scopePkgs[analysis.PathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if !timeFuncs[fn.Name()] || !analysis.IsPkgFunc(fn, "time", fn.Name()) {
+			return
+		}
+		if pass.Allowed(name, call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"time.%s makes core results drift between runs; restrict timing to the allowlisted stats helpers (//uots:allow nodrift -- reason to exempt)",
+			fn.Name())
+	case "math/rand", "math/rand/v2":
+		if randConstructors[fn.Name()] || !analysis.IsPkgFunc(fn, fn.Pkg().Path(), fn.Name()) {
+			return
+		}
+		if pass.Allowed(name, call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s reads process-global random state; use a seeded generator threaded through the query (//uots:allow nodrift -- reason to exempt)",
+			fn.Pkg().Name(), fn.Name())
+	}
+}

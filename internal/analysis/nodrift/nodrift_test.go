@@ -1,0 +1,12 @@
+package nodrift_test
+
+import (
+	"testing"
+
+	"uots/internal/analysis/analysistest"
+	"uots/internal/analysis/nodrift"
+)
+
+func TestNodrift(t *testing.T) {
+	analysistest.Run(t, "testdata", nodrift.Analyzer, "core", "roadnet", "tools")
+}

@@ -1,0 +1,38 @@
+// Package core is a fixture of the deterministic scoring core.
+package core
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func score(q string) float64 {
+	start := time.Now()   // want `time\.Now makes core results drift`
+	_ = time.Since(start) // want `time\.Since makes core results drift`
+	_ = time.Until(start) // want `time\.Until makes core results drift`
+	return rand.Float64() // want `rand\.Float64 reads process-global random state`
+}
+
+func shuffleCandidates(n int) {
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle reads process-global random state`
+	_ = randv2.IntN(n)                 // want `rand\.IntN reads process-global random state`
+}
+
+// seeded uses the blessed deterministic pattern: constructors are fine,
+// and methods on a local *Rand are fine.
+func seeded(seed uint64) int {
+	r := randv2.New(randv2.NewPCG(seed, seed)) // ok: seeded constructor
+	legacy := rand.New(rand.NewSource(int64(seed)))
+	return r.IntN(10) + legacy.Intn(10) // ok: local generator methods
+}
+
+//uots:allow nodrift -- designated stats helper: timing here never feeds scores
+func stopwatch() time.Time {
+	return time.Now()
+}
+
+func bareDirective() time.Time {
+	//uots:allow nodrift
+	return time.Now() // want `time\.Now makes core results drift`
+}

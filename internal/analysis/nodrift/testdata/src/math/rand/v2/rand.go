@@ -1,0 +1,19 @@
+// Package rand is a fixture stub of math/rand/v2.
+package rand
+
+type PCG struct{ hi, lo uint64 }
+
+func (p *PCG) Uint64() uint64 { return 0 }
+
+type Source interface{ Uint64() uint64 }
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand            { return &Rand{src} }
+func NewPCG(seed1, seed2 uint64) *PCG { return &PCG{seed1, seed2} }
+
+func IntN(n int) int   { return 0 }
+func Float64() float64 { return 0 }
+
+func (r *Rand) IntN(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }

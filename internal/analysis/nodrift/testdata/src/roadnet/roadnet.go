@@ -1,0 +1,9 @@
+// Package roadnet is the second in-scope fixture: graph expansion must
+// be deterministic too.
+package roadnet
+
+import "time"
+
+func expand() {
+	_ = time.Now() // want `time\.Now makes core results drift`
+}

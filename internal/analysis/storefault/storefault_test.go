@@ -1,0 +1,12 @@
+package storefault_test
+
+import (
+	"testing"
+
+	"uots/internal/analysis/analysistest"
+	"uots/internal/analysis/storefault"
+)
+
+func TestStorefault(t *testing.T) {
+	analysistest.Run(t, "testdata", storefault.Analyzer, "trajdb", "diskstore", "core", "other")
+}

@@ -1,0 +1,7 @@
+// Package other is out of scope: storefault only patrols the store
+// packages, so plain panics here are fine.
+package other
+
+func boom() {
+	panic("not a store package") // ok: out of scope
+}

@@ -1,0 +1,17 @@
+// Package trajdb is a fixture stub of the real store-contract package.
+package trajdb
+
+// StoreError is the only payload stores may panic with.
+type StoreError struct {
+	Op  string
+	Err error
+}
+
+func (e *StoreError) Error() string { return e.Op }
+
+func rebuild(err error) {
+	if err != nil {
+		panic("trajdb: rebuild failed: " + err.Error()) // want `must panic with \*trajdb\.StoreError, not string`
+	}
+	panic(&StoreError{Op: "rebuild", Err: err}) // ok: typed payload
+}

@@ -1,0 +1,55 @@
+package uotsvet_test
+
+import (
+	"strings"
+	"testing"
+
+	"uots/internal/analysis/uotsvet"
+)
+
+// TestRegistry pins the analyzer suite: exactly these analyzers, each
+// documented and runnable. Adding or removing an analyzer must be a
+// conscious act that updates this table (and CONTRIBUTING.md).
+func TestRegistry(t *testing.T) {
+	want := []struct {
+		name       string
+		docKeyword string // a phrase the Doc must contain
+	}{
+		{"ctxflow", "context"},
+		{"errcode", "writeError"},
+		{"looppoll", "cancellation"},
+		{"nodrift", "deterministic"},
+		{"storefault", "StoreError"},
+	}
+
+	got := uotsvet.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	seen := make(map[string]bool)
+	for i, w := range want {
+		a := got[i]
+		if a == nil {
+			t.Fatalf("Analyzers()[%d] is nil", i)
+		}
+		if a.Name != w.name {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q (suite must stay in alphabetical order)", i, a.Name, w.name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("analyzer %q has an empty Doc", a.Name)
+		}
+		if !strings.Contains(a.Doc, w.docKeyword) {
+			t.Errorf("analyzer %q Doc does not mention %q", a.Name, w.docKeyword)
+		}
+		if !strings.HasPrefix(a.Doc, a.Name+":") {
+			t.Errorf("analyzer %q Doc must start with %q for the help listing", a.Name, a.Name+":")
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has a nil Run", a.Name)
+		}
+	}
+}

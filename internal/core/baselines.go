@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"sort"
-	"time"
 
 	"uots/internal/pqueue"
 	"uots/internal/roadnet"
@@ -17,6 +16,8 @@ import (
 // store. It visits every trajectory and serves as the ground truth the
 // expansion algorithm is validated against, and as the "no pruning" end of
 // the experiment spectrum.
+//
+//uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
 func (e *Engine) ExhaustiveSearch(q Query) ([]Result, SearchStats, error) {
 	return e.ExhaustiveSearchCtx(context.Background(), q)
 }
@@ -26,7 +27,7 @@ func (e *Engine) ExhaustiveSearch(q Query) ([]Result, SearchStats, error) {
 // intervals (see SearchCtx).
 func (e *Engine) ExhaustiveSearchCtx(ctx context.Context, q Query) (results []Result, stats SearchStats, err error) {
 	defer recoverStoreFault(&results, &err)
-	start := time.Now()
+	elapsed := stopwatch()
 	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
@@ -35,7 +36,7 @@ func (e *Engine) ExhaustiveSearchCtx(ctx context.Context, q Query) (results []Re
 	stats, err = e.exhaustiveScan(ctx, q, func(r Result) {
 		topk.Offer(r.Score, int64(r.Traj), r)
 	})
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = elapsed()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -44,6 +45,8 @@ func (e *Engine) ExhaustiveSearchCtx(ctx context.Context, q Query) (results []Re
 }
 
 // ExhaustiveThreshold answers the threshold variant exhaustively.
+//
+//uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
 func (e *Engine) ExhaustiveThreshold(q Query, theta float64) ([]Result, SearchStats, error) {
 	return e.ExhaustiveThresholdCtx(context.Background(), q, theta)
 }
@@ -51,7 +54,7 @@ func (e *Engine) ExhaustiveThreshold(q Query, theta float64) ([]Result, SearchSt
 // ExhaustiveThresholdCtx is ExhaustiveThreshold with cancellation.
 func (e *Engine) ExhaustiveThresholdCtx(ctx context.Context, q Query, theta float64) (results []Result, stats SearchStats, err error) {
 	defer recoverStoreFault(&results, &err)
-	start := time.Now()
+	elapsed := stopwatch()
 	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
@@ -64,7 +67,7 @@ func (e *Engine) ExhaustiveThresholdCtx(ctx context.Context, q Query, theta floa
 			results = append(results, r)
 		}
 	})
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = elapsed()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -153,6 +156,8 @@ type TextFirstOptions struct {
 // alone, the baseline must fall back to scanning the zero-text tail
 // whenever the bar allows it — the structural weakness the paper's
 // expansion algorithm removes.
+//
+//uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
 func (e *Engine) TextFirstSearch(q Query, opts TextFirstOptions) ([]Result, SearchStats, error) {
 	return e.TextFirstSearchCtx(context.Background(), q, opts)
 }
@@ -162,7 +167,7 @@ func (e *Engine) TextFirstSearch(q Query, opts TextFirstOptions) ([]Result, Sear
 // evaluation's Dijkstras (see SearchCtx).
 func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirstOptions) (results []Result, stats SearchStats, err error) {
 	defer recoverStoreFault(&results, &err)
-	start := time.Now()
+	elapsed := stopwatch()
 	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
@@ -234,7 +239,7 @@ func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirst
 		for i, d := range docs {
 			if i%cancelPollEvery == 0 {
 				if err := cancel.check(); err != nil {
-					stats.Elapsed = time.Since(start)
+					stats.Elapsed = elapsed()
 					return nil, stats, err
 				}
 			}
@@ -251,7 +256,7 @@ func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirst
 	}
 	for _, s := range ranked {
 		if err := cancel.check(); err != nil {
-			stats.Elapsed = time.Since(start)
+			stats.Elapsed = elapsed()
 			return nil, stats, err
 		}
 		if bar, ok := topk.Threshold(); ok && combine(q.Lambda, 1, s.text) < bar {
@@ -260,7 +265,7 @@ func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirst
 		}
 		evaluate(s.id, s.text)
 		if cancelErr != nil {
-			stats.Elapsed = time.Since(start)
+			stats.Elapsed = elapsed()
 			return nil, stats, cancelErr
 		}
 	}
@@ -275,7 +280,7 @@ func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirst
 			}
 			if id%cancelPollEvery == 0 {
 				if err := cancel.check(); err != nil {
-					stats.Elapsed = time.Since(start)
+					stats.Elapsed = elapsed()
 					return nil, stats, err
 				}
 			}
@@ -285,7 +290,7 @@ func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirst
 			}
 			evaluate(tid, 0)
 			if cancelErr != nil {
-				stats.Elapsed = time.Since(start)
+				stats.Elapsed = elapsed()
 				return nil, stats, cancelErr
 			}
 		}
@@ -294,6 +299,6 @@ func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirst
 	}
 
 	results = topk.Results()
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = elapsed()
 	return results, stats, nil
 }

@@ -70,7 +70,11 @@ type BatchStats struct {
 // cancellation inside their search loops and abort within one poll
 // interval. SearchBatch itself always drains its workers before
 // returning, so no goroutines outlive the call.
-func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts BatchOptions) (out []BatchResult, stats BatchStats, err error) {
+	// Store panics inside worker goroutines are converted to per-query
+	// errors by the entry points the workers call; this guard covers the
+	// batch frame itself.
+	defer recoverStoreFault(nil, &err)
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -79,8 +83,8 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts BatchOpt
 	default:
 		return nil, BatchStats{}, fmt.Errorf("core: unknown batch algorithm %d", int(opts.Algorithm))
 	}
-	start := time.Now()
-	out := make([]BatchResult, len(queries))
+	elapsed := stopwatch()
+	out = make([]BatchResult, len(queries))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
@@ -111,7 +115,7 @@ feed:
 	close(jobs)
 	wg.Wait()
 
-	stats := BatchStats{Queries: len(queries), WallClock: time.Since(start)}
+	stats = BatchStats{Queries: len(queries), WallClock: elapsed()}
 	for i := range out {
 		if out[i].Results == nil && out[i].Err == nil && out[i].Stats == (SearchStats{}) {
 			if err := ctx.Err(); err != nil {

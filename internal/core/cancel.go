@@ -28,6 +28,9 @@ type canceller struct {
 	done <-chan struct{}
 }
 
+// newCanceller accepts nil for callers without a context.
+//
+//uots:allow ctxflow -- nil-ctx normalization: there is no caller context here by definition
 func newCanceller(ctx context.Context) canceller {
 	if ctx == nil {
 		ctx = context.Background()

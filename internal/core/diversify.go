@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"uots/internal/trajdb"
 )
@@ -35,6 +34,8 @@ type DiversifyOptions struct {
 }
 
 // DiversifiedSearch answers a top-k query re-ranked for route diversity.
+//
+//uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
 func (e *Engine) DiversifiedSearch(q Query, opts DiversifyOptions) ([]Result, SearchStats, error) {
 	return e.DiversifiedSearchCtx(context.Background(), q, opts)
 }
@@ -45,7 +46,7 @@ func (e *Engine) DiversifiedSearch(q Query, opts DiversifyOptions) ([]Result, Se
 func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q Query, opts DiversifyOptions) (results []Result, stats SearchStats, err error) {
 	defer recoverStoreFault(&results, &err)
 	cancel := newCanceller(ctx)
-	start := time.Now()
+	elapsed := stopwatch()
 	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
@@ -73,7 +74,7 @@ func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q Query, opts Diversi
 	used := make([]bool, len(pool))
 	for len(picked) < q.K && len(picked) < len(pool) {
 		if err := cancel.check(); err != nil {
-			stats.Elapsed = time.Since(start)
+			stats.Elapsed = elapsed()
 			return nil, stats, err
 		}
 		bestIdx, bestMMR := -1, math.Inf(-1)
@@ -98,7 +99,7 @@ func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q Query, opts Diversi
 		used[bestIdx] = true
 		picked = append(picked, pool[bestIdx])
 	}
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = elapsed()
 	return picked, stats, nil
 }
 

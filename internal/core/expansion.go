@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"sort"
-	"time"
 
 	"uots/internal/pqueue"
 	"uots/internal/roadnet"
@@ -21,6 +20,8 @@ import (
 // Ties at the k-th score are resolved toward smaller trajectory IDs among
 // the trajectories the search scored exactly; equal-scoring trajectories
 // pruned by the bound may be excluded.
+//
+//uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
 func (e *Engine) Search(q Query) ([]Result, SearchStats, error) {
 	return e.SearchCtx(context.Background(), q)
 }
@@ -31,14 +32,14 @@ func (e *Engine) Search(q Query) ([]Result, SearchStats, error) {
 // returns nil results, the stats of the work done so far, and ctx.Err().
 func (e *Engine) SearchCtx(ctx context.Context, q Query) (results []Result, stats SearchStats, err error) {
 	defer recoverStoreFault(&results, &err)
-	start := time.Now()
+	elapsed := stopwatch()
 	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
 	if q.Lambda == 0 {
 		res, stats, err := e.textOnlyTopK(ctx, q, nil)
-		stats.Elapsed = time.Since(start)
+		stats.Elapsed = elapsed()
 		if err != nil {
 			return nil, stats, err
 		}
@@ -46,17 +47,19 @@ func (e *Engine) SearchCtx(ctx context.Context, q Query) (results []Result, stat
 	}
 	st := newExpansionState(ctx, e, q, 0, true)
 	if err := st.run(); err != nil {
-		st.stats.Elapsed = time.Since(start)
+		st.stats.Elapsed = elapsed()
 		return nil, st.stats, err
 	}
 	results = st.topk.Results()
-	st.stats.Elapsed = time.Since(start)
+	st.stats.Elapsed = elapsed()
 	return results, st.stats, nil
 }
 
 // SearchThreshold answers the threshold variant of the UOTS query: every
 // trajectory with SimST ≥ theta, best-first. theta must be in (0, 1];
 // thresholds near 1 prune hardest.
+//
+//uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
 func (e *Engine) SearchThreshold(q Query, theta float64) ([]Result, SearchStats, error) {
 	return e.SearchThresholdCtx(context.Background(), q, theta)
 }
@@ -64,7 +67,7 @@ func (e *Engine) SearchThreshold(q Query, theta float64) ([]Result, SearchStats,
 // SearchThresholdCtx is SearchThreshold with cancellation (see SearchCtx).
 func (e *Engine) SearchThresholdCtx(ctx context.Context, q Query, theta float64) (results []Result, stats SearchStats, err error) {
 	defer recoverStoreFault(&results, &err)
-	start := time.Now()
+	elapsed := stopwatch()
 	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
@@ -74,7 +77,7 @@ func (e *Engine) SearchThresholdCtx(ctx context.Context, q Query, theta float64)
 	}
 	if q.Lambda == 0 {
 		res, stats, err := e.textOnlyThreshold(ctx, q, theta)
-		stats.Elapsed = time.Since(start)
+		stats.Elapsed = elapsed()
 		if err != nil {
 			return nil, stats, err
 		}
@@ -82,11 +85,11 @@ func (e *Engine) SearchThresholdCtx(ctx context.Context, q Query, theta float64)
 	}
 	st := newExpansionState(ctx, e, q, theta, false)
 	if err := st.run(); err != nil {
-		st.stats.Elapsed = time.Since(start)
+		st.stats.Elapsed = elapsed()
 		return nil, st.stats, err
 	}
 	sortResults(st.qualified)
-	st.stats.Elapsed = time.Since(start)
+	st.stats.Elapsed = elapsed()
 	return st.qualified, st.stats, nil
 }
 
@@ -354,6 +357,8 @@ func (st *expansionState) sumRad() float64 {
 // peekUnseenText returns the largest textual score among trajectories the
 // expansion has not touched yet, discarding heap entries that have since
 // become candidates (lazy deletion).
+//
+//uots:allow looppoll -- lazy-deletion scan: each iteration pops a stale heap entry, so the loop is bounded by entries pushed in initText
 func (st *expansionState) peekUnseenText() float64 {
 	for {
 		s, tid, ok := st.textHeap.Peek()
@@ -382,6 +387,7 @@ func (st *expansionState) rescan() bool {
 	// trajectory's spatial distances directly instead of waiting for the
 	// expansion to reach it.
 	if haveBar && !st.e.opts.DisableTextProbe {
+		//uots:allow looppoll -- bounded by the text heap: every iteration pops or completes a blocker; run() polls ctx between rescans
 		for {
 			textTop := st.peekUnseenText()
 			if textTop == 0 {

@@ -29,6 +29,7 @@ func recoverStoreFault(results *[]Result, err *error) {
 	}
 	se, ok := r.(*trajdb.StoreError)
 	if !ok {
+		//uots:allow storefault -- re-raising a foreign panic payload unchanged; only store faults are converted
 		panic(r)
 	}
 	if results != nil {

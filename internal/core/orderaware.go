@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"math"
-	"time"
 
 	"uots/internal/roadnet"
 	"uots/internal/trajdb"
@@ -124,6 +123,8 @@ func (e *Engine) orderAwareResult(sssp *roadnet.SSSP, q Query, id trajdb.TrajID)
 // search, reranks them with the exact order-aware score, and doubles K′
 // until the unordered bound certifies the ordered top-k — an exact
 // algorithm, since the unordered score upper-bounds the ordered one.
+//
+//uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
 func (e *Engine) OrderAwareSearch(q Query) ([]Result, SearchStats, error) {
 	return e.OrderAwareSearchCtx(context.Background(), q)
 }
@@ -134,7 +135,7 @@ func (e *Engine) OrderAwareSearch(q Query) ([]Result, SearchStats, error) {
 // poll interval is one trajectory).
 func (e *Engine) OrderAwareSearchCtx(ctx context.Context, q Query) (results []Result, stats SearchStats, err error) {
 	defer recoverStoreFault(&results, &err)
-	start := time.Now()
+	elapsed := stopwatch()
 	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
@@ -152,14 +153,14 @@ func (e *Engine) OrderAwareSearchCtx(ctx context.Context, q Query) (results []Re
 		unordered, stats, err := e.SearchCtx(ctx, uq)
 		total.add(stats)
 		if err != nil {
-			total.Elapsed = time.Since(start)
+			total.Elapsed = elapsed()
 			return nil, total, err
 		}
 
 		reranked := make([]Result, len(unordered))
 		for i, r := range unordered {
 			if err := cancel.check(); err != nil {
-				total.Elapsed = time.Since(start)
+				total.Elapsed = elapsed()
 				return nil, total, err
 			}
 			reranked[i] = e.orderAwareResult(sssp, q, r.Traj)
@@ -177,13 +178,13 @@ func (e *Engine) OrderAwareSearchCtx(ctx context.Context, q Query) (results []Re
 			// The store has fewer trajectories than K′: everything was
 			// considered.
 			total.EarlyTerminated = false
-			total.Elapsed = time.Since(start)
+			total.Elapsed = elapsed()
 			return reranked, total, nil
 		}
 		bound := unordered[len(unordered)-1].Score
 		if len(reranked) == q.K && reranked[q.K-1].Score >= bound {
 			total.EarlyTerminated = true
-			total.Elapsed = time.Since(start)
+			total.Elapsed = elapsed()
 			return reranked, total, nil
 		}
 		kPrime *= 2

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"uots/internal/trajdb"
 )
@@ -42,6 +41,8 @@ func (w TimeWindow) Contains(t float64) bool {
 // departure time falls inside window. The filter is applied before
 // scoring, so the k results are the best departures inside the window, not
 // a post-filtered global top-k.
+//
+//uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
 func (e *Engine) SearchWindowed(q Query, window TimeWindow) ([]Result, SearchStats, error) {
 	return e.SearchWindowedCtx(context.Background(), q, window)
 }
@@ -63,14 +64,14 @@ func (e *Engine) SearchWindowedCtx(ctx context.Context, q Query, window TimeWind
 // never trigger probes. Callers hold the store-fault guard: keep typically
 // touches the store's record path.
 func (e *Engine) searchFiltered(ctx context.Context, q Query, keep func(trajdb.TrajID) bool) ([]Result, SearchStats, error) {
-	start := time.Now()
+	elapsed := stopwatch()
 	q, err := q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
 	if q.Lambda == 0 {
 		res, stats, err := e.textOnlyTopK(ctx, q, keep)
-		stats.Elapsed = time.Since(start)
+		stats.Elapsed = elapsed()
 		if err != nil {
 			return nil, stats, err
 		}
@@ -80,11 +81,11 @@ func (e *Engine) searchFiltered(ctx context.Context, q Query, keep func(trajdb.T
 	st.keep = keep
 	st.dropFilteredText()
 	if err := st.run(); err != nil {
-		st.stats.Elapsed = time.Since(start)
+		st.stats.Elapsed = elapsed()
 		return nil, st.stats, err
 	}
 	results := st.topk.Results()
-	st.stats.Elapsed = time.Since(start)
+	st.stats.Elapsed = elapsed()
 	return results, st.stats, nil
 }
 

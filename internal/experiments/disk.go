@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -15,7 +16,7 @@ import (
 // queries over the in-memory store and over the disk-resident store at
 // shrinking LRU buffer budgets. Indexes stay memory resident in both; the
 // disk rows pay I/O on the trajectory-payload access paths.
-func DiskResident(w io.Writer, p Profile) error {
+func DiskResident(ctx context.Context, w io.Writer, p Profile) error {
 	ds, err := BuildCached(p.BRNSpec(0))
 	if err != nil {
 		return err
@@ -54,7 +55,7 @@ func DiskResident(w io.Writer, p Profile) error {
 		var visited int
 		for _, q := range queries {
 			start := time.Now()
-			_, st, err := e.Search(q)
+			_, st, err := e.SearchCtx(ctx, q)
 			if err != nil {
 				return err
 			}

@@ -14,7 +14,7 @@ type Experiment struct {
 	ID   string // experiment index used in DESIGN.md / EXPERIMENTS.md (e.g. "F2")
 	Name string // CLI name (e.g. "locations")
 	Desc string
-	Run  func(w io.Writer, p Profile) error
+	Run  func(ctx context.Context, w io.Writer, p Profile) error
 }
 
 // All returns every experiment in presentation order.
@@ -50,13 +50,17 @@ func ByName(name string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
 }
 
-// RunAll executes every experiment against the profile.
-func RunAll(w io.Writer, p Profile) error {
+// RunAll executes every experiment against the profile. Cancelling ctx
+// aborts the in-flight experiment's searches and stops the sequence.
+func RunAll(ctx context.Context, w io.Writer, p Profile) error {
 	for _, e := range All() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "=== %s %s — %s ===\n\n", e.ID, e.Name, e.Desc); err != nil {
 			return err
 		}
-		if err := e.Run(w, p); err != nil {
+		if err := e.Run(ctx, w, p); err != nil {
 			return fmt.Errorf("experiment %s: %w", e.ID, err)
 		}
 	}
@@ -78,7 +82,7 @@ func bothDatasets(p Profile) ([]*Dataset, error) {
 
 // Settings reproduces the settings table: the two datasets' shapes and
 // the evaluation's default parameters.
-func Settings(w io.Writer, p Profile) error {
+func Settings(ctx context.Context, w io.Writer, p Profile) error {
 	dss, err := bothDatasets(p)
 	if err != nil {
 		return err
@@ -108,7 +112,7 @@ func Settings(w io.Writer, p Profile) error {
 
 // Pruning reproduces the pruning-effectiveness table: candidate and
 // visited ratios per algorithm at default settings.
-func Pruning(w io.Writer, p Profile) error {
+func Pruning(ctx context.Context, w io.Writer, p Profile) error {
 	dss, err := bothDatasets(p)
 	if err != nil {
 		return err
@@ -117,7 +121,7 @@ func Pruning(w io.Writer, p Profile) error {
 		"dataset", "algorithm", "cand ratio", "prune ratio", "visit ratio", "mean ms")
 	for _, ds := range dss {
 		queries := GenQueries(ds, DefaultQuerySpec(), p.Queries)
-		aggs, err := MeasureAll(ds, DefaultAlgos(), queries, 0)
+		aggs, err := MeasureAll(ctx, ds, DefaultAlgos(), queries, 0)
 		if err != nil {
 			return err
 		}
@@ -131,7 +135,7 @@ func Pruning(w io.Writer, p Profile) error {
 
 // sweep runs one single-parameter sweep on both datasets, producing the
 // runtime and visited-trajectory series the paper's figures plot.
-func sweep[T any](w io.Writer, p Profile, title, param string, values []T,
+func sweep[T any](ctx context.Context, w io.Writer, p Profile, title, param string, values []T,
 	makeSpec func(base QuerySpec, v T) QuerySpec, algos []AlgoConfig, theta func(v T) float64) error {
 	dss, err := bothDatasets(p)
 	if err != nil {
@@ -147,7 +151,7 @@ func sweep[T any](w io.Writer, p Profile, title, param string, values []T,
 			if theta != nil {
 				th = theta(v)
 			}
-			aggs, err := MeasureAll(ds, algos, queries, th)
+			aggs, err := MeasureAll(ctx, ds, algos, queries, th)
 			if err != nil {
 				return err
 			}
@@ -180,7 +184,7 @@ func header(param string, algos []AlgoConfig) []string {
 
 // Cardinality reproduces the |T| figures: both cities at 25/50/75/100% of
 // the profile's corpus size.
-func Cardinality(w io.Writer, p Profile) error {
+func Cardinality(ctx context.Context, w io.Writer, p Profile) error {
 	fractions := []float64{0.25, 0.5, 0.75, 1.0}
 	for _, city := range []CityKind{CityBRN, CityNRN} {
 		rtTitle := fmt.Sprintf("F1 effect of |T| — runtime ms (%s-like)", city)
@@ -201,7 +205,7 @@ func Cardinality(w io.Writer, p Profile) error {
 				return err
 			}
 			queries := GenQueries(ds, DefaultQuerySpec(), p.Queries)
-			aggs, err := MeasureAll(ds, algos, queries, 0)
+			aggs, err := MeasureAll(ctx, ds, algos, queries, 0)
 			if err != nil {
 				return err
 			}
@@ -225,45 +229,45 @@ func Cardinality(w io.Writer, p Profile) error {
 }
 
 // Locations reproduces the |O| figures.
-func Locations(w io.Writer, p Profile) error {
-	return sweep(w, p, "F2 effect of |O|", "|O|", []int{1, 2, 4, 6, 8},
+func Locations(ctx context.Context, w io.Writer, p Profile) error {
+	return sweep(ctx, w, p, "F2 effect of |O|", "|O|", []int{1, 2, 4, 6, 8},
 		func(b QuerySpec, v int) QuerySpec { b.Locations = v; return b },
 		DefaultAlgos(), nil)
 }
 
 // Lambda reproduces the preference-parameter figures.
-func Lambda(w io.Writer, p Profile) error {
-	return sweep(w, p, "F3 effect of λ", "λ", []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+func Lambda(ctx context.Context, w io.Writer, p Profile) error {
+	return sweep(ctx, w, p, "F3 effect of λ", "λ", []float64{0.1, 0.3, 0.5, 0.7, 0.9},
 		func(b QuerySpec, v float64) QuerySpec { b.Lambda = v; return b },
 		DefaultAlgos(), nil)
 }
 
 // TopK reproduces the k figures.
-func TopK(w io.Writer, p Profile) error {
-	return sweep(w, p, "F4 effect of k", "k", []int{1, 5, 10, 20, 50},
+func TopK(ctx context.Context, w io.Writer, p Profile) error {
+	return sweep(ctx, w, p, "F4 effect of k", "k", []int{1, 5, 10, 20, 50},
 		func(b QuerySpec, v int) QuerySpec { b.K = v; return b },
 		DefaultAlgos(), nil)
 }
 
 // Keywords reproduces the |ψ| figures.
-func Keywords(w io.Writer, p Profile) error {
-	return sweep(w, p, "F5 effect of |ψ|", "|ψ|", []int{1, 2, 4, 8},
+func Keywords(ctx context.Context, w io.Writer, p Profile) error {
+	return sweep(ctx, w, p, "F5 effect of |ψ|", "|ψ|", []int{1, 2, 4, 8},
 		func(b QuerySpec, v int) QuerySpec { b.Keywords = v; return b },
 		DefaultAlgos(), nil)
 }
 
 // Threshold reproduces the θ figures (threshold query variant; expansion
 // vs exhaustive — TextFirst has no threshold form).
-func Threshold(w io.Writer, p Profile) error {
+func Threshold(ctx context.Context, w io.Writer, p Profile) error {
 	algos := []AlgoConfig{DefaultAlgos()[0], DefaultAlgos()[3]}
-	return sweep(w, p, "F7 effect of θ", "θ", []float64{0.5, 0.6, 0.7, 0.8, 0.9},
+	return sweep(ctx, w, p, "F7 effect of θ", "θ", []float64{0.5, 0.6, 0.7, 0.8, 0.9},
 		func(b QuerySpec, v float64) QuerySpec { return b },
 		algos, func(v float64) float64 { return v })
 }
 
 // SchedulingAblation reproduces the strategy ablation: the three source
 // schedulers plus the no-text-probe configuration.
-func SchedulingAblation(w io.Writer, p Profile) error {
+func SchedulingAblation(ctx context.Context, w io.Writer, p Profile) error {
 	algos := []AlgoConfig{
 		{Name: "heuristic", Kind: core.AlgoExpansion, Opts: core.Options{Scheduling: core.ScheduleHeuristic}},
 		{Name: "minradius", Kind: core.AlgoExpansion, Opts: core.Options{Scheduling: core.ScheduleMinRadius}},
@@ -278,7 +282,7 @@ func SchedulingAblation(w io.Writer, p Profile) error {
 		"dataset", "strategy", "mean ms", "visited", "settled", "early-term")
 	for _, ds := range dss {
 		queries := GenQueries(ds, DefaultQuerySpec(), p.Queries)
-		aggs, err := MeasureAll(ds, algos, queries, 0)
+		aggs, err := MeasureAll(ctx, ds, algos, queries, 0)
 		if err != nil {
 			return err
 		}
@@ -294,7 +298,7 @@ func SchedulingAblation(w io.Writer, p Profile) error {
 // query batch under growing worker pools. (On a single-core host the
 // curve flattens at one; the shape is recorded with the host's core count
 // in EXPERIMENTS.md.)
-func Workers(w io.Writer, p Profile) error {
+func Workers(ctx context.Context, w io.Writer, p Profile) error {
 	dss, err := bothDatasets(p)
 	if err != nil {
 		return err
@@ -309,7 +313,7 @@ func Workers(w io.Writer, p Profile) error {
 		}
 		batch := GenQueries(ds, DefaultQuerySpec(), p.Queries*4)
 		for _, m := range counts {
-			_, stats, err := e.SearchBatch(context.Background(), batch, core.BatchOptions{Workers: m})
+			_, stats, err := e.SearchBatch(ctx, batch, core.BatchOptions{Workers: m})
 			if err != nil {
 				return err
 			}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -119,7 +120,7 @@ func TestMeasureAgainstAllAlgorithms(t *testing.T) {
 		t.Fatal(err)
 	}
 	queries := GenQueries(ds, DefaultQuerySpec(), 2)
-	aggs, err := MeasureAll(ds, DefaultAlgos(), queries, 0)
+	aggs, err := MeasureAll(context.Background(), ds, DefaultAlgos(), queries, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestMeasureAgainstAllAlgorithms(t *testing.T) {
 		t.Errorf("expansion candidate ratio %g not below exhaustive %g", exp.CandRatio, exh.CandRatio)
 	}
 	// Threshold mode.
-	aggs, err = MeasureAll(ds, []AlgoConfig{DefaultAlgos()[0], DefaultAlgos()[3]}, queries, 0.7)
+	aggs, err = MeasureAll(context.Background(), ds, []AlgoConfig{DefaultAlgos()[0], DefaultAlgos()[3]}, queries, 0.7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestMeasurePropagatesErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := []core.Query{{Lambda: 0.5, K: 1}} // no locations
-	if _, err := Measure(ds, DefaultAlgos()[0], bad, 0); err == nil {
+	if _, err := Measure(context.Background(), ds, DefaultAlgos()[0], bad, 0); err == nil {
 		t.Error("invalid query should propagate an error")
 	}
 }
@@ -245,7 +246,7 @@ func TestRunAllExperimentsTiny(t *testing.T) {
 	}
 	p := tinyProfile()
 	var buf bytes.Buffer
-	if err := RunAll(&buf, p); err != nil {
+	if err := RunAll(context.Background(), &buf, p); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -12,7 +13,7 @@ import (
 // cluster up to uniform city-wide locations — the stress regime in which
 // any location-driven pruning must degrade, because no trajectory can be
 // near all the intended places.
-func Locality(w io.Writer, p Profile) error {
+func Locality(ctx context.Context, w io.Writer, p Profile) error {
 	dss, err := bothDatasets(p)
 	if err != nil {
 		return err
@@ -28,7 +29,7 @@ func Locality(w io.Writer, p Profile) error {
 			spec := DefaultQuerySpec()
 			spec.SpreadFrac = spread
 			queries := GenQueries(ds, spec, p.Queries)
-			aggs, err := MeasureAll(ds, algos, queries, 0)
+			aggs, err := MeasureAll(ctx, ds, algos, queries, 0)
 			if err != nil {
 				return err
 			}

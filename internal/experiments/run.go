@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,8 +47,9 @@ type Aggregate struct {
 // Measure runs every query under one algorithm configuration and averages
 // the work counters. theta > 0 switches the expansion/exhaustive
 // algorithms to their threshold variants (TextFirst has no threshold
-// variant and keeps using top-k).
-func Measure(ds *Dataset, cfg AlgoConfig, queries []core.Query, theta float64) (Aggregate, error) {
+// variant and keeps using top-k). Cancelling ctx aborts the in-flight
+// search and returns its error.
+func Measure(ctx context.Context, ds *Dataset, cfg AlgoConfig, queries []core.Query, theta float64) (Aggregate, error) {
 	if cfg.Kind == core.AlgoExpansion && cfg.Opts.Landmarks == nil && !cfg.NoLandmarks {
 		cfg.Opts.Landmarks = ds.Landmarks()
 	}
@@ -100,10 +102,10 @@ func Measure(ds *Dataset, cfg AlgoConfig, queries []core.Query, theta float64) (
 }
 
 // MeasureAll measures every configuration over the same workload.
-func MeasureAll(ds *Dataset, cfgs []AlgoConfig, queries []core.Query, theta float64) ([]Aggregate, error) {
+func MeasureAll(ctx context.Context, ds *Dataset, cfgs []AlgoConfig, queries []core.Query, theta float64) ([]Aggregate, error) {
 	out := make([]Aggregate, 0, len(cfgs))
 	for _, cfg := range cfgs {
-		agg, err := Measure(ds, cfg, queries, theta)
+		agg, err := Measure(ctx, ds, cfg, queries, theta)
 		if err != nil {
 			return nil, err
 		}

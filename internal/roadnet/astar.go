@@ -79,6 +79,7 @@ func (a *AStar) run(u, v VertexID, needPath bool) (float64, int) {
 	a.touched = append(a.touched, int32(u))
 	a.heap.Push(int32(u), h(int32(u)))
 	settledCount := 0
+	//uots:allow looppoll -- single point-to-point A*: bounded by one component's vertices, callers poll between calls
 	for {
 		x, _, ok := a.heap.Pop()
 		if !ok {

@@ -107,6 +107,7 @@ func (b *Bidirectional) run(u, v VertexID) (float64, int32) {
 	b.b.relax(int32(v), 0, -1)
 	best := Unreachable
 	meet := int32(-1)
+	//uots:allow looppoll -- single point-to-point bidirectional query: bounded by one component's vertices, callers poll between calls
 	for b.f.heap.Len() > 0 || b.b.heap.Len() > 0 {
 		// Termination: once the sum of the two frontier minima reaches the
 		// best connecting distance found, no better connection exists.

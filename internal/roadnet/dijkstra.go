@@ -80,6 +80,7 @@ func (s *SSSP) Run(src VertexID) {
 func (s *SSSP) RunUntil(src VertexID, visit func(v VertexID, d float64) bool) {
 	s.reset()
 	s.relax(int32(src), 0, -1)
+	//uots:allow looppoll -- the visit callback is the cancellation point; core's search loops poll their canceller inside it
 	for {
 		v, d, ok := s.heap.Pop()
 		if !ok {

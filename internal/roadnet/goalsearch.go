@@ -82,6 +82,7 @@ func (gs *GoalSearch) FromSet(sources []VertexID, targets []VertexID, onSettle f
 		}
 	}
 	remaining := len(pending)
+	//uots:allow looppoll -- early-terminating corridor search: bounded by the goal corridor, core polls between probes
 	for remaining > 0 {
 		v, _, ok := gs.heap.Pop()
 		if !ok {
@@ -139,6 +140,7 @@ func (gs *GoalSearch) DistToSet(src VertexID, goal geo.Rect, cap float64, isTarg
 	gs.dist[src] = 0
 	gs.touched = append(gs.touched, int32(src))
 	gs.heap.Push(int32(src), h(int32(src)))
+	//uots:allow looppoll -- early-terminating goal A*: bounded by the goal corridor, callers poll between probes
 	for {
 		v, f, ok := gs.heap.Pop()
 		if !ok {

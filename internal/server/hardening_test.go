@@ -324,9 +324,9 @@ func TestClockWraps(t *testing.T) {
 		{0, "00:00"},
 		{9*3600 + 5*60, "09:05"},
 		{23*3600 + 59*60 + 59, "23:59"},
-		{24 * 3600, "00:00"},      // midnight next day
+		{24 * 3600, "00:00"},       // midnight next day
 		{25*3600 + 10*60, "01:10"}, // 25:10 wraps
-		{-3600, "23:00"},          // an hour before midnight
+		{-3600, "23:00"},           // an hour before midnight
 		{-1, "23:59"},
 		{48*3600 + 30*60, "00:30"},
 	}

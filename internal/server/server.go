@@ -629,6 +629,7 @@ func (s *Server) Serve(ctx context.Context, addr string, drain time.Duration) er
 		return err // listener failed before any shutdown was asked for
 	case <-ctx.Done():
 	}
+	//uots:allow ctxflow -- shutdown drain: the caller's ctx is already done, the drain window needs a fresh deadline
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := srv.Shutdown(drainCtx)

@@ -128,8 +128,10 @@ func (d *DynamicStore) Snapshot() (*Store, []ExternalID) {
 		compact = append(compact, id)
 		if _, err := b.Add(t.Samples, t.Keywords); err != nil {
 			// Add validated these samples when they entered the store;
-			// failure here means internal corruption.
-			panic("trajdb: snapshot rebuild failed: " + err.Error())
+			// failure here means internal corruption. Panic with the
+			// typed payload so engine entry points surface it as
+			// ErrStoreFault instead of crashing the process.
+			panic(&StoreError{Op: "snapshot", ID: TrajID(len(ids)), Err: err})
 		}
 		ids = append(ids, id)
 	}
