@@ -4,15 +4,22 @@
 // Usage:
 //
 //	uotsbench [-profile small|medium|full] [-exp all|settings|pruning|...]
+//	          [-metrics-out metrics.json]
 //
 // Profiles scale the datasets to the host; the experiment set and
 // expected result shapes are documented in EXPERIMENTS.md. Interrupting
 // the run (SIGINT/SIGTERM) cancels the in-flight experiment's searches
 // and exits promptly.
+//
+// -metrics-out writes a machine-readable JSON snapshot of the run's
+// uots_bench_* work counters and latency histograms (per algorithm
+// configuration) next to the human-readable tables, for regression
+// tracking across runs.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +27,14 @@ import (
 	"syscall"
 
 	"uots/internal/experiments"
+	"uots/internal/obs"
 )
 
 func main() {
 	profile := flag.String("profile", "medium", "dataset scale: small, medium or full")
 	exp := flag.String("exp", "all", "experiment to run (name or ID), or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot of the run to this file ('-' = stdout)")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +46,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		ctx = experiments.WithMetrics(ctx, reg)
+	}
+
 	p, err := experiments.ProfileByName(*profile)
 	if err != nil {
 		fatal(err)
@@ -45,16 +60,35 @@ func main() {
 		if err := experiments.RunAll(ctx, os.Stdout, p); err != nil {
 			fatal(err)
 		}
-		return
+	} else {
+		e, err := experiments.ByName(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s %s — %s ===\n\n", e.ID, e.Name, e.Desc)
+		if err := e.Run(ctx, os.Stdout, p); err != nil {
+			fatal(err)
+		}
 	}
-	e, err := experiments.ByName(*exp)
+	if reg != nil {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON.
+func writeMetrics(path string, reg *obs.Registry) error {
+	raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("=== %s %s — %s ===\n\n", e.ID, e.Name, e.Desc)
-	if err := e.Run(ctx, os.Stdout, p); err != nil {
-		fatal(err)
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
 	}
+	return os.WriteFile(path, raw, 0o644)
 }
 
 func fatal(err error) {

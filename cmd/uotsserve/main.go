@@ -5,11 +5,14 @@
 //
 //	uotsserve -data dataset -addr :8080 [-cache 67108864 -disk dataset.dsk]
 //	          [-timeout 10s -max-inflight 64 -max-body 8388608 -drain 10s]
+//	          [-debug-addr 127.0.0.1:6060 -trace-depth 64 -log-requests]
 //
 // Endpoints:
 //
 //	GET  /healthz             liveness
-//	GET  /stats               dataset shape + serving counters
+//	GET  /stats               dataset shape + serving and search counters
+//	GET  /metrics             Prometheus text exposition
+//	GET  /debug/trace/{id}    replay of a traced request's search events
 //	POST /search              {"points":[[x,y],...], "keywords":"...", "lambda":0.5, "k":5}
 //	POST /batch               {"queries":[<search bodies>...], "workers":4}
 //	GET  /trajectory/{id}     full trajectory record
@@ -19,6 +22,11 @@
 // -max-body are rejected with 413. On SIGINT/SIGTERM the server stops
 // accepting connections, gives in-flight requests up to -drain to finish,
 // then exits 0.
+//
+// -debug-addr starts a second listener (keep it private) carrying
+// net/http/pprof under /debug/pprof/ and a /metrics mirror, so profiling
+// traffic never competes with the serving listener. Sending "X-Trace: 1"
+// with a search records its expansion events for /debug/trace/{id}.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +57,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "max concurrent search weight before shedding with 429 (0 = unlimited)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes (oversized bodies answer 413)")
 	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	debugAddr := flag.String("debug-addr", "", "private listener for /debug/pprof/ and a /metrics mirror (empty = disabled)")
+	traceDepth := flag.Int("trace-depth", 0, "recent traced requests kept for /debug/trace (0 = default)")
+	logRequests := flag.Bool("log-requests", false, "log one line per request, tagged with its request ID")
 	flag.Parse()
 
 	gf, err := os.Open(*data + ".graph")
@@ -87,20 +99,54 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := server.NewWithConfig(engine, vocab, nil, server.Config{
+	cfg := server.Config{
 		Timeout:      *timeout,
 		MaxInFlight:  *maxInflight,
 		MaxBodyBytes: *maxBody,
-	})
+		TraceDepth:   *traceDepth,
+	}
+	if *logRequests {
+		cfg.Logger = log.Default()
+	}
+	srv := server.NewWithConfig(engine, vocab, nil, cfg)
 	log.Printf("uotsserve: %d vertices, %d trajectories, listening on %s (timeout=%s max-inflight=%d)",
 		g.NumVertices(), store.NumTrajectories(), *addr, *timeout, *maxInflight)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		go serveDebug(ctx, *debugAddr, srv)
+	}
 	if err := srv.Serve(ctx, *addr, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 	log.Printf("uotsserve: shut down cleanly")
+}
+
+// serveDebug runs the private observability listener: pprof profiling
+// endpoints and a /metrics mirror sharing the serving registry. It uses a
+// fresh mux — importing net/http/pprof only for its handler funcs keeps
+// the profiling routes off http.DefaultServeMux and off the public
+// listener. The listener dies with ctx; a failed debug listener is logged
+// but never takes the serving process down.
+func serveDebug(ctx context.Context, addr string, srv *server.Server) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", srv.Metrics().Handler())
+	dbg := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		dbg.Close()
+	}()
+	log.Printf("uotsserve: debug listener (pprof, metrics) on %s", addr)
+	if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("uotsserve: debug listener failed: %v", err)
+	}
 }
 
 func fatal(err error) {

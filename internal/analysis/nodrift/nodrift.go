@@ -10,11 +10,14 @@ import (
 
 const name = "nodrift"
 
-// scopePkgs are the deterministic packages: scoring/pruning in core and
-// graph expansion in roadnet.
+// scopePkgs are the deterministic packages: scoring/pruning in core,
+// graph expansion in roadnet, and the obs instrumentation the core emits
+// into (trace events must replay bit-identically, so obs may read the
+// clock only through its allowlisted stopwatch helper).
 var scopePkgs = map[string]bool{
 	"core":    true,
 	"roadnet": true,
+	"obs":     true,
 }
 
 // timeFuncs are the wall-clock reads that make results run-dependent.
@@ -40,7 +43,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: name,
 	Doc: `nodrift: forbid wall-clock reads and global randomness in the
 deterministic core (internal/core scoring/pruning, internal/roadnet
-expansion).
+expansion, internal/obs instrumentation).
 
 The experiments pipeline and the replay tests both rely on the search
 core being a pure function of (graph, query, seed): time.Now/Since/Until

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNodrift(t *testing.T) {
-	analysistest.Run(t, "testdata", nodrift.Analyzer, "core", "roadnet", "tools")
+	analysistest.Run(t, "testdata", nodrift.Analyzer, "core", "roadnet", "obs", "tools")
 }

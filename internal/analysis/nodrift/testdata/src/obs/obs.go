@@ -1,0 +1,25 @@
+// Package obs is a fixture of the observability layer: metric updates and
+// trace events must be deterministic, so the clock is reachable only
+// through the allowlisted stopwatch helper.
+package obs
+
+import "time"
+
+func emit() {
+	_ = time.Now() // want `time\.Now makes core results drift`
+}
+
+func observeLatency(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since makes core results drift`
+}
+
+//uots:allow nodrift -- designated timing helper: elapsed time feeds metrics and logs only, never scores
+func Stopwatch() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+func bareDirective() time.Time {
+	//uots:allow nodrift
+	return time.Now() // want `time\.Now makes core results drift`
+}

@@ -65,7 +65,9 @@ type BatchStats struct {
 // SearchBatch processes the queries with a fixed pool of worker
 // goroutines — the per-query searches are fully independent, which is the
 // parallelism this research line exploits. Results arrive indexed by input
-// position. The context cancels the whole batch: unscheduled queries are
+// position. A tracer attached to ctx (obs.ContextWithTracer) is shared by
+// every worker: per-query span events interleave into one stream, which
+// the obs.TraceRecorder accepts concurrently. The context cancels the whole batch: unscheduled queries are
 // marked with ctx.Err(), and queries already running observe the
 // cancellation inside their search loops and abort within one poll
 // interval. SearchBatch itself always drains its workers before

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"uots/internal/obs"
 	"uots/internal/trajdb"
 )
 
@@ -70,6 +71,7 @@ func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q Query, opts Diversi
 		return nil, stats, err
 	}
 
+	trace := tracerFrom(ctx)
 	picked := make([]Result, 0, q.K)
 	used := make([]bool, len(pool))
 	for len(picked) < q.K && len(picked) < len(pool) {
@@ -97,6 +99,10 @@ func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q Query, opts Diversi
 			break
 		}
 		used[bestIdx] = true
+		if trace != nil {
+			trace.Emit(obs.SpanEvent{Step: len(picked), Kind: TraceSelect, Source: -1,
+				Traj: int64(pool[bestIdx].Traj), Value: bestMMR})
+		}
 		picked = append(picked, pool[bestIdx])
 	}
 	stats.Elapsed = elapsed()

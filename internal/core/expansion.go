@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"uots/internal/obs"
 	"uots/internal/pqueue"
 	"uots/internal/roadnet"
 	"uots/internal/trajdb"
@@ -142,6 +143,9 @@ type expansionState struct {
 	goal  *roadnet.GoalSearch // lazy; text-probe random accesses only
 	stats SearchStats
 
+	trace    obs.Tracer // nil when the request is not traced
+	lastPick int        // last source emitted as a scheduling decision
+
 	cancel  canceller // bounded-interval cancellation polls
 	initErr error     // cancellation observed during initText
 
@@ -151,18 +155,20 @@ type expansionState struct {
 
 func newExpansionState(ctx context.Context, e *Engine, q Query, theta float64, useTopK bool) *expansionState {
 	st := &expansionState{
-		e:       e,
-		q:       q,
-		cancel:  newCanceller(ctx),
-		theta:   theta,
-		useTopK: useTopK,
-		sources: make([]*roadnet.Expander, len(q.Locations)),
-		live:    make([]bool, len(q.Locations)),
-		radExp:  make([]float64, len(q.Locations)),
-		liveN:   len(q.Locations),
-		allMask: maskAll(len(q.Locations)),
-		cands:   make([]*cand, e.db.NumTrajectories()),
-		labels:  make([]float64, len(q.Locations)),
+		e:        e,
+		q:        q,
+		cancel:   newCanceller(ctx),
+		trace:    tracerFrom(ctx),
+		lastPick: -1,
+		theta:    theta,
+		useTopK:  useTopK,
+		sources:  make([]*roadnet.Expander, len(q.Locations)),
+		live:     make([]bool, len(q.Locations)),
+		radExp:   make([]float64, len(q.Locations)),
+		liveN:    len(q.Locations),
+		allMask:  maskAll(len(q.Locations)),
+		cands:    make([]*cand, e.db.NumTrajectories()),
+		labels:   make([]float64, len(q.Locations)),
 	}
 	for i, o := range q.Locations {
 		st.sources[i] = roadnet.NewExpander(e.g, o)
@@ -173,6 +179,7 @@ func newExpansionState(ctx context.Context, e *Engine, q Query, theta float64, u
 		st.topk = pqueue.NewTopK[Result](q.K)
 	}
 	st.initText()
+	st.emit(TraceBegin, -1, -1, float64(len(q.Locations)), float64(e.db.NumTrajectories()), "")
 	return st
 }
 
@@ -225,16 +232,22 @@ func (st *expansionState) bar() (float64, bool) {
 
 func (st *expansionState) run() error {
 	if st.initErr != nil {
+		st.emit(TraceTerminate, -1, -1, 0, 0, TermCancelled)
 		return st.initErr
 	}
 	relabel := st.e.opts.RelabelEvery
 	for st.liveN > 0 {
 		if st.steps%cancelPollEvery == 0 {
 			if err := st.cancel.check(); err != nil {
+				st.emit(TraceTerminate, -1, -1, 0, 0, TermCancelled)
 				return err
 			}
 		}
 		i := st.pickSource()
+		if i != st.lastPick {
+			st.emit(TraceSourcePick, i, -1, st.sources[i].Radius(), 0, "")
+			st.lastPick = i
+		}
 		v, d, ok := st.sources[i].Next()
 		if !ok {
 			st.markDone(i)
@@ -259,10 +272,17 @@ func (st *expansionState) run() error {
 		st.steps++
 		if st.steps%relabel == 0 && st.rescan() {
 			st.stats.EarlyTerminated = true
+			bar, _ := st.bar()
+			st.emit(TraceTerminate, -1, -1, bar, 0, TermBound)
 			return nil
 		}
 	}
-	return st.finalizeExhausted()
+	if err := st.finalizeExhausted(); err != nil {
+		st.emit(TraceTerminate, -1, -1, 0, 0, TermCancelled)
+		return err
+	}
+	st.emit(TraceTerminate, -1, -1, 0, 0, TermExhausted)
+	return nil
 }
 
 // candFor returns the candidate state for tid, creating it on first touch.
@@ -291,6 +311,7 @@ func (st *expansionState) candFor(tid trajdb.TrajID) *cand {
 	st.cands[tid] = c
 	st.active = append(st.active, tid)
 	st.stats.VisitedTrajectories++
+	st.emit(TraceAdmit, -1, int64(tid), c.text, 0, "")
 	return c
 }
 
@@ -302,6 +323,7 @@ func (st *expansionState) complete(tid trajdb.TrajID, c *cand) {
 	st.stats.Candidates++
 	spatial := st.e.spatialFromDists(c.dists)
 	score := combine(st.q.Lambda, spatial, c.text)
+	st.emit(TraceComplete, -1, int64(tid), score, spatial, "")
 	res := Result{
 		Traj:    tid,
 		Score:   score,
@@ -328,6 +350,7 @@ func (st *expansionState) markDone(i int) {
 	st.liveN--
 	st.radExp[i] = 0
 	st.doneMask |= uint64(1) << i
+	st.emit(TraceSourceDone, i, -1, st.sources[i].Radius(), 0, "")
 	keep := st.active[:0]
 	for _, tid := range st.active {
 		c := st.cands[tid]
@@ -411,6 +434,7 @@ func (st *expansionState) rescan() bool {
 					// Provably outside the result: discard with no
 					// Dijkstra work at all.
 					st.candFor(tid).complete = true
+					st.emit(TracePrune, -1, int64(tid), combine(lambda, ubS, textTop), bar, "landmark")
 					continue
 				}
 			}
@@ -449,6 +473,7 @@ func (st *expansionState) rescan() bool {
 		ub := lambda*(c.sumExp+rest)/nLoc + (1-lambda)*c.text
 		if haveBar && ub < bar {
 			c.complete = true // pruned: provably outside the result
+			st.emit(TracePrune, -1, int64(tid), ub, bar, "")
 			continue
 		}
 		// Endgame resolution: once every radius this candidate still
@@ -475,6 +500,13 @@ func (st *expansionState) rescan() bool {
 
 	unseenUB := lambda*sumRad/nLoc + (1-lambda)*st.peekUnseenText()
 	ub := math.Max(maxPartial, unseenUB)
+	if st.trace != nil {
+		barVal := -1.0
+		if haveBar {
+			barVal = bar
+		}
+		st.emit(TraceBound, -1, -1, ub, barVal, "")
+	}
 	if haveBar && ub < bar {
 		return true
 	}
@@ -507,6 +539,7 @@ func (st *expansionState) probe(tid trajdb.TrajID) {
 		st.goal = roadnet.NewGoalSearch(st.e.g)
 	}
 	st.stats.Probes++
+	st.emit(TraceProbe, -1, int64(tid), 0, 0, "")
 	// One multi-source corridor search: from the trajectory's vertices
 	// toward every query location at once. Undirected distances make this
 	// equivalent to |O| separate searches at a fraction of the cost.
@@ -646,6 +679,12 @@ func (st *expansionState) finalizeExhausted() error {
 func (e *Engine) textOnlyTopK(ctx context.Context, q Query, keep func(trajdb.TrajID) bool) ([]Result, SearchStats, error) {
 	var stats SearchStats
 	cancel := newCanceller(ctx)
+	trace := tracerFrom(ctx)
+	if trace != nil {
+		trace.Emit(obs.SpanEvent{Kind: TraceBegin, Source: -1, Traj: -1,
+			Value: float64(len(q.Locations)), Extra: float64(e.db.NumTrajectories()), Note: TermTextOnly})
+		defer trace.Emit(obs.SpanEvent{Kind: TraceTerminate, Source: -1, Traj: -1, Note: TermTextOnly})
+	}
 	topk := pqueue.NewTopK[trajdb.TrajID](q.K)
 	scored := make(map[trajdb.TrajID]bool)
 	if len(q.Keywords) > 0 {
@@ -703,6 +742,12 @@ func (e *Engine) textOnlyTopK(ctx context.Context, q Query, keep func(trajdb.Tra
 func (e *Engine) textOnlyThreshold(ctx context.Context, q Query, theta float64) ([]Result, SearchStats, error) {
 	var stats SearchStats
 	cancel := newCanceller(ctx)
+	trace := tracerFrom(ctx)
+	if trace != nil {
+		trace.Emit(obs.SpanEvent{Kind: TraceBegin, Source: -1, Traj: -1,
+			Value: float64(len(q.Locations)), Extra: float64(e.db.NumTrajectories()), Note: TermTextOnly})
+		defer trace.Emit(obs.SpanEvent{Kind: TraceTerminate, Source: -1, Traj: -1, Note: TermTextOnly})
+	}
 	var results []Result
 	sssp := roadnet.NewSSSP(e.g)
 	if len(q.Keywords) > 0 {

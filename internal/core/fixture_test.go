@@ -24,7 +24,7 @@ var (
 )
 
 // testFixture returns the shared fixture, building it on first use.
-func testFixture(t *testing.T) fixture {
+func testFixture(t testing.TB) fixture {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		g := roadnet.BRNLike(0.12, 7) // ≈ 20x20 grid

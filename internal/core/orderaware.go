@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"uots/internal/obs"
 	"uots/internal/roadnet"
 	"uots/internal/trajdb"
 )
@@ -141,13 +142,14 @@ func (e *Engine) OrderAwareSearchCtx(ctx context.Context, q Query) (results []Re
 		return nil, SearchStats{}, err
 	}
 	cancel := newCanceller(ctx)
+	trace := tracerFrom(ctx)
 	var total SearchStats
 	sssp := roadnet.NewSSSP(e.g)
 	kPrime := q.K * 4
 	if kPrime < 16 {
 		kPrime = 16
 	}
-	for {
+	for round := 0; ; round++ {
 		uq := q
 		uq.K = kPrime
 		unordered, stats, err := e.SearchCtx(ctx, uq)
@@ -169,6 +171,14 @@ func (e *Engine) OrderAwareSearchCtx(ctx context.Context, q Query) (results []Re
 		sortResults(reranked)
 		if len(reranked) > q.K {
 			reranked = reranked[:q.K]
+		}
+		if trace != nil {
+			bound := 0.0
+			if len(unordered) > 0 {
+				bound = unordered[len(unordered)-1].Score
+			}
+			trace.Emit(obs.SpanEvent{Step: round, Kind: TraceRerank, Source: -1, Traj: -1,
+				Value: float64(kPrime), Extra: bound})
 		}
 
 		// Certification: every trajectory outside the unordered top-K′ has

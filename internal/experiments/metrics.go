@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+)
+
+// Benchmark metrics: uotsbench -metrics-out attaches an obs.Registry to
+// the run context, and Measure populates per-algorithm uots_bench_*
+// instruments alongside the human-readable tables. The registry snapshot
+// is what lands in the machine-readable output file.
+
+type metricsKey struct{}
+
+// WithMetrics returns a context carrying reg so Measure records
+// per-query work into it. A nil reg returns ctx unchanged.
+func WithMetrics(ctx context.Context, reg *obs.Registry) context.Context {
+	if reg == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, metricsKey{}, reg)
+}
+
+// MetricsFrom extracts the registry attached by WithMetrics, or nil.
+func MetricsFrom(ctx context.Context) *obs.Registry {
+	if ctx == nil {
+		return nil
+	}
+	reg, _ := ctx.Value(metricsKey{}).(*obs.Registry)
+	return reg
+}
+
+// benchQuerySecondsBuckets spans microsecond probes to multi-second
+// exhaustive scans.
+var benchQuerySecondsBuckets = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10,
+}
+
+// benchCollector bundles the per-algorithm instruments Measure updates.
+// Registry lookups are idempotent, so building a collector per Measure
+// call reuses the same underlying series.
+type benchCollector struct {
+	algo       string
+	queries    *obs.Counter
+	visited    *obs.Counter
+	candidates *obs.Counter
+	settled    *obs.Counter
+	seconds    *obs.Histogram
+}
+
+func newBenchCollector(reg *obs.Registry, algo string) *benchCollector {
+	if reg == nil {
+		return nil
+	}
+	return &benchCollector{
+		algo: algo,
+		queries: reg.CounterVec("uots_bench_queries_total",
+			"Benchmark queries completed, by algorithm configuration.", "algo").With(algo),
+		visited: reg.CounterVec("uots_bench_visited_trajectories_total",
+			"Distinct trajectories touched by benchmark queries, by algorithm.", "algo").With(algo),
+		candidates: reg.CounterVec("uots_bench_candidates_total",
+			"Exactly-scored candidates across benchmark queries, by algorithm.", "algo").With(algo),
+		settled: reg.CounterVec("uots_bench_settled_vertices_total",
+			"Dijkstra-settled vertices across benchmark queries, by algorithm.", "algo").With(algo),
+		seconds: reg.HistogramVec("uots_bench_query_seconds",
+			"Per-query wall time in seconds, by algorithm.", benchQuerySecondsBuckets, "algo").With(algo),
+	}
+}
+
+// record accumulates one query's outcome.
+func (c *benchCollector) record(st core.SearchStats, seconds float64) {
+	if c == nil {
+		return
+	}
+	c.queries.Inc()
+	c.visited.AddInt(st.VisitedTrajectories)
+	c.candidates.AddInt(st.Candidates)
+	c.settled.AddInt(st.SettledVertices)
+	c.seconds.Observe(seconds)
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"uots/internal/obs"
+)
+
+func TestMeasurePopulatesMetrics(t *testing.T) {
+	p := tinyProfile()
+	ds, err := BuildCached(p.BRNSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := GenQueries(ds, DefaultQuerySpec(), 2)
+
+	reg := obs.NewRegistry()
+	ctx := WithMetrics(context.Background(), reg)
+	aggs, err := MeasureAll(ctx, ds, DefaultAlgos(), queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := make(map[string]obs.MetricSnapshot)
+	for _, m := range reg.Snapshot() {
+		byName[m.Name] = m
+	}
+	qc, ok := byName["uots_bench_queries_total"]
+	if !ok {
+		t.Fatalf("no uots_bench_queries_total in snapshot (have %d families)", len(byName))
+	}
+	if len(qc.Series) != len(aggs) {
+		t.Fatalf("queries_total has %d algo series, want %d", len(qc.Series), len(aggs))
+	}
+	for _, s := range qc.Series {
+		if s.Value == nil || *s.Value != float64(len(queries)) {
+			t.Errorf("algo %v recorded %v queries, want %d", s.Labels, s.Value, len(queries))
+		}
+	}
+	hist, ok := byName["uots_bench_query_seconds"]
+	if !ok {
+		t.Fatal("no uots_bench_query_seconds in snapshot")
+	}
+	for _, s := range hist.Series {
+		if s.Count == nil || *s.Count != uint64(len(queries)) {
+			t.Errorf("latency histogram %v observed %v samples, want %d", s.Labels, s.Count, len(queries))
+		}
+	}
+	if _, ok := byName["uots_bench_visited_trajectories_total"]; !ok {
+		t.Error("no uots_bench_visited_trajectories_total in snapshot")
+	}
+
+	// Without an attached registry the collector is inert.
+	if c := newBenchCollector(MetricsFrom(context.Background()), "x"); c != nil {
+		t.Error("collector built without a registry")
+	}
+}

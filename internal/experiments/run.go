@@ -58,6 +58,7 @@ func Measure(ctx context.Context, ds *Dataset, cfg AlgoConfig, queries []core.Qu
 		return Aggregate{}, fmt.Errorf("experiments: %s: %w", cfg.Name, err)
 	}
 	agg := Aggregate{Algo: cfg.Name, Queries: len(queries)}
+	collector := newBenchCollector(MetricsFrom(ctx), cfg.Name)
 	var totalMs float64
 	for _, q := range queries {
 		var stats core.SearchStats
@@ -78,7 +79,9 @@ func Measure(ctx context.Context, ds *Dataset, cfg AlgoConfig, queries []core.Qu
 		if runErr != nil {
 			return Aggregate{}, fmt.Errorf("experiments: %s: %w", cfg.Name, runErr)
 		}
-		totalMs += float64(time.Since(start).Microseconds()) / 1000.0
+		elapsed := time.Since(start)
+		totalMs += float64(elapsed.Microseconds()) / 1000.0
+		collector.record(stats, elapsed.Seconds())
 		agg.MeanVisited += float64(stats.VisitedTrajectories)
 		agg.MeanCandidates += float64(stats.Candidates)
 		agg.MeanSettled += float64(stats.SettledVertices)

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric types, as rendered in Prometheus TYPE lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// DefLatencyBuckets are the default request-latency histogram buckets,
+// in seconds: sub-millisecond searches up to multi-second stragglers.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// A Counter is a monotonically increasing metric. The zero value is
+// usable; all methods are safe for concurrent use and lock-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// AddInt adds n when non-negative; negative deltas are ignored, keeping
+// the counter monotone even on buggy inputs.
+func (c *Counter) AddInt(n int) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// A Gauge is a metric that can go up and down. The zero value is
+// usable; all methods are safe for concurrent use and lock-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// A Histogram counts observations into fixed buckets. Buckets are
+// cumulative-at-encode: Observe touches exactly one per-bucket counter
+// and the running sum, both atomically, so the hot path is lock-free.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	// Drop duplicate and non-finite bounds; the +Inf bucket is implicit.
+	dedup := upper[:0]
+	for _, b := range upper {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			continue
+		}
+		if len(dedup) == 0 || dedup[len(dedup)-1] != b {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{upper: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with v <= upper bound
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// cumulative returns the per-bucket cumulative counts, one entry per
+// upper bound plus the trailing +Inf bucket.
+func (h *Histogram) cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+// family is one registered metric name: its metadata and every labelled
+// series. Unlabelled metrics are a family with one series under the
+// empty key.
+type family struct {
+	name, help string
+	typ        string
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]any // *Counter | *Gauge | *Histogram, by label key
+}
+
+// seriesKey joins label values unambiguously (values may contain any
+// byte; 0xFF never begins a UTF-8 rune so it cannot collide with a
+// value boundary).
+func seriesKey(values []string) string { return strings.Join(values, "\xff") }
+
+func (f *family) get(values []string) (any, bool) {
+	f.mu.RLock()
+	m, ok := f.series[seriesKey(values)]
+	f.mu.RUnlock()
+	return m, ok
+}
+
+func (f *family) getOrCreate(values []string, make func() any) any {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	if m, ok := f.get(values); ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := seriesKey(values)
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := make()
+	f.series[key] = m
+	return m
+}
+
+// sortedSeries returns the family's series ordered by label-value
+// tuple, each paired with its label values — the deterministic encode
+// order.
+func (f *family) sortedSeries() ([][]string, []any) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	values := make([][]string, len(keys))
+	metrics := make([]any, len(keys))
+	for i, k := range keys {
+		if k == "" && len(f.labelNames) == 0 {
+			values[i] = nil
+		} else {
+			values[i] = strings.Split(k, "\xff")
+		}
+		metrics[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	return values, metrics
+}
+
+// Registry is a set of named metric families. Registration methods are
+// idempotent: asking for an existing name with identical metadata
+// returns the existing metric; conflicting re-registration panics
+// (metric identity bugs should fail loudly at startup, not mis-count in
+// production).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName is the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		letter := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup registers (or retrieves) a family, enforcing identity.
+func (r *Registry) lookup(name, help, typ string, labelNames []string, buckets []float64) *family {
+	if !validName(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	for _, l := range labelNames {
+		if !validName(l) {
+			panic("obs: invalid label name " + l + " on metric " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s(%v), was %s(%v)",
+				name, typ, labelNames, f.typ, f.labelNames))
+		}
+		for i := range labelNames {
+			if f.labelNames[i] != labelNames[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with labels %v, was %v",
+					name, labelNames, f.labelNames))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+		series:     make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or retrieves) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, typeCounter, nil, nil)
+	return f.getOrCreate(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or retrieves) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, typeGauge, nil, nil)
+	return f.getOrCreate(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or retrieves) an unlabelled histogram with the
+// given bucket upper bounds (nil = DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	f := r.lookup(name, help, typeHistogram, nil, buckets)
+	return f.getOrCreate(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// A CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or retrieves) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.lookup(name, help, typeCounter, labelNames, nil)}
+}
+
+// With returns the counter for the given label values (created on first
+// use). Callers on hot paths should resolve once and keep the handle.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.getOrCreate(labelValues, func() any { return &Counter{} }).(*Counter)
+}
+
+// A GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or retrieves) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, typeGauge, labelNames, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.getOrCreate(labelValues, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// A HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or retrieves) a labelled histogram family
+// with shared bucket bounds (nil = DefLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	return &HistogramVec{r.lookup(name, help, typeHistogram, labelNames, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.getOrCreate(labelValues, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// sortedFamilies returns the registered families in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		name      string
+		buckets   []float64
+		observe   []float64
+		wantCum   []uint64 // cumulative counts, one per bound + the +Inf bucket
+		wantSum   float64
+		wantTotal uint64
+	}{
+		{
+			name:    "empty histogram",
+			buckets: []float64{1, 2},
+			wantCum: []uint64{0, 0, 0},
+		},
+		{
+			name:      "values land in the first bucket that fits",
+			buckets:   []float64{0.1, 1, 10},
+			observe:   []float64{0.05, 0.5, 5, 50},
+			wantCum:   []uint64{1, 2, 3, 4},
+			wantSum:   55.55,
+			wantTotal: 4,
+		},
+		{
+			name:      "boundary values are inclusive (le semantics)",
+			buckets:   []float64{1, 2},
+			observe:   []float64{1, 2},
+			wantCum:   []uint64{1, 2, 2},
+			wantSum:   3,
+			wantTotal: 2,
+		},
+		{
+			name:      "everything above the last bound goes to +Inf",
+			buckets:   []float64{1},
+			observe:   []float64{2, 3, math.Inf(1)},
+			wantCum:   []uint64{0, 3},
+			wantSum:   math.Inf(1),
+			wantTotal: 3,
+		},
+		{
+			name:      "negative and zero observations fit the lowest bucket",
+			buckets:   []float64{0, 1},
+			observe:   []float64{-5, 0, 0.5},
+			wantCum:   []uint64{2, 3, 3},
+			wantSum:   -4.5,
+			wantTotal: 3,
+		},
+		{
+			name:      "unsorted and duplicate bounds are normalized",
+			buckets:   []float64{5, 1, 1, 3},
+			observe:   []float64{0.5, 2, 4},
+			wantCum:   []uint64{1, 2, 3, 3},
+			wantSum:   6.5,
+			wantTotal: 3,
+		},
+		{
+			name:      "NaN observations are dropped",
+			buckets:   []float64{1},
+			observe:   []float64{math.NaN(), 0.5},
+			wantCum:   []uint64{1, 1},
+			wantSum:   0.5,
+			wantTotal: 1,
+		},
+		{
+			name:      "non-finite bounds are dropped, +Inf stays implicit",
+			buckets:   []float64{1, math.Inf(1), math.NaN()},
+			observe:   []float64{0.5, 2},
+			wantCum:   []uint64{1, 2},
+			wantSum:   2.5,
+			wantTotal: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(tc.buckets)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			cum := h.cumulative()
+			if len(cum) != len(tc.wantCum) {
+				t.Fatalf("bucket count = %d, want %d", len(cum), len(tc.wantCum))
+			}
+			for i := range cum {
+				if cum[i] != tc.wantCum[i] {
+					t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], tc.wantCum[i])
+				}
+			}
+			if got := h.Count(); got != tc.wantTotal {
+				t.Errorf("Count() = %d, want %d", got, tc.wantTotal)
+			}
+			if got := h.Sum(); got != tc.wantSum && !(math.IsNaN(got) && math.IsNaN(tc.wantSum)) {
+				if math.Abs(got-tc.wantSum) > 1e-9 {
+					t.Errorf("Sum() = %g, want %g", got, tc.wantSum)
+				}
+			}
+		})
+	}
+}
+
+// TestCounterConcurrency hammers one counter, one gauge, and one
+// histogram from many goroutines; run under -race this doubles as the
+// data-race proof for the atomic hot paths.
+func TestCounterConcurrency(t *testing.T) {
+	const goroutines, perG = 16, 1000
+	reg := NewRegistry()
+	c := reg.Counter("uots_test_ops_total", "ops")
+	g := reg.Gauge("uots_test_inflight", "in flight")
+	h := reg.Histogram("uots_test_latency_seconds", "latency", []float64{0.5})
+	cv := reg.CounterVec("uots_test_by_kind_total", "by kind", "kind")
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kind := "even"
+			if i%2 == 1 {
+				kind = "odd"
+			}
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(0.25)
+				cv.With(kind).Add(2)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Sum(); math.Abs(got-0.25*goroutines*perG) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", got, 0.25*goroutines*perG)
+	}
+	want := uint64(goroutines / 2 * perG * 2)
+	for _, kind := range []string{"even", "odd"} {
+		if got := cv.With(kind).Value(); got != want {
+			t.Errorf("countervec[%s] = %d, want %d", kind, got, want)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("uots_test_total", "help")
+	b := reg.Counter("uots_test_total", "help")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("aliased counters diverged")
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("type conflict", func() { reg.Gauge("uots_test_total", "help") })
+	mustPanic("label conflict", func() { reg.CounterVec("uots_test_total", "help", "x") })
+	mustPanic("bad metric name", func() { reg.Counter("uots test total", "help") })
+	mustPanic("bad label name", func() { reg.CounterVec("uots_test_labels_total", "help", "bad label") })
+	mustPanic("label arity", func() {
+		reg.CounterVec("uots_test_arity_total", "help", "a", "b").With("only-one")
+	})
+}
+
+func TestCounterAddIntIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.AddInt(5)
+	c.AddInt(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5 (negative delta must be ignored)", got)
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// A SpanEvent is one recorded step of a traced search: a scheduling
+// decision, a bound update, a candidate admission or prune, a probe, or
+// the termination cause. Events carry the search's ordinal step number
+// rather than a timestamp so a replayed query produces a bit-identical
+// trace (see the package determinism contract).
+type SpanEvent struct {
+	// Step is the emitting search's expansion-step ordinal.
+	Step int `json:"step"`
+	// Kind names the event (core's Trace* constants).
+	Kind string `json:"kind"`
+	// Source is the query-source index the event concerns (-1 if none).
+	Source int `json:"source"`
+	// Traj is the trajectory the event concerns (-1 if none).
+	Traj int64 `json:"traj"`
+	// Value and Extra are kind-specific numbers (bounds, radii, scores).
+	Value float64 `json:"value"`
+	Extra float64 `json:"extra,omitempty"`
+	// Note is a kind-specific annotation (e.g. the termination cause).
+	Note string `json:"note,omitempty"`
+}
+
+// A Tracer receives span events from an instrumented search. A nil
+// Tracer disables tracing; instrumented code guards every emit with a
+// nil check so the disabled path costs one comparison and zero
+// allocations.
+type Tracer interface {
+	Emit(SpanEvent)
+}
+
+// DefaultTraceEvents caps a TraceRecorder when NewTraceRecorder is
+// given a non-positive limit.
+const DefaultTraceEvents = 4096
+
+// A TraceRecorder is the standard Tracer: it buffers up to a fixed
+// number of events and counts the overflow, so one pathological query
+// cannot hold an unbounded trace in memory. Safe for concurrent use
+// (batch searches share one request tracer across workers).
+type TraceRecorder struct {
+	mu      sync.Mutex
+	limit   int
+	events  []SpanEvent
+	dropped int
+}
+
+// NewTraceRecorder creates a recorder holding up to limit events
+// (non-positive limit = DefaultTraceEvents).
+func NewTraceRecorder(limit int) *TraceRecorder {
+	if limit <= 0 {
+		limit = DefaultTraceEvents
+	}
+	return &TraceRecorder{limit: limit}
+}
+
+// Emit implements Tracer.
+func (r *TraceRecorder) Emit(ev SpanEvent) {
+	r.mu.Lock()
+	if len(r.events) < r.limit {
+		r.events = append(r.events, ev)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *TraceRecorder) Events() []SpanEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanEvent(nil), r.events...)
+}
+
+// Dropped returns the number of events discarded over the limit.
+func (r *TraceRecorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of buffered events.
+func (r *TraceRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// DefaultTraceDepth is the TraceStore retention when NewTraceStore is
+// given a non-positive depth.
+const DefaultTraceDepth = 64
+
+// A TraceStore retains the recorders of the last N traced queries by
+// ID — the backing store of the /debug/trace/{id} endpoint. Adding
+// beyond the depth evicts the oldest trace.
+type TraceStore struct {
+	mu    sync.Mutex
+	depth int
+	order []string
+	byID  map[string]*TraceRecorder
+}
+
+// NewTraceStore creates a store retaining up to depth traces
+// (non-positive depth = DefaultTraceDepth).
+func NewTraceStore(depth int) *TraceStore {
+	if depth <= 0 {
+		depth = DefaultTraceDepth
+	}
+	return &TraceStore{depth: depth, byID: make(map[string]*TraceRecorder)}
+}
+
+// Add retains rec under id, evicting the oldest trace over the depth.
+// Re-adding an existing id replaces its recorder in place.
+func (s *TraceStore) Add(id string, rec *TraceRecorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
+		s.order = append(s.order, id)
+		if len(s.order) > s.depth {
+			delete(s.byID, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.byID[id] = rec
+}
+
+// Get returns the recorder stored under id.
+func (s *TraceStore) Get(id string) (*TraceRecorder, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byID[id]
+	return rec, ok
+}
+
+// IDs returns the retained trace IDs, oldest first.
+func (s *TraceStore) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// tracerKey carries a Tracer through a context.
+type tracerKey struct{}
+
+// ContextWithTracer attaches t to ctx; search entry points pick it up
+// with TracerFromContext. Attaching nil returns ctx unchanged.
+func ContextWithTracer(ctx context.Context, t Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFromContext returns the tracer attached to ctx, or nil. The
+// lookup allocates nothing, so un-traced requests pay one map-free
+// context walk per search, not per event.
+func TracerFromContext(ctx context.Context) Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(Tracer)
+	return t
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceRecorderCapsAndCountsDrops(t *testing.T) {
+	rec := NewTraceRecorder(3)
+	for i := 0; i < 5; i++ {
+		rec.Emit(SpanEvent{Step: i, Kind: "admit"})
+	}
+	events := rec.Events()
+	if len(events) != 3 {
+		t.Fatalf("len(events) = %d, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Step != i {
+			t.Errorf("event %d has step %d (oldest events must be kept)", i, ev.Step)
+		}
+	}
+	if rec.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", rec.Dropped())
+	}
+	if rec.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", rec.Len())
+	}
+}
+
+// TestTraceRecorderConcurrent exercises the recorder from many
+// goroutines, the shape a /batch request produces; run under -race.
+func TestTraceRecorderConcurrent(t *testing.T) {
+	rec := NewTraceRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Emit(SpanEvent{Kind: "complete"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rec.Len() + rec.Dropped(); got != 800 {
+		t.Errorf("recorded+dropped = %d, want 800", got)
+	}
+}
+
+func TestTraceStoreEvictsOldest(t *testing.T) {
+	store := NewTraceStore(2)
+	for i := 0; i < 3; i++ {
+		store.Add(fmt.Sprintf("req-%d", i), NewTraceRecorder(1))
+	}
+	if _, ok := store.Get("req-0"); ok {
+		t.Error("oldest trace should have been evicted")
+	}
+	for _, id := range []string{"req-1", "req-2"} {
+		if _, ok := store.Get(id); !ok {
+			t.Errorf("trace %s missing", id)
+		}
+	}
+	ids := store.IDs()
+	if len(ids) != 2 || ids[0] != "req-1" || ids[1] != "req-2" {
+		t.Errorf("IDs() = %v", ids)
+	}
+	// Re-adding an existing id must not grow the ring.
+	store.Add("req-2", NewTraceRecorder(1))
+	if got := len(store.IDs()); got != 2 {
+		t.Errorf("IDs after re-add = %d, want 2", got)
+	}
+}
+
+func TestTracerContextPlumbing(t *testing.T) {
+	if got := TracerFromContext(context.Background()); got != nil {
+		t.Errorf("empty context tracer = %v, want nil", got)
+	}
+	if got := TracerFromContext(nil); got != nil { //nolint — nil ctx is part of the contract
+		t.Errorf("nil context tracer = %v, want nil", got)
+	}
+	rec := NewTraceRecorder(8)
+	ctx := ContextWithTracer(context.Background(), rec)
+	if got := TracerFromContext(ctx); got != Tracer(rec) {
+		t.Errorf("tracer = %v, want the attached recorder", got)
+	}
+	base := context.Background()
+	if got := ContextWithTracer(base, nil); got != base {
+		t.Error("attaching a nil tracer must return the context unchanged")
+	}
+}

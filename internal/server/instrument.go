@@ -1,0 +1,244 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+)
+
+// Request instrumentation: every request through Handler is wrapped by the
+// instrument middleware, which assigns a request ID, optionally attaches a
+// search tracer, and feeds the process-wide metrics registry. The
+// middleware sits outermost so even shed, panicking, and oversized
+// requests are counted and carry an ID.
+
+// Header names of the observability contract.
+const (
+	// RequestIDHeader carries the request ID. An inbound value is
+	// honored (so IDs propagate across services); otherwise the server
+	// generates one. The response always echoes it.
+	RequestIDHeader = "X-Request-ID"
+	// TraceHeader set to "1" records the request's search-expansion
+	// events for replay from /debug/trace/{id}.
+	TraceHeader = "X-Trace"
+)
+
+type requestIDKey struct{}
+
+// RequestIDFromContext returns the request ID assigned by the instrument
+// middleware, or "" outside a request.
+func RequestIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID draws a 16-hex-char random ID. Randomness is fine here:
+// IDs are correlation handles, not part of any reproducible search path.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rid-rand-unavailable" // crypto/rand failing is a platform fault
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied ID only when it is short and
+// header/log-safe; anything else is discarded and regenerated.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// serverMetrics bundles the registry instruments the serving layer
+// updates. All names follow the uots_* convention (see CONTRIBUTING.md).
+type serverMetrics struct {
+	reqTotal *obs.CounterVec // uots_http_requests_total{route,code}
+	reqDur   *obs.HistogramVec
+	inFlight *obs.Gauge
+	shed     *obs.Counter
+	expired  *obs.Counter
+	panics   *obs.Counter
+
+	searchQueries    *obs.Counter
+	searchVisited    *obs.Counter
+	searchScans      *obs.Counter
+	searchSettled    *obs.Counter
+	searchCandidates *obs.Counter
+	searchTextScored *obs.Counter
+	searchProbes     *obs.Counter
+	searchEarlyTerm  *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reqTotal: reg.CounterVec("uots_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		reqDur: reg.HistogramVec("uots_http_request_duration_seconds",
+			"End-to-end HTTP request latency in seconds.", obs.DefLatencyBuckets, "route"),
+		inFlight: reg.Gauge("uots_http_in_flight_requests",
+			"Requests currently being served."),
+		shed: reg.Counter("uots_http_requests_shed_total",
+			"Requests shed with 429 by the load-shedding semaphore."),
+		expired: reg.Counter("uots_http_deadline_expired_total",
+			"Search requests answered 503 because the per-request deadline expired."),
+		panics: reg.Counter("uots_http_panics_total",
+			"Handler panics converted to 500 responses."),
+
+		searchQueries: reg.Counter("uots_search_queries_total",
+			"Search queries the engine completed successfully."),
+		searchVisited: reg.Counter("uots_search_visited_trajectories_total",
+			"Distinct trajectories touched across all searches (the paper's data-access metric)."),
+		searchScans: reg.Counter("uots_search_scan_events_total",
+			"(source, trajectory) scan events during expansion."),
+		searchSettled: reg.Counter("uots_search_settled_vertices_total",
+			"Dijkstra-settled vertices across all query sources and probes."),
+		searchCandidates: reg.Counter("uots_search_candidates_total",
+			"Trajectories whose exact score was computed."),
+		searchTextScored: reg.Counter("uots_search_text_scored_total",
+			"Trajectories scored by the textual index."),
+		searchProbes: reg.Counter("uots_search_probes_total",
+			"Adaptive text-probe distance computations."),
+		searchEarlyTerm: reg.Counter("uots_search_early_terminated_total",
+			"Searches that stopped early because the upper bound fell below the bar."),
+	}
+}
+
+// recordSearch accumulates one completed query's work counters.
+func (m *serverMetrics) recordSearch(st core.SearchStats) {
+	m.searchQueries.Inc()
+	m.searchVisited.AddInt(st.VisitedTrajectories)
+	m.searchScans.AddInt(st.ScanEvents)
+	m.searchSettled.AddInt(st.SettledVertices)
+	m.searchCandidates.AddInt(st.Candidates)
+	m.searchTextScored.AddInt(st.TextScored)
+	m.searchProbes.AddInt(st.Probes)
+	if st.EarlyTerminated {
+		m.searchEarlyTerm.Inc()
+	}
+}
+
+// routeLabel maps a request onto a bounded route set so metric label
+// cardinality stays fixed no matter what paths clients probe. Hand-rolled
+// rather than http.Request.Pattern, which needs a newer Go than go.mod
+// pins.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/stats", "/metrics", "/search", "/batch":
+		return p
+	}
+	switch {
+	case strings.HasPrefix(p, "/trajectory/"):
+		return "/trajectory/{id}"
+	case strings.HasPrefix(p, "/debug/trace/"):
+		return "/debug/trace/{id}"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap exposes the underlying writer for http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument is the outermost middleware: request ID, optional tracer,
+// latency/status metrics, in-flight gauge, and the access log line.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = newRequestID()
+		}
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		var rec *obs.TraceRecorder
+		if r.Header.Get(TraceHeader) == "1" {
+			rec = obs.NewTraceRecorder(0)
+			ctx = obs.ContextWithTracer(ctx, rec)
+		}
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		route := routeLabel(r)
+		s.metrics.inFlight.Inc()
+		elapsed := obs.Stopwatch()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		d := elapsed()
+		s.metrics.inFlight.Dec()
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		s.metrics.reqTotal.With(route, strconv.Itoa(status)).Inc()
+		s.metrics.reqDur.With(route).Observe(d.Seconds())
+		if rec != nil {
+			s.traces.Add(id, rec)
+		}
+		if s.logger != nil {
+			s.logger.Printf("%s %s %d %s rid=%s", r.Method, r.URL.Path, status,
+				d.Round(time.Microsecond), id)
+		}
+	})
+}
+
+// handleDebugTrace replays the recorded span events of a traced request
+// (one sent with "X-Trace: 1"), keyed by its request ID.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, codeNotFound,
+			"no trace recorded for request id "+strconv.Quote(id))
+		return
+	}
+	events := rec.Events()
+	if events == nil {
+		events = []obs.SpanEvent{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      id,
+		"events":  events,
+		"dropped": rec.Dropped(),
+	})
+}
+
+// Metrics exposes the server's registry so embedding programs
+// (cmd/uotsserve's debug listener, tests) can scrape or snapshot it.
+func (s *Server) Metrics() *obs.Registry { return s.registry }

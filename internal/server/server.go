@@ -19,14 +19,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"uots/internal/core"
 	"uots/internal/geo"
+	"uots/internal/obs"
 	"uots/internal/roadnet"
 	"uots/internal/textual"
 	"uots/internal/trajdb"
@@ -70,6 +71,17 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (0 = DefaultMaxBodyBytes).
 	// Oversized bodies get 413, code "body_too_large".
 	MaxBodyBytes int64
+	// Metrics receives the server's instruments. nil creates a private
+	// registry; share one to co-locate several servers' metrics or to
+	// scrape from a separate debug listener.
+	Metrics *obs.Registry
+	// TraceDepth bounds how many recent request traces /debug/trace
+	// retains (0 = obs.DefaultTraceDepth).
+	TraceDepth int
+	// Logger receives one access-log line per request, tagged with the
+	// request ID. nil disables request logging (the default, keeping
+	// handlers quiet under test).
+	Logger *log.Logger
 }
 
 // Server serves search requests over one engine. Create with New or
@@ -84,8 +96,10 @@ type Server struct {
 	cfg Config
 	sem *semaphore // nil when MaxInFlight is 0
 
-	shed    atomic.Int64 // requests answered 429
-	expired atomic.Int64 // requests answered 503 (deadline)
+	registry *obs.Registry
+	metrics  *serverMetrics
+	traces   *obs.TraceStore
+	logger   *log.Logger
 }
 
 // New creates a server over engine with a zero Config. vocab translates
@@ -105,8 +119,17 @@ func NewWithConfig(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.Verte
 	if cfg.MaxInFlight > 0 {
 		s.sem = newSemaphore(int64(cfg.MaxInFlight))
 	}
+	s.registry = cfg.Metrics
+	if s.registry == nil {
+		s.registry = obs.NewRegistry()
+	}
+	s.metrics = newServerMetrics(s.registry)
+	s.traces = obs.NewTraceStore(cfg.TraceDepth)
+	s.logger = cfg.Logger
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.registry.Handler())
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
 	s.mux.HandleFunc("POST /search", s.guarded(1, s.handleSearch))
 	s.mux.HandleFunc("POST /batch", s.guarded(batchWeight, s.handleBatch))
 	s.mux.HandleFunc("GET /trajectory/{id}", s.guarded(1, s.handleTrajectory))
@@ -114,11 +137,13 @@ func NewWithConfig(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.Verte
 }
 
 // Handler returns the server's HTTP handler: the route mux wrapped in the
-// panic-recovery and body-cap middleware. Liveness and stats stay outside
-// the load-shedding guard so the server remains observable under
-// saturation.
+// instrumentation, panic-recovery, and body-cap middleware. Liveness,
+// stats, metrics, and trace replay stay outside the load-shedding guard so
+// the server remains observable under saturation; instrumentation sits
+// outermost so even shed and panicking requests are counted and carry a
+// request ID.
 func (s *Server) Handler() http.Handler {
-	return s.recoverPanics(s.capBody(s.mux))
+	return s.instrument(s.recoverPanics(s.capBody(s.mux)))
 }
 
 // recoverPanics converts handler panics into 500 responses instead of
@@ -134,11 +159,12 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler { // net/http's own control flow
 				panic(rec)
 			}
+			s.metrics.panics.Inc()
 			if se, ok := rec.(*trajdb.StoreError); ok {
-				writeError(w, http.StatusInternalServerError, codeStoreFailure, "storage failure: "+se.Error())
+				writeError(w, r, http.StatusInternalServerError, codeStoreFailure, "storage failure: "+se.Error())
 				return
 			}
-			writeError(w, http.StatusInternalServerError, codeInternal, fmt.Sprintf("internal error: %v", rec))
+			writeError(w, r, http.StatusInternalServerError, codeInternal, fmt.Sprintf("internal error: %v", rec))
 		}()
 		next.ServeHTTP(w, r)
 	})
@@ -166,8 +192,8 @@ func (s *Server) guarded(weight int64, h http.HandlerFunc) http.HandlerFunc {
 		if s.sem != nil {
 			granted, ok := s.sem.acquire(weight)
 			if !ok {
-				s.shed.Add(1)
-				writeError(w, http.StatusTooManyRequests, codeOverloaded,
+				s.metrics.shed.Inc()
+				writeError(w, r, http.StatusTooManyRequests, codeOverloaded,
 					fmt.Sprintf("server at capacity (%d in-flight units); retry later", s.cfg.MaxInFlight))
 				return
 			}
@@ -231,8 +257,9 @@ type StatsJSON struct {
 }
 
 type errorJSON struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -245,6 +272,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.sem != nil {
 		inFlight = s.sem.inFlight()
 	}
+	m := s.metrics
 	resp := map[string]any{
 		"vertices":     s.graph.NumVertices(),
 		"edges":        s.graph.NumEdges(),
@@ -252,9 +280,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"serving": map[string]any{
 			"inFlight":             inFlight,
 			"maxInFlight":          s.cfg.MaxInFlight,
-			"shedTotal":            s.shed.Load(),
-			"deadlineExpiredTotal": s.expired.Load(),
+			"shedTotal":            m.shed.Value(),
+			"deadlineExpiredTotal": m.expired.Value(),
 			"timeoutMs":            s.cfg.Timeout.Milliseconds(),
+		},
+		// Cumulative expansion-work totals across every query served,
+		// mirroring the uots_search_* registry counters.
+		"search": map[string]any{
+			"queriesTotal":             m.searchQueries.Value(),
+			"visitedTrajectoriesTotal": m.searchVisited.Value(),
+			"scanEventsTotal":          m.searchScans.Value(),
+			"settledVerticesTotal":     m.searchSettled.Value(),
+			"candidatesTotal":          m.searchCandidates.Value(),
+			"textScoredTotal":          m.searchTextScored.Value(),
+			"probesTotal":              m.searchProbes.Value(),
+			"earlyTerminatedTotal":     m.searchEarlyTerm.Value(),
 		},
 	}
 	if v := s.vocab; v != nil {
@@ -267,13 +307,13 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	// strconv, not Sscanf: "12abc" must be a 400, not trajectory 12.
 	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "bad trajectory id")
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "bad trajectory id")
 		return
 	}
 	id := int32(id64)
 	st := s.engine.Store()
 	if id < 0 || int(id) >= st.NumTrajectories() {
-		writeError(w, http.StatusNotFound, codeNotFound, "trajectory not found")
+		writeError(w, r, http.StatusNotFound, codeNotFound, "trajectory not found")
 		return
 	}
 	t := st.Traj(trajdb.TrajID(id))
@@ -315,30 +355,30 @@ func decodeJSON(r *http.Request, v any) (status int, code string, err error) {
 // writeEngineError maps an engine-side failure onto the documented error
 // contract: deadline expiry → 503, client cancellation → 499, storage
 // failure → 500, anything else → 400 (a query the engine rejected).
-func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
+func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.expired.Add(1)
-		writeError(w, http.StatusServiceUnavailable, codeDeadline,
+		s.metrics.expired.Inc()
+		writeError(w, r, http.StatusServiceUnavailable, codeDeadline,
 			fmt.Sprintf("search deadline (%s) exceeded", s.cfg.Timeout))
 	case errors.Is(err, context.Canceled):
-		writeError(w, statusClientClosedRequest, codeCanceled, "client closed request")
+		writeError(w, r, statusClientClosedRequest, codeCanceled, "client closed request")
 	case errors.Is(err, core.ErrStoreFault):
-		writeError(w, http.StatusInternalServerError, codeStoreFailure, err.Error())
+		writeError(w, r, http.StatusInternalServerError, codeStoreFailure, err.Error())
 	default:
-		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err.Error())
 	}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if status, code, err := decodeJSON(r, &req); err != nil {
-		writeError(w, status, code, err.Error())
+		writeError(w, r, status, code, err.Error())
 		return
 	}
 	q, status, err := s.buildQuery(req)
 	if err != nil {
-		writeError(w, status, codeBadRequest, err.Error())
+		writeError(w, r, status, codeBadRequest, err.Error())
 		return
 	}
 
@@ -367,9 +407,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
 	if err != nil {
-		s.writeEngineError(w, err)
+		s.writeEngineError(w, r, err)
 		return
 	}
+	s.metrics.recordSearch(stats)
 
 	resp := SearchResponse{
 		Results: make([]ResultJSON, len(results)),
@@ -432,15 +473,15 @@ const maxBatchQueries = 1024
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if status, code, err := decodeJSON(r, &req); err != nil {
-		writeError(w, status, code, err.Error())
+		writeError(w, r, status, code, err.Error())
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "batch needs at least one query")
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "batch needs at least one query")
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		writeError(w, http.StatusBadRequest, codeBadRequest,
+		writeError(w, r, http.StatusBadRequest, codeBadRequest,
 			fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries))
 		return
 	}
@@ -470,7 +511,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(live) > 0 {
 		out, stats, err := s.engine.SearchBatch(r.Context(), live, core.BatchOptions{Workers: req.Workers})
 		if err != nil {
-			s.writeEngineError(w, err)
+			s.writeEngineError(w, r, err)
 			return
 		}
 		for j, o := range out {
@@ -479,6 +520,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				entry.Error = o.Err.Error()
 				continue
 			}
+			s.metrics.recordSearch(o.Stats)
 			st := statsJSON(o.Stats)
 			entry.Stats = &st
 			entry.Results = make([]ResultJSON, len(o.Results))
@@ -594,9 +636,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError writes the machine-readable error body of the serving
-// contract: {"error": <human text>, "code": <stable code>}.
-func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, errorJSON{Error: msg, Code: code})
+// contract: {"error": <human text>, "code": <stable code>, "requestId":
+// <correlation id>}. The request carries the ID assigned by the
+// instrument middleware; a nil request (pre-middleware tests) omits it.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	var id string
+	if r != nil {
+		id = RequestIDFromContext(r.Context())
+	}
+	writeJSON(w, status, errorJSON{Error: msg, Code: code, RequestID: id})
 }
 
 // ListenAndServe runs the server on addr until the listener fails.
