@@ -14,14 +14,16 @@
 // -metrics-out writes a machine-readable JSON snapshot of the run's
 // uots_bench_* work counters and latency histograms (per algorithm
 // configuration) next to the human-readable tables, for regression
-// tracking across runs.
+// tracking across runs. The snapshot is taken once at exit and flushed
+// on every exit path — a run that fails or is interrupted partway still
+// writes what it measured.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,67 +33,86 @@ import (
 )
 
 func main() {
-	profile := flag.String("profile", "medium", "dataset scale: small, medium or full")
-	exp := flag.String("exp", "all", "experiment to run (name or ID), or 'all'")
-	list := flag.Bool("list", false, "list experiments and exit")
-	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot of the run to this file ('-' = stdout)")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run is main minus the process globals (signal wiring, exit), so tests
+// can drive every exit path. The named return lets the deferred metrics
+// flush both see the run's outcome and fail the process itself.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("uotsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profile := fs.String("profile", "medium", "dataset scale: small, medium or full")
+	exp := fs.String("exp", "all", "experiment to run (name or ID), or 'all'")
+	list := fs.Bool("list", false, "list experiments and exit")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot of the run to this file ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-4s %-12s %s\n", e.ID, e.Name, e.Desc)
+			fmt.Fprintf(stdout, "%-4s %-12s %s\n", e.ID, e.Name, e.Desc)
 		}
-		return
+		return 0
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
 		ctx = experiments.WithMetrics(ctx, reg)
+		// Deferred, not sequenced after the run: the snapshot must land
+		// even when an experiment fails or the run is interrupted.
+		defer func() {
+			if err := writeMetrics(*metricsOut, stdout, reg); err != nil {
+				fmt.Fprintln(stderr, "uotsbench:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	p, err := experiments.ProfileByName(*profile)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "uotsbench:", err)
+		return 1
 	}
 	if *exp == "all" {
-		if err := experiments.RunAll(ctx, os.Stdout, p); err != nil {
-			fatal(err)
+		if err := experiments.RunAll(ctx, stdout, p); err != nil {
+			fmt.Fprintln(stderr, "uotsbench:", err)
+			return 1
 		}
-	} else {
-		e, err := experiments.ByName(*exp)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("=== %s %s — %s ===\n\n", e.ID, e.Name, e.Desc)
-		if err := e.Run(ctx, os.Stdout, p); err != nil {
-			fatal(err)
-		}
+		return 0
 	}
-	if reg != nil {
-		if err := writeMetrics(*metricsOut, reg); err != nil {
-			fatal(err)
-		}
+	e, err := experiments.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(stderr, "uotsbench:", err)
+		return 1
 	}
+	fmt.Fprintf(stdout, "=== %s %s — %s ===\n\n", e.ID, e.Name, e.Desc)
+	if err := e.Run(ctx, stdout, p); err != nil {
+		fmt.Fprintln(stderr, "uotsbench:", err)
+		return 1
+	}
+	return 0
 }
 
-// writeMetrics dumps the registry snapshot as indented JSON.
-func writeMetrics(path string, reg *obs.Registry) error {
-	raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+// writeMetrics dumps the registry snapshot to path ('-' = stdout).
+func writeMetrics(path string, stdout io.Writer, reg *obs.Registry) error {
+	if path == "-" {
+		return experiments.WriteSnapshot(stdout, reg)
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	raw = append(raw, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(raw)
+	if err := experiments.WriteSnapshot(f, reg); err != nil {
+		f.Close()
 		return err
 	}
-	return os.WriteFile(path, raw, 0o644)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "uotsbench:", err)
-	os.Exit(1)
+	return f.Close()
 }

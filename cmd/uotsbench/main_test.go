@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFlushesMetricsOnErrorExit is the regression for the lost
+// snapshot: a run that fails partway must still write -metrics-out
+// (previously the error path exited before the flush).
+func TestRunFlushesMetricsOnErrorExit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-exp", "no-such-experiment", "-metrics-out", path}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unknown experiment should exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Fatalf("stderr = %q, want the unknown-experiment error", stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics snapshot not written on error exit: %v", err)
+	}
+	var snap any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, raw)
+	}
+}
+
+func TestRunFlushesMetricsToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-profile", "bogus", "-metrics-out", "-"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unknown profile should exit non-zero")
+	}
+	var snap any
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatalf("stdout snapshot is not valid JSON: %v\n%s", err, stdout.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(t.Context(), []string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	for _, want := range []string{"T1", "F10", "sharding"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	uotsserve -data dataset -addr :8080 [-cache 67108864 -disk dataset.dsk]
 //	          [-timeout 10s -max-inflight 64 -max-body 8388608 -drain 10s]
 //	          [-debug-addr 127.0.0.1:6060 -trace-depth 64 -log-requests]
+//	          [-shards 4 -partition hash -cache-size 1024]
 //
 // Endpoints:
 //
@@ -27,6 +28,14 @@
 // net/http/pprof under /debug/pprof/ and a /metrics mirror, so profiling
 // traffic never competes with the serving listener. Sending "X-Trace: 1"
 // with a search records its expansion events for /debug/trace/{id}.
+//
+// -shards N > 1 serves the default search algorithm from a sharded
+// scatter-gather engine (internal/shard): the store is partitioned N
+// ways (-partition hash|region) and every query fans out over the
+// shards, with per-shard work visible as uots_shard_* series on
+// /metrics. -cache-size adds a result cache in front of the shards
+// (entries; 0 disables). The exhaustive/textfirst baselines and /batch
+// keep running on the monolithic engine.
 package main
 
 import (
@@ -45,7 +54,9 @@ import (
 	"uots"
 	"uots/internal/core"
 	"uots/internal/diskstore"
+	"uots/internal/obs"
 	"uots/internal/server"
+	"uots/internal/shard"
 )
 
 func main() {
@@ -60,6 +71,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "private listener for /debug/pprof/ and a /metrics mirror (empty = disabled)")
 	traceDepth := flag.Int("trace-depth", 0, "recent traced requests kept for /debug/trace (0 = default)")
 	logRequests := flag.Bool("log-requests", false, "log one line per request, tagged with its request ID")
+	shards := flag.Int("shards", 1, "serve the default search from this many store shards (1 = monolithic)")
+	partition := flag.String("partition", "hash", "shard partitioner: hash or region")
+	cacheSize := flag.Int("cache-size", 0, "sharded result-cache capacity in entries (0 disables; needs -shards > 1)")
 	flag.Parse()
 
 	gf, err := os.Open(*data + ".graph")
@@ -107,6 +121,29 @@ func main() {
 	}
 	if *logRequests {
 		cfg.Logger = log.Default()
+	}
+	if *shards > 1 {
+		part, ok := shard.PartitionerByName(*partition)
+		if !ok {
+			fatal(fmt.Errorf("unknown partitioner %q (want hash or region)", *partition))
+		}
+		// One registry feeds both the HTTP instruments and the per-shard
+		// uots_shard_* counters, so /metrics shows the whole picture.
+		reg := obs.NewRegistry()
+		sharded, err := shard.NewEngine(store, core.Options{}, shard.Config{
+			Shards:      *shards,
+			Partitioner: part,
+			CacheSize:   *cacheSize,
+			Metrics:     reg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer sharded.Close()
+		cfg.Metrics = reg
+		cfg.Searcher = sharded
+		log.Printf("uotsserve: sharded search over %d shards (%s partitioning, cache %d entries)",
+			sharded.NumShards(), part, *cacheSize)
 	}
 	srv := server.NewWithConfig(engine, vocab, nil, cfg)
 	log.Printf("uotsserve: %d vertices, %d trajectories, listening on %s (timeout=%s max-inflight=%d)",

@@ -10,11 +10,14 @@ import (
 
 const name = "looppoll"
 
-// scopePkgs hold the heap/queue expansion loops: the engine core and
-// the road-network search kernels.
+// scopePkgs hold the heap/queue expansion loops: the engine core, the
+// road-network search kernels, and the sharded scatter-gather layer
+// (whose worker drain loops must stay cancellable so one stuck shard
+// cannot pin a pool slot forever).
 var scopePkgs = map[string]bool{
 	"core":    true,
 	"roadnet": true,
+	"shard":   true,
 }
 
 // drainNames are the methods that advance a frontier; a loop built
@@ -37,8 +40,8 @@ var pollNames = map[string]bool{
 // Analyzer flags unbounded drain loops with no cancellation poll.
 var Analyzer = &analysis.Analyzer{
 	Name: name,
-	Doc: `looppoll: unbounded heap/queue drain loops in internal/core and
-internal/roadnet must poll for cancellation.
+	Doc: `looppoll: unbounded heap/queue drain loops in internal/core,
+internal/roadnet and internal/shard must poll for cancellation.
 
 A "for { ... heap.Pop() ... }" (or "for cond { ... }") expansion loop
 runs for as long as the frontier lasts — on a metropolitan road network

@@ -1,0 +1,86 @@
+// Package shard is a fixture of the scatter-gather worker loops.
+package shard
+
+type taskQueue struct{ n int }
+
+func (q *taskQueue) Pop() (func(), bool) { q.n--; return func() {}, q.n >= 0 }
+
+type results struct{ n int }
+
+func (r *results) Next() (int, bool) { r.n--; return r.n, r.n >= 0 }
+
+// workerNoPoll drains the task queue with no way to stop it: a closed
+// executor would leave this goroutine spinning on a dead queue.
+func workerNoPoll(q *taskQueue) {
+	for { // want `unbounded drain loop never polls for cancellation`
+		task, ok := q.Pop()
+		if !ok {
+			return
+		}
+		task()
+	}
+}
+
+// gatherNoPoll shows merge-side drains are candidates too.
+func gatherNoPoll(r *results) int {
+	sum := 0
+	for { // want `unbounded drain loop never polls for cancellation`
+		v, ok := r.Next()
+		if !ok {
+			return sum
+		}
+		sum += v
+	}
+}
+
+// workerWithSelect is the real worker-pool shape: every iteration
+// selects between the task channel and the quit channel.
+func workerWithSelect(tasks <-chan func(), quit <-chan struct{}, q *taskQueue) {
+	for {
+		select {
+		case task := <-tasks:
+			task()
+		case <-quit:
+			return
+		}
+	}
+}
+
+// gatherWithDone polls the scatter context's done channel per result.
+func gatherWithDone(r *results, done <-chan struct{}) int {
+	sum := 0
+	for {
+		select {
+		case <-done:
+			return sum
+		default:
+		}
+		v, ok := r.Next()
+		if !ok {
+			return sum
+		}
+		sum += v
+	}
+}
+
+// drainOnClose empties what is left after the pool shut down; nothing
+// can cancel it because it IS the cancellation path.
+func drainOnClose(q *taskQueue) {
+	//uots:allow looppoll -- shutdown drain: runs after quit closes, bounded by the tasks already queued
+	for {
+		if _, ok := q.Pop(); !ok {
+			return
+		}
+	}
+}
+
+// boundedGather joins a fixed number of shard results; terminates by
+// construction, not a candidate.
+func boundedGather(r *results, shards int) int {
+	sum := 0
+	for i := 0; i < shards; i++ {
+		v, _ := r.Next()
+		sum += v
+	}
+	return sum
+}

@@ -1,5 +1,5 @@
-// Package util is out of scope: only core and roadnet expansion loops
-// are patrolled.
+// Package util is out of scope: only core, roadnet and shard expansion
+// loops are patrolled.
 package util
 
 type q struct{ n int }

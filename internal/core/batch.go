@@ -129,7 +129,7 @@ feed:
 			stats.Failed++
 			continue
 		}
-		stats.PerQuery.add(out[i].Stats)
+		stats.PerQuery.Add(out[i].Stats)
 	}
 	return out, stats, ctx.Err()
 }

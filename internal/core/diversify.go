@@ -34,6 +34,32 @@ type DiversifyOptions struct {
 	PoolFactor int
 }
 
+// Normalize validates opts and fills defaults, returning the effective
+// options. Exported for executors layered above the engine (the sharded
+// scatter-gather in internal/shard sizes its merged pool with it).
+func (o DiversifyOptions) Normalize() (DiversifyOptions, error) {
+	if o.Mu == 0 {
+		o.Mu = 0.3
+	}
+	if o.Mu < 0 || o.Mu >= 1 || math.IsNaN(o.Mu) {
+		return o, fmt.Errorf("%w: got %g", ErrBadDiversity, o.Mu)
+	}
+	if o.PoolFactor <= 0 {
+		o.PoolFactor = 4
+	}
+	return o, nil
+}
+
+// PoolK returns the unordered candidate pool size the MMR selection
+// draws k results from. o must be normalized.
+func (o DiversifyOptions) PoolK(k int) int {
+	p := k * o.PoolFactor
+	if p < 16 {
+		p = 16
+	}
+	return p
+}
+
 // DiversifiedSearch answers a top-k query re-ranked for route diversity.
 //
 //uots:allow ctxflow -- compat wrapper: the context-free API has no caller context to thread
@@ -46,38 +72,50 @@ func (e *Engine) DiversifiedSearch(q Query, opts DiversifyOptions) ([]Result, Se
 // greedy picks.
 func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q Query, opts DiversifyOptions) (results []Result, stats SearchStats, err error) {
 	defer recoverStoreFault(&results, &err)
-	cancel := newCanceller(ctx)
 	elapsed := stopwatch()
 	q, err = q.normalize(e.g)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	if opts.Mu == 0 {
-		opts.Mu = 0.3
-	}
-	if opts.Mu < 0 || opts.Mu >= 1 || math.IsNaN(opts.Mu) {
-		return nil, SearchStats{}, fmt.Errorf("%w: got %g", ErrBadDiversity, opts.Mu)
-	}
-	if opts.PoolFactor <= 0 {
-		opts.PoolFactor = 4
+	opts, err = opts.Normalize()
+	if err != nil {
+		return nil, SearchStats{}, err
 	}
 	poolQ := q
-	poolQ.K = q.K * opts.PoolFactor
-	if poolQ.K < 16 {
-		poolQ.K = 16
-	}
+	poolQ.K = opts.PoolK(q.K)
 	pool, stats, err := e.SearchCtx(ctx, poolQ)
 	if err != nil {
 		return nil, stats, err
 	}
+	picked, err := e.SelectDiverseCtx(ctx, pool, q.K, opts)
+	if err != nil {
+		stats.Elapsed = elapsed()
+		return nil, stats, err
+	}
+	stats.Elapsed = elapsed()
+	return picked, stats, nil
+}
 
+// SelectDiverseCtx greedily picks k results from a best-first candidate
+// pool by maximal marginal relevance, polling ctx between picks. It is
+// the selection half of DiversifiedSearchCtx, exported so executors that
+// assemble the pool differently (internal/shard merges per-partition
+// pools) run the exact same selection and stay byte-identical with the
+// monolithic engine. Route overlaps are computed against this engine's
+// store, so the pool's trajectory IDs must be valid in it.
+func (e *Engine) SelectDiverseCtx(ctx context.Context, pool []Result, k int, opts DiversifyOptions) (picked []Result, err error) {
+	defer recoverStoreFault(&picked, &err)
+	opts, err = opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	cancel := newCanceller(ctx)
 	trace := tracerFrom(ctx)
-	picked := make([]Result, 0, q.K)
+	picked = make([]Result, 0, k)
 	used := make([]bool, len(pool))
-	for len(picked) < q.K && len(picked) < len(pool) {
+	for len(picked) < k && len(picked) < len(pool) {
 		if err := cancel.check(); err != nil {
-			stats.Elapsed = elapsed()
-			return nil, stats, err
+			return nil, err
 		}
 		bestIdx, bestMMR := -1, math.Inf(-1)
 		for i, cand := range pool {
@@ -105,8 +143,7 @@ func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q Query, opts Diversi
 		}
 		picked = append(picked, pool[bestIdx])
 	}
-	stats.Elapsed = elapsed()
-	return picked, stats, nil
+	return picked, nil
 }
 
 // routeOverlap is the Jaccard similarity of two trajectories' unique

@@ -136,6 +136,16 @@ type expansionState struct {
 	topk      *pqueue.TopK[Result]
 	qualified []Result
 
+	// Cross-partition bound exchange (nil outside sharded execution).
+	// sharedBarred is set by bar() when the shared bound, not the local
+	// threshold, was the binding constraint of the last call; localBar /
+	// localBarOK capture the local threshold of that call so prunes can
+	// be attributed to the exchange.
+	shared       *SharedBound
+	sharedBarred bool
+	localBar     float64
+	localBarOK   bool
+
 	labels []float64 // heuristic scheduling labels (refreshed each rescan)
 	rr     int
 	steps  int
@@ -177,6 +187,7 @@ func newExpansionState(ctx context.Context, e *Engine, q Query, theta float64, u
 	}
 	if useTopK {
 		st.topk = pqueue.NewTopK[Result](q.K)
+		st.shared = sharedBoundFrom(ctx)
 	}
 	st.initText()
 	st.emit(TraceBegin, -1, -1, float64(len(q.Locations)), float64(e.db.NumTrajectories()), "")
@@ -222,12 +233,24 @@ func (st *expansionState) initText() {
 
 // bar returns the current pruning bar: exact scores strictly below it can
 // never enter the result. ok is false while no bar exists yet (top-k not
-// yet full).
+// yet full). In sharded execution the bar is the better of the local
+// top-k threshold and the cross-partition shared bound; candidates at
+// exactly the bar always survive (strict-< prune), so the racy exchange
+// never changes which results come back.
 func (st *expansionState) bar() (float64, bool) {
 	if !st.useTopK {
 		return st.theta, true
 	}
-	return st.topk.Threshold()
+	local, ok := st.topk.Threshold()
+	st.sharedBarred = false
+	if st.shared != nil {
+		if s, sok := st.shared.Load(); sok && (!ok || s > local) {
+			st.sharedBarred = true
+			st.localBar, st.localBarOK = local, ok
+			return s, true
+		}
+	}
+	return local, ok
 }
 
 func (st *expansionState) run() error {
@@ -333,6 +356,11 @@ func (st *expansionState) complete(tid trajdb.TrajID, c *cand) {
 	}
 	if st.useTopK {
 		st.topk.Offer(score, int64(tid), res)
+		if st.shared != nil {
+			if thr, full := st.topk.Threshold(); full {
+				st.shared.Raise(thr)
+			}
+		}
 		return
 	}
 	if score >= st.theta {
@@ -473,7 +501,14 @@ func (st *expansionState) rescan() bool {
 		ub := lambda*(c.sumExp+rest)/nLoc + (1-lambda)*c.text
 		if haveBar && ub < bar {
 			c.complete = true // pruned: provably outside the result
-			st.emit(TracePrune, -1, int64(tid), ub, bar, "")
+			note := ""
+			if st.sharedBarred && (!st.localBarOK || ub >= st.localBar) {
+				// The local threshold alone would not have pruned this
+				// candidate: the cross-partition exchange did the work.
+				st.stats.SharedBoundPrunes++
+				note = NoteCrossShard
+			}
+			st.emit(TracePrune, -1, int64(tid), ub, bar, note)
 			continue
 		}
 		// Endgame resolution: once every radius this candidate still

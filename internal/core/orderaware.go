@@ -153,7 +153,7 @@ func (e *Engine) OrderAwareSearchCtx(ctx context.Context, q Query) (results []Re
 		uq := q
 		uq.K = kPrime
 		unordered, stats, err := e.SearchCtx(ctx, uq)
-		total.add(stats)
+		total.Add(stats)
 		if err != nil {
 			total.Elapsed = elapsed()
 			return nil, total, err

@@ -249,6 +249,11 @@ type SearchStats struct {
 	TextScored int
 	// Probes counts adaptive text-probe distance computations.
 	Probes int
+	// SharedBoundPrunes counts candidates pruned against a cross-partition
+	// SharedBound that the local top-k threshold alone would have kept —
+	// the work the shard executor's bound exchange saves. Always 0 outside
+	// sharded execution.
+	SharedBoundPrunes int
 	// EarlyTerminated reports whether the upper bound dropped below the
 	// pruning threshold before the search space was exhausted.
 	EarlyTerminated bool
@@ -256,13 +261,16 @@ type SearchStats struct {
 	Elapsed time.Duration
 }
 
-// add accumulates other into s (used by the batch engine).
-func (s *SearchStats) add(other SearchStats) {
+// Add accumulates other's work counters into s (used by the batch
+// engine and the sharded scatter-gather executor). EarlyTerminated is
+// not folded: its meaning across several searches is the caller's call.
+func (s *SearchStats) Add(other SearchStats) {
 	s.VisitedTrajectories += other.VisitedTrajectories
 	s.ScanEvents += other.ScanEvents
 	s.SettledVertices += other.SettledVertices
 	s.Candidates += other.Candidates
 	s.TextScored += other.TextScored
 	s.Probes += other.Probes
+	s.SharedBoundPrunes += other.SharedBoundPrunes
 	s.Elapsed += other.Elapsed
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSharedBoundZeroValue(t *testing.T) {
+	var b SharedBound
+	if v, ok := b.Load(); ok || v != 0 {
+		t.Fatalf("zero SharedBound loads (%g, %v), want no bound", v, ok)
+	}
+}
+
+func TestSharedBoundRaiseIsMonotone(t *testing.T) {
+	var b SharedBound
+	b.Raise(0.4)
+	if v, ok := b.Load(); !ok || v != 0.4 {
+		t.Fatalf("Load after Raise(0.4) = (%g, %v)", v, ok)
+	}
+	// A lower publish never regresses the bound.
+	b.Raise(0.2)
+	if v, _ := b.Load(); v != 0.4 {
+		t.Fatalf("Raise(0.2) regressed the bound to %g", v)
+	}
+	b.Raise(0.9)
+	if v, _ := b.Load(); v != 0.9 {
+		t.Fatalf("Raise(0.9) did not lift the bound (got %g)", v)
+	}
+}
+
+func TestSharedBoundIgnoresUselessValues(t *testing.T) {
+	var b SharedBound
+	b.Raise(0)
+	b.Raise(-1)
+	b.Raise(math.NaN())
+	if _, ok := b.Load(); ok {
+		t.Fatal("non-positive/NaN Raise published a bound")
+	}
+	b.Raise(0.5)
+	b.Raise(math.NaN())
+	if v, _ := b.Load(); v != 0.5 {
+		t.Fatalf("NaN Raise disturbed the bound (got %g)", v)
+	}
+}
+
+func TestSharedBoundConcurrentRaisesKeepMax(t *testing.T) {
+	var b SharedBound
+	const goroutines = 8
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Every goroutine publishes a different interleaving; the
+				// global max across all of them is (goroutines*perG-1)/N.
+				b.Raise(float64(g*perG+i) / float64(goroutines*perG))
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := float64(goroutines*perG-1) / float64(goroutines*perG)
+	if v, ok := b.Load(); !ok || v != want {
+		t.Fatalf("after concurrent raises Load = (%g, %v), want %g", v, ok, want)
+	}
+}
+
+func TestSharedBoundContextRoundTrip(t *testing.T) {
+	if got := sharedBoundFrom(context.Background()); got != nil {
+		t.Fatal("plain context carries a shared bound")
+	}
+	if got := sharedBoundFrom(nil); got != nil {
+		t.Fatal("nil context should yield no bound")
+	}
+	var b SharedBound
+	ctx := ContextWithSharedBound(context.Background(), &b)
+	if got := sharedBoundFrom(ctx); got != &b {
+		t.Fatal("context round-trip lost the bound")
+	}
+}

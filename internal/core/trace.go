@@ -56,6 +56,12 @@ const (
 	TraceTerminate = "terminate"
 )
 
+// NoteCrossShard marks a TracePrune whose binding bar came from the
+// cross-partition SharedBound rather than the local top-k threshold —
+// the shard executor's bound exchange doing work the local search could
+// not (counted in SearchStats.SharedBoundPrunes).
+const NoteCrossShard = "xshard"
+
 // Termination causes carried in TraceTerminate's Note.
 const (
 	// TermBound: the upper bound dropped below the bar (early stop).

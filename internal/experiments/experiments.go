@@ -32,6 +32,7 @@ func All() []Experiment {
 		{"F7", "threshold", "effect of similarity threshold θ", Threshold},
 		{"F8", "disk", "disk-resident store vs memory (LRU buffer budgets)", DiskResident},
 		{"F9", "locality", "effect of query-location spread (clustered → city-wide)", Locality},
+		{"F10", "sharding", "sharded scatter-gather vs monolithic (shard count N)", Sharding},
 	}
 }
 

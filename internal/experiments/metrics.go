@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 
 	"uots/internal/core"
 	"uots/internal/obs"
@@ -30,6 +32,20 @@ func MetricsFrom(ctx context.Context) *obs.Registry {
 	}
 	reg, _ := ctx.Value(metricsKey{}).(*obs.Registry)
 	return reg
+}
+
+// WriteSnapshot writes reg's current state as indented JSON — the
+// machine-readable side of a benchmark run. Callers flush it once at
+// process exit, on every exit path: a partial snapshot of a failed or
+// interrupted run is still a record worth keeping.
+func WriteSnapshot(w io.Writer, reg *obs.Registry) error {
+	raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
 }
 
 // benchQuerySecondsBuckets spans microsecond probes to multi-second

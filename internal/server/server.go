@@ -58,6 +58,20 @@ const (
 	codeInternal     = "internal_error"
 )
 
+// SearchBackend runs the default (expansion) search variants a /search
+// request dispatches. core.Engine satisfies it, as does shard.Engine —
+// wiring a sharded backend through Config.Searcher scales the default
+// algorithm out without touching the handlers. The exhaustive, textfirst
+// and /batch paths always run on the monolithic engine: they are
+// baselines and diagnostics, not the serving path.
+type SearchBackend interface {
+	SearchCtx(ctx context.Context, q core.Query) ([]core.Result, core.SearchStats, error)
+	SearchWindowedCtx(ctx context.Context, q core.Query, w core.TimeWindow) ([]core.Result, core.SearchStats, error)
+	OrderAwareSearchCtx(ctx context.Context, q core.Query) ([]core.Result, core.SearchStats, error)
+}
+
+var _ SearchBackend = (*core.Engine)(nil)
+
 // Config tunes the serving hardening. The zero value disables deadlines
 // and load shedding and uses DefaultMaxBodyBytes.
 type Config struct {
@@ -82,16 +96,22 @@ type Config struct {
 	// request ID. nil disables request logging (the default, keeping
 	// handlers quiet under test).
 	Logger *log.Logger
+	// Searcher, when non-nil, serves the default-algorithm /search
+	// variants instead of the engine itself (e.g. a shard.Engine). The
+	// engine still backs /trajectory, /stats, /batch and the explicit
+	// baseline algorithms.
+	Searcher SearchBackend
 }
 
 // Server serves search requests over one engine. Create with New or
 // NewWithConfig and mount via Handler.
 type Server struct {
-	engine *core.Engine
-	graph  *roadnet.Graph
-	vocab  *textual.Vocab
-	index  *roadnet.VertexIndex
-	mux    *http.ServeMux
+	engine  *core.Engine
+	backend SearchBackend // serves the default-algorithm /search variants
+	graph   *roadnet.Graph
+	vocab   *textual.Vocab
+	index   *roadnet.VertexIndex
+	mux     *http.ServeMux
 
 	cfg Config
 	sem *semaphore // nil when MaxInFlight is 0
@@ -115,7 +135,10 @@ func NewWithConfig(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.Verte
 	if idx == nil {
 		idx = roadnet.NewVertexIndex(g, 0)
 	}
-	s := &Server{engine: engine, graph: g, vocab: vocab, index: idx, mux: http.NewServeMux(), cfg: cfg}
+	s := &Server{engine: engine, backend: cfg.Searcher, graph: g, vocab: vocab, index: idx, mux: http.NewServeMux(), cfg: cfg}
+	if s.backend == nil {
+		s.backend = engine
+	}
 	if cfg.MaxInFlight > 0 {
 		s.sem = newSemaphore(int64(cfg.MaxInFlight))
 	}
@@ -389,15 +412,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case "", "expansion":
 		switch {
 		case req.OrderAware:
-			results, stats, err = s.engine.OrderAwareSearchCtx(ctx, q)
+			results, stats, err = s.backend.OrderAwareSearchCtx(ctx, q)
 		case req.Window != "":
 			var win core.TimeWindow
 			win, err = parseWindow(req.Window)
 			if err == nil {
-				results, stats, err = s.engine.SearchWindowedCtx(ctx, q, win)
+				results, stats, err = s.backend.SearchWindowedCtx(ctx, q, win)
 			}
 		default:
-			results, stats, err = s.engine.SearchCtx(ctx, q)
+			results, stats, err = s.backend.SearchCtx(ctx, q)
 		}
 	case "exhaustive":
 		results, stats, err = s.engine.ExhaustiveSearchCtx(ctx, q)

@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"uots/internal/core"
+)
+
+// Cache is a sharded LRU over search results, keyed by (variant,
+// snapshot generation, full query). Keys embed the generation, so a
+// mutated store never serves stale results: the Engine simply stops
+// asking for old-generation keys and their entries age out of the LRU.
+//
+// Hits return the results only, with zero work stats — a cached answer
+// did no store work, and reporting the original query's counters again
+// would double-count in metrics. Entries are value copies; callers may
+// not mutate returned results' Dists in place (they are shared between
+// hits of the same key).
+type Cache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recent
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res []core.Result
+}
+
+// cacheSubShards is the fixed sub-shard count; small caches collapse to
+// one sub-shard so the capacity split cannot round a tiny cache to zero
+// usable slots per sub-shard.
+const cacheSubShards = 8
+
+// newCache builds a cache holding up to total entries across its
+// sub-shards, or returns nil (caching disabled) for total <= 0.
+func newCache(total int) *Cache {
+	if total <= 0 {
+		return nil
+	}
+	n := cacheSubShards
+	if total < n {
+		n = 1
+	}
+	per := (total + n - 1) / n
+	c := &Cache{shards: make([]cacheShard, n)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.cap = per
+		s.lru = list.New()
+		s.byKey = make(map[string]*list.Element, per)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// get returns a copy of the cached result list for key, if present,
+// refreshing its recency.
+func (c *Cache) get(key string) ([]core.Result, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	return append([]core.Result(nil), res...), true
+}
+
+// put stores results under key, evicting the least-recently-used entry
+// when the sub-shard is full. It returns the number of evictions (0 or
+// 1) for metrics.
+func (c *Cache) put(key string, res []core.Result) int {
+	s := c.shardFor(key)
+	stored := append([]core.Result(nil), res...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		el.Value.(*cacheEntry).res = stored
+		s.lru.MoveToFront(el)
+		return 0
+	}
+	evicted := 0
+	for s.lru.Len() >= s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	s.byKey[key] = s.lru.PushFront(&cacheEntry{key: key, res: stored})
+	return evicted
+}
+
+// len reports the total number of cached entries (for tests).
+func (c *Cache) len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Variant tags for cache keys.
+const (
+	cacheSearch      = 's'
+	cacheThreshold   = 't'
+	cacheWindowed    = 'w'
+	cacheOrderAware  = 'o'
+	cacheDiversified = 'd'
+)
+
+// cacheKey serialises a query into a compact binary key. Every scoring
+// input is included: the variant tag, the store snapshot generation, the
+// locations (order matters — it is the visiting order for order-aware
+// queries), the keyword term set (canonically sorted by the TermSet
+// invariant), λ, K, and any variant extras (θ, window bounds, diversity
+// parameters) passed as raw uint64 images.
+func cacheKey(variant byte, gen uint64, q core.Query, extras ...uint64) string {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, variant)
+	buf = binary.AppendUvarint(buf, gen)
+	buf = binary.AppendUvarint(buf, uint64(len(q.Locations)))
+	for _, v := range q.Locations {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(q.Keywords)))
+	for _, t := range q.Keywords {
+		buf = binary.AppendVarint(buf, int64(t))
+	}
+	buf = binary.AppendUvarint(buf, math.Float64bits(q.Lambda))
+	buf = binary.AppendVarint(buf, int64(q.K))
+	for _, x := range extras {
+		buf = binary.AppendUvarint(buf, x)
+	}
+	return string(buf)
+}

@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"testing"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(4) // < cacheSubShards → one sub-shard, capacity 4
+	if len(c.shards) != 1 {
+		t.Fatalf("small cache has %d sub-shards, want 1", len(c.shards))
+	}
+	res := func(id int) []core.Result { return []core.Result{{Traj: trajdb.TrajID(id), Score: 1}} }
+	for i := 0; i < 4; i++ {
+		if ev := c.put(fmt.Sprintf("k%d", i), res(i)); ev != 0 {
+			t.Fatalf("put %d evicted %d entries from a non-full cache", i, ev)
+		}
+	}
+	// Refresh k0 so k1 becomes the LRU victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatalf("k0 missing before eviction")
+	}
+	if ev := c.put("k4", res(4)); ev != 1 {
+		t.Fatalf("put into full cache evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Fatalf("k1 survived eviction; LRU order ignored")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+	if got := c.len(); got != 4 {
+		t.Errorf("cache holds %d entries, want 4", got)
+	}
+}
+
+func TestCacheReturnsCopies(t *testing.T) {
+	c := newCache(2)
+	c.put("k", []core.Result{{Traj: 7, Score: 0.5}})
+	a, _ := c.get("k")
+	a[0].Traj = 99
+	b, _ := c.get("k")
+	if b[0].Traj != 7 {
+		t.Fatalf("mutating a hit leaked into the cache: traj = %d, want 7", b[0].Traj)
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	q := core.Query{
+		Locations: []roadnet.VertexID{3, 1},
+		Keywords:  textual.TermSet{2, 5},
+		Lambda:    0.5,
+		K:         5,
+	}
+	base := cacheKey(cacheSearch, 0, q)
+	if got := cacheKey(cacheSearch, 0, q); got != base {
+		t.Fatalf("identical inputs produced different keys")
+	}
+	variants := map[string]string{
+		"variant":    cacheKey(cacheOrderAware, 0, q),
+		"generation": cacheKey(cacheSearch, 1, q),
+		"lambda": cacheKey(cacheSearch, 0, core.Query{
+			Locations: q.Locations, Keywords: q.Keywords, Lambda: 0.6, K: q.K}),
+		"k": cacheKey(cacheSearch, 0, core.Query{
+			Locations: q.Locations, Keywords: q.Keywords, Lambda: q.Lambda, K: 6}),
+		"locations order": cacheKey(cacheSearch, 0, core.Query{
+			Locations: []roadnet.VertexID{1, 3}, Keywords: q.Keywords, Lambda: q.Lambda, K: q.K}),
+		"keywords": cacheKey(cacheSearch, 0, core.Query{
+			Locations: q.Locations, Keywords: textual.TermSet{2, 6}, Lambda: q.Lambda, K: q.K}),
+		"extras": cacheKey(cacheSearch, 0, q, 42),
+	}
+	for what, key := range variants {
+		if key == base {
+			t.Errorf("changing the %s did not change the cache key", what)
+		}
+	}
+}
+
+// countingStore counts every record access so tests can prove a cache
+// hit does no store work.
+type countingStore struct {
+	core.TrajStore
+	calls *atomic.Int64
+}
+
+func (s *countingStore) Traj(id trajdb.TrajID) *trajdb.Trajectory {
+	s.calls.Add(1)
+	return s.TrajStore.Traj(id)
+}
+
+func (s *countingStore) Keywords(id trajdb.TrajID) textual.TermSet {
+	s.calls.Add(1)
+	return s.TrajStore.Keywords(id)
+}
+
+func (s *countingStore) TrajsAtVertex(v roadnet.VertexID) []trajdb.TrajID {
+	s.calls.Add(1)
+	return s.TrajStore.TrajsAtVertex(v)
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) uint64 {
+	t.Helper()
+	return reg.Counter(name, "").Value()
+}
+
+func TestEngineCacheHitSkipsStore(t *testing.T) {
+	f := testFixture(t)
+	rng := rand.New(rand.NewPCG(67, 0))
+	q := f.randomQuery(rng, 3, 3, 0.5, 5)
+
+	reg := obs.NewRegistry()
+	calls := &atomic.Int64{}
+	eng, err := NewEngine(f.db, core.Options{}, Config{
+		Shards:    3,
+		CacheSize: 16,
+		Metrics:   reg,
+		WrapStore: func(_ int, s core.TrajStore) core.TrajStore {
+			return &countingStore{TrajStore: s, calls: calls}
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+
+	first, _, err := eng.SearchCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("first SearchCtx: %v", err)
+	}
+	afterMiss := calls.Load()
+	if afterMiss == 0 {
+		t.Fatalf("first query did not touch the store")
+	}
+	if got := counterValue(t, reg, "uots_shard_cache_misses_total"); got != 1 {
+		t.Fatalf("cache misses = %d, want 1", got)
+	}
+
+	second, stats, err := eng.SearchCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("second SearchCtx: %v", err)
+	}
+	if calls.Load() != afterMiss {
+		t.Fatalf("cache hit touched the store: %d calls, want %d", calls.Load(), afterMiss)
+	}
+	if got := counterValue(t, reg, "uots_shard_cache_hits_total"); got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
+	if stats.VisitedTrajectories != 0 || stats.Candidates != 0 {
+		t.Fatalf("cache hit reported work stats %+v, want zeros", stats)
+	}
+	sameResults(t, "cache hit", second, first)
+
+	// A different variant over the same query must not share the entry.
+	if _, _, err := eng.OrderAwareSearchCtx(context.Background(), q); err != nil {
+		t.Fatalf("OrderAwareSearchCtx: %v", err)
+	}
+	if calls.Load() == afterMiss {
+		t.Fatalf("order-aware query was served from the plain search's cache entry")
+	}
+}
+
+func TestDynamicEngineGenerationInvalidatesCache(t *testing.T) {
+	f := testFixture(t)
+	ds := trajdb.NewDynamic(f.g, nil)
+	for id := 0; id < 60; id++ {
+		tr := f.db.Traj(trajdb.TrajID(id))
+		samples := append([]trajdb.Sample(nil), tr.Samples...)
+		if _, err := ds.Add(samples, tr.Keywords); err != nil {
+			t.Fatalf("seed Add: %v", err)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	eng, err := NewDynamicEngine(ds, core.Options{}, Config{Shards: 2, CacheSize: 16, Metrics: reg})
+	if err != nil {
+		t.Fatalf("NewDynamicEngine: %v", err)
+	}
+	defer eng.Close()
+
+	rng := rand.New(rand.NewPCG(71, 0))
+	q := f.randomQuery(rng, 2, 2, 0.5, 5)
+
+	if _, _, err := eng.SearchCtx(context.Background(), q); err != nil {
+		t.Fatalf("first SearchCtx: %v", err)
+	}
+	if _, _, err := eng.SearchCtx(context.Background(), q); err != nil {
+		t.Fatalf("second SearchCtx: %v", err)
+	}
+	if hits := counterValue(t, reg, "uots_shard_cache_hits_total"); hits != 1 {
+		t.Fatalf("cache hits before mutation = %d, want 1", hits)
+	}
+
+	// Mutate: the generation bump must force a re-shard and a cache miss.
+	tr := f.db.Traj(trajdb.TrajID(99))
+	if _, err := ds.Add(append([]trajdb.Sample(nil), tr.Samples...), tr.Keywords); err != nil {
+		t.Fatalf("mutating Add: %v", err)
+	}
+	if _, _, err := eng.SearchCtx(context.Background(), q); err != nil {
+		t.Fatalf("post-mutation SearchCtx: %v", err)
+	}
+	if hits := counterValue(t, reg, "uots_shard_cache_hits_total"); hits != 1 {
+		t.Fatalf("cache hits after mutation = %d, want still 1 (new generation must miss)", hits)
+	}
+	if misses := counterValue(t, reg, "uots_shard_cache_misses_total"); misses != 2 {
+		t.Fatalf("cache misses after mutation = %d, want 2", misses)
+	}
+
+	// The rebuilt executor must agree with a monolithic engine over the
+	// new snapshot.
+	snap, _ := ds.Snapshot()
+	mono, err := core.NewEngine(snap, core.Options{})
+	if err != nil {
+		t.Fatalf("NewEngine(snapshot): %v", err)
+	}
+	want, _, err := mono.SearchCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("monolithic SearchCtx: %v", err)
+	}
+	got, _, err := eng.SearchCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("cached SearchCtx: %v", err)
+	}
+	sameResults(t, "post-mutation", got, want)
+}

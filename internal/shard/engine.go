@@ -1,0 +1,244 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+	"uots/internal/trajdb"
+)
+
+// Engine is the serving-layer front of the sharded executor: it adds a
+// snapshot-generation-keyed result cache and, for dynamic stores,
+// transparent re-sharding when the store mutates.
+//
+// Cache contract: keys embed the store generation (always 0 for static
+// stores), so a DynamicStore mutation — which bumps the generation —
+// invalidates every cached answer at once without any explicit flush;
+// stale entries age out of the LRU. A hit serves the cached result list
+// without touching any trajectory store and reports zero work stats
+// (only Elapsed is set).
+//
+// Engine is safe for concurrent use. Close releases the worker pool;
+// queries after Close fail with ErrClosed.
+type Engine struct {
+	cfg  Config
+	opts core.Options
+
+	source *trajdb.DynamicStore // nil for static stores
+	cache  *Cache
+	m      *metrics
+	pool   *workerPool
+
+	mu     sync.RWMutex
+	ex     *Executor
+	exGen  uint64
+	closed bool
+}
+
+// NewEngine builds a sharded engine over an immutable store. The store
+// must not be mutated afterwards; use NewDynamicEngine for stores that
+// change.
+func NewEngine(db core.TrajStore, opts core.Options, cfg Config) (*Engine, error) {
+	pool := newWorkerPool(cfg.Workers)
+	ex, err := newExecutor(db, opts, cfg, pool)
+	if err != nil {
+		pool.close()
+		return nil, err
+	}
+	return &Engine{
+		cfg:   cfg,
+		opts:  opts,
+		cache: newCache(cfg.CacheSize),
+		m:     newMetrics(cfg.Metrics),
+		pool:  pool,
+		ex:    ex,
+	}, nil
+}
+
+// NewDynamicEngine builds a sharded engine over a mutable store. The
+// first query after any mutation re-shards the then-current snapshot
+// (the rebuild is O(live trajectories), same as the snapshot itself);
+// queries in between share the cached executor. The store must be
+// non-empty at query time.
+func NewDynamicEngine(ds *trajdb.DynamicStore, opts core.Options, cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		return nil, ErrBadShards
+	}
+	return &Engine{
+		cfg:    cfg,
+		opts:   opts,
+		source: ds,
+		cache:  newCache(cfg.CacheSize),
+		m:      newMetrics(cfg.Metrics),
+		pool:   newWorkerPool(cfg.Workers),
+	}, nil
+}
+
+// Close stops the engine's workers after in-flight shard searches
+// finish.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.pool.close()
+}
+
+// executor returns the current executor and its generation, rebuilding
+// from the dynamic source when the store has mutated since the last
+// build.
+func (e *Engine) executor() (*Executor, uint64, error) {
+	e.mu.RLock()
+	ex, gen, closed := e.ex, e.exGen, e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, 0, ErrClosed
+	}
+	if e.source == nil {
+		return ex, 0, nil
+	}
+	if ex != nil && e.source.Generation() == gen {
+		return ex, gen, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, 0, ErrClosed
+	}
+	// Double-checked: another query may have rebuilt while we waited.
+	if e.ex != nil && e.source.Generation() == e.exGen {
+		return e.ex, e.exGen, nil
+	}
+	snap, _, snapGen := e.source.SnapshotGen()
+	ex, err := newExecutor(snap, e.opts, e.cfg, e.pool)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.ex, e.exGen = ex, snapGen
+	return ex, snapGen, nil
+}
+
+// cached looks key up in the result cache, recording hit/miss metrics
+// and the cache_hit trace event.
+func (e *Engine) cached(ctx context.Context, key string) ([]core.Result, bool) {
+	if e.cache == nil {
+		return nil, false
+	}
+	res, ok := e.cache.get(key)
+	if !ok {
+		if e.m != nil {
+			e.m.cacheMisses.Inc()
+		}
+		return nil, false
+	}
+	if e.m != nil {
+		e.m.cacheHits.Inc()
+	}
+	if trace := obs.TracerFromContext(ctx); trace != nil {
+		trace.Emit(obs.SpanEvent{Kind: TraceCacheHit, Source: -1, Traj: -1, Value: float64(len(res))})
+	}
+	return res, true
+}
+
+// store saves a successful answer under key.
+func (e *Engine) store(key string, res []core.Result) {
+	if e.cache == nil {
+		return
+	}
+	if ev := e.cache.put(key, res); ev > 0 && e.m != nil {
+		e.m.cacheEvictions.Add(uint64(ev))
+	}
+}
+
+// run is the shared query path: cache lookup, executor dispatch, cache
+// fill. key is empty when the variant (or query) is uncacheable.
+func (e *Engine) run(ctx context.Context, keyOf func(gen uint64) string,
+	do func(ex *Executor) ([]core.Result, core.SearchStats, error),
+) ([]core.Result, core.SearchStats, error) {
+	elapsed := obs.Stopwatch()
+	ex, gen, err := e.executor()
+	if err != nil {
+		return nil, core.SearchStats{}, err
+	}
+	key := ""
+	if e.cache != nil && keyOf != nil {
+		key = keyOf(gen)
+		if res, ok := e.cached(ctx, key); ok {
+			stats := core.SearchStats{Elapsed: elapsed()}
+			return res, stats, nil
+		}
+	}
+	res, stats, err := do(ex)
+	if err != nil {
+		return nil, stats, err
+	}
+	e.store(key, res)
+	return res, stats, nil
+}
+
+// SearchCtx mirrors core.Engine.SearchCtx over the shards.
+func (e *Engine) SearchCtx(ctx context.Context, q core.Query) ([]core.Result, core.SearchStats, error) {
+	return e.run(ctx,
+		func(gen uint64) string { return cacheKey(cacheSearch, gen, q) },
+		func(ex *Executor) ([]core.Result, core.SearchStats, error) { return ex.SearchCtx(ctx, q) })
+}
+
+// SearchThresholdCtx mirrors core.Engine.SearchThresholdCtx.
+func (e *Engine) SearchThresholdCtx(ctx context.Context, q core.Query, theta float64) ([]core.Result, core.SearchStats, error) {
+	return e.run(ctx,
+		func(gen uint64) string { return cacheKey(cacheThreshold, gen, q, math.Float64bits(theta)) },
+		func(ex *Executor) ([]core.Result, core.SearchStats, error) {
+			return ex.SearchThresholdCtx(ctx, q, theta)
+		})
+}
+
+// SearchWindowedCtx mirrors core.Engine.SearchWindowedCtx.
+func (e *Engine) SearchWindowedCtx(ctx context.Context, q core.Query, window core.TimeWindow) ([]core.Result, core.SearchStats, error) {
+	return e.run(ctx,
+		func(gen uint64) string {
+			return cacheKey(cacheWindowed, gen, q, math.Float64bits(window.From), math.Float64bits(window.To))
+		},
+		func(ex *Executor) ([]core.Result, core.SearchStats, error) {
+			return ex.SearchWindowedCtx(ctx, q, window)
+		})
+}
+
+// OrderAwareSearchCtx mirrors core.Engine.OrderAwareSearchCtx.
+func (e *Engine) OrderAwareSearchCtx(ctx context.Context, q core.Query) ([]core.Result, core.SearchStats, error) {
+	return e.run(ctx,
+		func(gen uint64) string { return cacheKey(cacheOrderAware, gen, q) },
+		func(ex *Executor) ([]core.Result, core.SearchStats, error) { return ex.OrderAwareSearchCtx(ctx, q) })
+}
+
+// DiversifiedSearchCtx mirrors core.Engine.DiversifiedSearchCtx.
+func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q core.Query, opts core.DiversifyOptions) ([]core.Result, core.SearchStats, error) {
+	return e.run(ctx,
+		func(gen uint64) string {
+			return cacheKey(cacheDiversified, gen, q, math.Float64bits(opts.Mu), uint64(opts.PoolFactor))
+		},
+		func(ex *Executor) ([]core.Result, core.SearchStats, error) {
+			return ex.DiversifiedSearchCtx(ctx, q, opts)
+		})
+}
+
+// NumShards reports the current executor's shard count (0 before the
+// first dynamic build).
+func (e *Engine) NumShards() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ex == nil {
+		return 0
+	}
+	return e.ex.NumShards()
+}
+
+// CacheLen reports the number of cached result lists (for tests and
+// debug endpoints).
+func (e *Engine) CacheLen() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}

@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"uots/internal/trajdb"
+)
+
+// checkPartitionContract asserts the Partitioner contract: n entries,
+// every trajectory exactly once, each entry ascending.
+func checkPartitionContract(t *testing.T, label string, assignment [][]trajdb.TrajID, n, total int) {
+	t.Helper()
+	if len(assignment) != n {
+		t.Fatalf("%s: %d shards, want %d", label, len(assignment), n)
+	}
+	seen := make(map[trajdb.TrajID]int, total)
+	for s, ids := range assignment {
+		for i, id := range ids {
+			if i > 0 && ids[i-1] >= id {
+				t.Errorf("%s: shard %d not strictly ascending at index %d (%d then %d)", label, s, i, ids[i-1], id)
+			}
+			if prev, dup := seen[id]; dup {
+				t.Errorf("%s: trajectory %d assigned to shards %d and %d", label, id, prev, s)
+			}
+			seen[id] = s
+		}
+	}
+	if len(seen) != total {
+		t.Errorf("%s: %d trajectories assigned, want %d", label, len(seen), total)
+	}
+	for id := 0; id < total; id++ {
+		if _, ok := seen[trajdb.TrajID(id)]; !ok {
+			t.Errorf("%s: trajectory %d unassigned", label, id)
+		}
+	}
+}
+
+func TestPartitionerContract(t *testing.T) {
+	f := testFixture(t)
+	total := f.db.NumTrajectories()
+	for _, part := range []Partitioner{HashPartitioner{}, RegionPartitioner{}, RegionPartitioner{GridCells: 4}} {
+		for _, n := range []int{1, 2, 5, 16} {
+			a := part.Partition(f.db, n)
+			checkPartitionContract(t, part.String(), a, n, total)
+			// Determinism: a second run must produce the identical layout.
+			b := part.Partition(f.db, n)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%v/n=%d: two runs produced different assignments", part, n)
+			}
+		}
+	}
+}
+
+func TestHashPartitionerBalance(t *testing.T) {
+	f := testFixture(t)
+	total := f.db.NumTrajectories()
+	const n = 4
+	a := HashPartitioner{}.Partition(f.db, n)
+	for s, ids := range a {
+		// A uniform hash over 400 trajectories should put roughly 100 per
+		// shard; a shard under a quarter of its fair share signals a
+		// broken hash.
+		if len(ids) < total/n/4 {
+			t.Errorf("shard %d holds %d of %d trajectories — hash is badly skewed", s, len(ids), total)
+		}
+	}
+}
+
+func TestPartitionerByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		ok   bool
+	}{
+		{"", "hash", true},
+		{"hash", "hash", true},
+		{"region", "region", true},
+		{"bogus", "", false},
+	}
+	for _, c := range cases {
+		p, ok := PartitionerByName(c.name)
+		if ok != c.ok {
+			t.Errorf("PartitionerByName(%q): ok = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if ok && p.String() != c.want {
+			t.Errorf("PartitionerByName(%q) = %v, want %s", c.name, p, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// workerPool bounds the number of per-shard searches running at once
+// across every in-flight query. Tasks never spawn tasks (scatters are
+// one level deep), so a fixed pool cannot deadlock: every submitted task
+// is already in a worker's hands — the task channel is unbuffered — and
+// runs to completion.
+type workerPool struct {
+	tasks chan func()
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &workerPool{tasks: make(chan func()), quit: make(chan struct{})}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.work()
+	}
+	return p
+}
+
+func (p *workerPool) work() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case task := <-p.tasks:
+			task()
+		}
+	}
+}
+
+// submit hands task to a worker, blocking while the pool is saturated.
+// It reports false — and the task will never run — when ctx is cancelled
+// or the pool closes before a worker frees up.
+func (p *workerPool) submit(ctx context.Context, task func()) bool {
+	select {
+	case p.tasks <- task:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-p.quit:
+		return false
+	}
+}
+
+// close stops the workers after their current tasks finish and waits for
+// them. Safe to call more than once.
+func (p *workerPool) close() {
+	p.once.Do(func() { close(p.quit) })
+	p.wg.Wait()
+}

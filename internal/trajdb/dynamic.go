@@ -28,6 +28,7 @@ type DynamicStore struct {
 	live   map[ExternalID]*Trajectory // keyed by external handle
 	order  []ExternalID               // insertion order of live handles
 	nextID ExternalID
+	gen    uint64 // bumped on every mutation; keys snapshot-scoped caches
 
 	snap     *Store
 	snapIDs  []ExternalID // dense TrajID → external handle for snap
@@ -100,11 +101,24 @@ func (d *DynamicStore) Get(id ExternalID) (*Trajectory, bool) {
 	return t, ok
 }
 
-// invalidate drops the cached snapshot; callers hold d.mu.
+// invalidate drops the cached snapshot and advances the generation;
+// callers hold d.mu.
 func (d *DynamicStore) invalidate() {
+	d.gen++
 	d.snap = nil
 	d.snapIDs = nil
 	d.snapKeep = nil
+}
+
+// Generation returns a counter that advances on every mutation (Add or
+// Remove). Two equal generations bracket an unchanged live set, so any
+// value derived from a snapshot — search results, partition layouts —
+// may be cached under the generation it was computed at and dropped the
+// moment the generation moves on. A fresh store is at generation 0.
+func (d *DynamicStore) Generation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
 }
 
 // Snapshot returns an immutable dense store of the current live set plus
@@ -112,10 +126,19 @@ func (d *DynamicStore) invalidate() {
 // since the previous call. The snapshot remains valid (and consistent)
 // after further mutations; only its contents are frozen in time.
 func (d *DynamicStore) Snapshot() (*Store, []ExternalID) {
+	snap, ids, _ := d.SnapshotGen()
+	return snap, ids
+}
+
+// SnapshotGen is Snapshot plus the generation the snapshot belongs to,
+// read atomically with the snapshot itself (reading Generation after
+// Snapshot could observe a concurrent mutation's bump and mislabel the
+// older snapshot). Callers keying caches by generation must use this.
+func (d *DynamicStore) SnapshotGen() (*Store, []ExternalID, uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.snap != nil {
-		return d.snap, d.snapIDs
+		return d.snap, d.snapIDs, d.gen
 	}
 	b := NewBuilder(d.g, d.vocab)
 	ids := make([]ExternalID, 0, len(d.live))
@@ -142,7 +165,7 @@ func (d *DynamicStore) Snapshot() (*Store, []ExternalID) {
 	for dense, ext := range ids {
 		d.snapKeep[ext] = TrajID(dense)
 	}
-	return d.snap, d.snapIDs
+	return d.snap, d.snapIDs, d.gen
 }
 
 // DenseID translates a handle into the dense TrajID of the most recent
