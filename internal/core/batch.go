@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"uots/internal/obs"
 )
 
 // Algorithm names a query-processing strategy for batch runs and
@@ -44,6 +46,16 @@ type BatchOptions struct {
 	Algorithm Algorithm
 	// TextFirst tunes AlgoTextFirst runs.
 	TextFirst TextFirstOptions
+	// SharedExpansion enables the batch planner: queries referencing the
+	// same source vertex share one expansion frontier and its memoized
+	// vertex→trajectory scans (see batchplan.go), doing each network
+	// relaxation once per distinct source instead of once per reference.
+	// Per-query admission, pruning bounds, and scheduling stay
+	// independent, so results and per-query stats are byte-identical to
+	// independent runs; only the batch-level planner counters and
+	// wall-clock change. Effective for AlgoExpansion only — the
+	// baselines do not expand frontiers incrementally.
+	SharedExpansion bool
 }
 
 // BatchResult is the outcome of one query in a batch.
@@ -60,18 +72,33 @@ type BatchStats struct {
 	Failed    int
 	PerQuery  SearchStats   // summed per-query counters
 	WallClock time.Duration // end-to-end elapsed time of the batch
+
+	// Shared-expansion planner counters (all zero when SharedExpansion
+	// is off or the algorithm is not AlgoExpansion).
+	DistinctSources int    // distinct source vertices with a shared frontier
+	SourceRefs      int    // per-query source references planned onto frontiers
+	FrontierSettles uint64 // Dijkstra settles the shared frontiers performed
+	ServedSettles   uint64 // settles served to queries; minus FrontierSettles = expansions saved
 }
 
 // SearchBatch processes the queries with a fixed pool of worker
-// goroutines — the per-query searches are fully independent, which is the
-// parallelism this research line exploits. Results arrive indexed by input
-// position. A tracer attached to ctx (obs.ContextWithTracer) is shared by
-// every worker: per-query span events interleave into one stream, which
-// the obs.TraceRecorder accepts concurrently. The context cancels the whole batch: unscheduled queries are
-// marked with ctx.Err(), and queries already running observe the
-// cancellation inside their search loops and abort within one poll
-// interval. SearchBatch itself always drains its workers before
-// returning, so no goroutines outlive the call.
+// goroutines. Results arrive indexed by input position. A tracer
+// attached to ctx (obs.ContextWithTracer) is shared by every worker:
+// per-query span events interleave into one stream, which the
+// obs.TraceRecorder accepts concurrently.
+//
+// With opts.SharedExpansion, AlgoExpansion queries referencing the same
+// source vertex share expansion frontiers (see batchplan.go); per-query
+// results and stats are byte-identical to independent runs either way.
+//
+// The context cancels the whole batch: queries the scheduler never
+// handed to a worker are marked with ctx.Err(), and queries already
+// running observe the cancellation inside their search loops and abort
+// within one poll interval. A query that completed before the
+// cancellation keeps its results — scheduling is tracked explicitly per
+// slot, so a legitimately-empty successful result is never reclassified
+// as cancelled. SearchBatch itself always drains its workers before
+// returning, so no goroutines outlive the call; its error is ctx.Err().
 func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts BatchOptions) (out []BatchResult, stats BatchStats, err error) {
 	// Store panics inside worker goroutines are converted to per-query
 	// errors by the entry points the workers call; this guard covers the
@@ -86,7 +113,17 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []Query, opts BatchOpt
 		return nil, BatchStats{}, fmt.Errorf("core: unknown batch algorithm %d", int(opts.Algorithm))
 	}
 	elapsed := stopwatch()
+	var share *batchShare
+	if opts.SharedExpansion && opts.Algorithm == AlgoExpansion {
+		share = newBatchShare(e)
+		ctx = contextWithBatchShare(ctx, share)
+	}
 	out = make([]BatchResult, len(queries))
+	// scheduled marks the slots handed to a worker; workers write every
+	// slot they receive (run or drained), so unscheduled slots — and
+	// only those — are filled in afterwards. Written and read by this
+	// goroutine only.
+	scheduled := make([]bool, len(queries))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
@@ -109,21 +146,43 @@ feed:
 	for i := range queries {
 		select {
 		case jobs <- i:
+			scheduled[i] = true
 		case <-ctx.Done():
-			// Mark unscheduled queries as cancelled.
 			break feed
 		}
 	}
 	close(jobs)
 	wg.Wait()
 
-	stats = BatchStats{Queries: len(queries), WallClock: elapsed()}
+	stats = finalizeBatch(out, scheduled, ctx.Err())
+	stats.WallClock = elapsed()
+	if share != nil {
+		stats.DistinctSources = int(share.distinctSources.Load())
+		stats.SourceRefs = int(share.sourceRefs.Load())
+		stats.FrontierSettles = share.frontierSettles.Load()
+		stats.ServedSettles = share.servedSettles.Load()
+		if trace := tracerFrom(ctx); trace != nil {
+			trace.Emit(obs.SpanEvent{Kind: TraceBatchPlan, Source: -1, Traj: -1,
+				Value: float64(stats.ServedSettles), Extra: float64(stats.FrontierSettles),
+				Note: fmt.Sprintf("sources=%d refs=%d", stats.DistinctSources, stats.SourceRefs)})
+		}
+	}
+	return out, stats, ctx.Err()
+}
+
+// finalizeBatch classifies the batch slots after the workers drain:
+// slots never handed to a worker are marked with the batch's
+// cancellation error; every scheduled slot is trusted as written —
+// a successful result is a successful result even when it is empty and
+// the batch context has since been cancelled. (The previous
+// implementation inferred unscheduled slots from the zero-value shape
+// `Results == nil && Err == nil && Stats == zero`, which reclassified
+// any legitimately-empty completed query as cancelled.)
+func finalizeBatch(out []BatchResult, scheduled []bool, ctxErr error) BatchStats {
+	stats := BatchStats{Queries: len(out)}
 	for i := range out {
-		if out[i].Results == nil && out[i].Err == nil && out[i].Stats == (SearchStats{}) {
-			if err := ctx.Err(); err != nil {
-				out[i].Err = err
-				out[i].Index = i
-			}
+		if !scheduled[i] {
+			out[i] = BatchResult{Index: i, Err: ctxErr}
 		}
 		if out[i].Err != nil {
 			stats.Failed++
@@ -131,7 +190,7 @@ feed:
 		}
 		stats.PerQuery.Add(out[i].Stats)
 	}
-	return out, stats, ctx.Err()
+	return stats
 }
 
 func (e *Engine) runOne(ctx context.Context, q Query, opts BatchOptions) ([]Result, SearchStats, error) {

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"uots/internal/roadnet"
+	"uots/internal/trajdb"
+)
+
+// Batch query planner with cross-query expansion sharing.
+//
+// A SearchBatch call's queries often reference the same source vertices
+// (the "millions of users, few hotspots" serving shape): run
+// independently, each query redoes an identical incremental network
+// expansion from every shared source. The planner exploits a structural
+// property of the expansion search: the settle stream of a source —
+// the sequence of (vertex, distance) pairs Dijkstra produces — depends
+// only on (graph, source vertex), never on the query consuming it. So
+// the batch can run ONE shared frontier per distinct source vertex and
+// let every query referencing that source replay the frontier's settle
+// log through a private cursor, while all per-query state (admission,
+// pruning bounds, scheduling, probes, top-k) stays untouched and
+// paper-faithful. Because each query sees bit-identical inputs — the
+// same settle sequence, the same radii, the same vertex→trajectory scan
+// lists — its Results and SearchStats (except Elapsed) are byte-identical
+// to an independent SearchCtx run; the cross-validation suite in
+// batchplan_test.go asserts exactly that.
+//
+// The vertex→trajectory scans are memoized alongside the settle log
+// (one TrajsAtVertex store call per settled vertex per frontier, shared
+// by all consumers), and the whole structure is batch-scoped and keyed
+// by store identity plus snapshot generation: an engine whose store or
+// generation does not match the planner's falls back to private
+// expanders, so a stale share can never serve wrong scans.
+//
+// Concurrency: frontiers advance lazily under a per-frontier mutex —
+// the first cursor to need settle i performs it, later cursors replay
+// it lock-cheap. Store-fault panics (*trajdb.StoreError) raised while
+// extending a frontier propagate to the query that triggered the
+// extension (recovered by its entry point's recoverStoreFault guard);
+// the pending settle is kept un-logged so the next consumer retries the
+// scan instead of observing a hole in the stream.
+
+// expander abstracts the per-source settle stream consumed by the
+// expansion search: a private Dijkstra (soloExpander) or a replay
+// cursor over a batch-shared frontier (frontierCursor). The contract
+// mirrors roadnet.Expander: next settles exactly one vertex in
+// non-decreasing distance order and reports ok=false on exhaustion,
+// after which radius reports roadnet.Unreachable; scan returns the
+// trajectories passing through the vertex next just settled.
+type expander interface {
+	next() (v roadnet.VertexID, d float64, ok bool)
+	radius() float64
+	scan(v roadnet.VertexID) []trajdb.TrajID
+}
+
+// soloExpander is the independent path: one private Dijkstra per query
+// source with direct store scans.
+type soloExpander struct {
+	exp *roadnet.Expander
+	db  TrajStore
+}
+
+func (s soloExpander) next() (roadnet.VertexID, float64, bool) { return s.exp.Next() }
+func (s soloExpander) radius() float64                         { return s.exp.Radius() }
+func (s soloExpander) scan(v roadnet.VertexID) []trajdb.TrajID { return s.db.TrajsAtVertex(v) }
+
+// frontierStep is one settled vertex of a shared frontier: the vertex,
+// its exact distance from the source, and the memoized trajectory scan
+// at that vertex.
+type frontierStep struct {
+	v     roadnet.VertexID
+	d     float64
+	trajs []trajdb.TrajID
+}
+
+// sharedFrontier is one expansion frontier shared by every query of a
+// batch that references its source vertex. It advances an underlying
+// roadnet.Expander lazily and records each settle (with its scan) so
+// later consumers replay instead of re-expanding.
+type sharedFrontier struct {
+	bs *batchShare
+
+	mu        sync.Mutex
+	exp       *roadnet.Expander
+	steps     []frontierStep
+	exhausted bool
+
+	// pending holds a settle whose scan has not been logged yet: if
+	// TrajsAtVertex panics with a store fault, the Dijkstra step must
+	// not be lost — the next consumer retries the scan only.
+	pending      frontierStep
+	pendingValid bool
+}
+
+// stepAt returns the i-th settle of this frontier, extending the
+// underlying expansion as needed. ok is false once the source's
+// reachable component is exhausted before step i.
+func (f *sharedFrontier) stepAt(i int) (frontierStep, bool) {
+	f.mu.Lock()
+	// Deferred so a store-fault panic inside extend releases the
+	// frontier for the other queries of the batch.
+	defer f.mu.Unlock()
+	for len(f.steps) <= i && !f.exhausted {
+		f.extendLocked()
+	}
+	if i < len(f.steps) {
+		return f.steps[i], true
+	}
+	return frontierStep{}, false
+}
+
+// extendLocked settles one more vertex and memoizes its scan. Called
+// with f.mu held.
+func (f *sharedFrontier) extendLocked() {
+	if !f.pendingValid {
+		v, d, ok := f.exp.Next()
+		if !ok {
+			f.exhausted = true
+			return
+		}
+		f.pending = frontierStep{v: v, d: d}
+		f.pendingValid = true
+		f.bs.frontierSettles.Add(1)
+	}
+	// The scan list is copied once and shared read-only by every
+	// consumer (TrajsAtVertex results are only valid until the next
+	// store call on some implementations). May panic with a
+	// *trajdb.StoreError: the pending settle survives for a retry.
+	trajs := f.bs.db.TrajsAtVertex(f.pending.v)
+	f.pending.trajs = append([]trajdb.TrajID(nil), trajs...)
+	f.steps = append(f.steps, f.pending)
+	f.pending = frontierStep{}
+	f.pendingValid = false
+}
+
+// frontierCursor is one query source's private read position on a
+// shared frontier. It implements expander with the exact observable
+// behavior of a fresh roadnet.Expander at the same source: same settle
+// sequence, same radii (0 before the first settle, Unreachable after
+// exhaustion), same scan lists.
+type frontierCursor struct {
+	f   *sharedFrontier
+	pos int
+	rad float64
+	cur []trajdb.TrajID // scan of the most recently settled vertex
+}
+
+func (c *frontierCursor) next() (roadnet.VertexID, float64, bool) {
+	step, ok := c.f.stepAt(c.pos)
+	if !ok {
+		c.rad = roadnet.Unreachable
+		c.cur = nil
+		return -1, roadnet.Unreachable, false
+	}
+	c.pos++
+	c.rad = step.d
+	c.cur = step.trajs
+	c.f.bs.servedSettles.Add(1)
+	return step.v, step.d, true
+}
+
+func (c *frontierCursor) radius() float64 { return c.rad }
+
+// scan returns the memoized trajectory list of the vertex the last next
+// call settled. The argument is accepted for interface symmetry; a
+// cursor's scan is always paired with its own settle stream.
+func (c *frontierCursor) scan(roadnet.VertexID) []trajdb.TrajID { return c.cur }
+
+// batchShare is the batch-scoped planner state: one shared frontier per
+// distinct source vertex, keyed by (store identity, snapshot
+// generation), plus the work counters SearchBatch folds into BatchStats.
+type batchShare struct {
+	g   *roadnet.Graph
+	db  TrajStore
+	gen uint64
+
+	mu        sync.Mutex
+	frontiers map[roadnet.VertexID]*sharedFrontier
+
+	distinctSources atomic.Uint64 // frontiers created
+	sourceRefs      atomic.Uint64 // per-query source references planned
+	frontierSettles atomic.Uint64 // Dijkstra settles actually performed
+	servedSettles   atomic.Uint64 // settles served to query cursors
+}
+
+// newBatchShare builds the planner state for one SearchBatch call on e.
+// The snapshot generation is captured from stores that expose one
+// (trajdb.DynamicStore); plain frozen stores key at generation 0.
+func newBatchShare(e *Engine) *batchShare {
+	bs := &batchShare{
+		g:         e.g,
+		db:        e.db,
+		frontiers: make(map[roadnet.VertexID]*sharedFrontier),
+	}
+	if g, ok := e.db.(interface{ Generation() uint64 }); ok {
+		bs.gen = g.Generation()
+	}
+	return bs
+}
+
+// matches reports whether the share was built for exactly this engine's
+// store snapshot. Engines reached with a foreign or stale share fall
+// back to private expanders — shared settle logs are only valid against
+// the store they were scanned from.
+func (bs *batchShare) matches(e *Engine) bool {
+	if bs == nil || bs.db != e.db || bs.g != e.g {
+		return false
+	}
+	if g, ok := e.db.(interface{ Generation() uint64 }); ok && g.Generation() != bs.gen {
+		return false
+	}
+	return true
+}
+
+// cursorFor returns a fresh cursor on the shared frontier for src,
+// creating the frontier on first reference.
+func (bs *batchShare) cursorFor(src roadnet.VertexID) *frontierCursor {
+	bs.mu.Lock()
+	f, ok := bs.frontiers[src]
+	if !ok {
+		f = &sharedFrontier{bs: bs, exp: roadnet.NewExpander(bs.g, src)}
+		bs.frontiers[src] = f
+		bs.distinctSources.Add(1)
+	}
+	bs.sourceRefs.Add(1)
+	bs.mu.Unlock()
+	return &frontierCursor{f: f}
+}
+
+type batchShareKey struct{}
+
+// contextWithBatchShare attaches the batch planner to the context, the
+// same plumbing idiom as ContextWithSharedBound: SearchBatch attaches
+// it once and every worker's SearchCtx picks it up in newExpansionState.
+func contextWithBatchShare(ctx context.Context, bs *batchShare) context.Context {
+	return context.WithValue(ctx, batchShareKey{}, bs)
+}
+
+// batchShareFrom extracts the batch planner, tolerating nil contexts
+// the same way newCanceller does.
+func batchShareFrom(ctx context.Context) *batchShare {
+	if ctx == nil {
+		return nil
+	}
+	bs, _ := ctx.Value(batchShareKey{}).(*batchShare)
+	return bs
+}

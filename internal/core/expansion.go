@@ -120,7 +120,7 @@ type expansionState struct {
 	theta   float64 // threshold variant bar (0 in top-k mode)
 	useTopK bool
 
-	sources  []*roadnet.Expander
+	sources  []expander
 	live     []bool
 	radExp   []float64 // e^{−rᵢ/γ}; 0 once source i is exhausted
 	liveN    int
@@ -172,7 +172,7 @@ func newExpansionState(ctx context.Context, e *Engine, q Query, theta float64, u
 		lastPick: -1,
 		theta:    theta,
 		useTopK:  useTopK,
-		sources:  make([]*roadnet.Expander, len(q.Locations)),
+		sources:  make([]expander, len(q.Locations)),
 		live:     make([]bool, len(q.Locations)),
 		radExp:   make([]float64, len(q.Locations)),
 		liveN:    len(q.Locations),
@@ -180,8 +180,19 @@ func newExpansionState(ctx context.Context, e *Engine, q Query, theta float64, u
 		cands:    make([]*cand, e.db.NumTrajectories()),
 		labels:   make([]float64, len(q.Locations)),
 	}
+	// Inside a shared-expansion batch (SearchBatch with SharedExpansion)
+	// the per-source settle streams come from the batch's shared
+	// frontiers; a share built for a different store snapshot is ignored.
+	share := batchShareFrom(ctx)
+	if share != nil && !share.matches(e) {
+		share = nil
+	}
 	for i, o := range q.Locations {
-		st.sources[i] = roadnet.NewExpander(e.g, o)
+		if share != nil {
+			st.sources[i] = share.cursorFor(o)
+		} else {
+			st.sources[i] = soloExpander{exp: roadnet.NewExpander(e.g, o), db: e.db}
+		}
 		st.live[i] = true
 		st.radExp[i] = 1 // e^{−0/γ}
 	}
@@ -268,10 +279,10 @@ func (st *expansionState) run() error {
 		}
 		i := st.pickSource()
 		if i != st.lastPick {
-			st.emit(TraceSourcePick, i, -1, st.sources[i].Radius(), 0, "")
+			st.emit(TraceSourcePick, i, -1, st.sources[i].radius(), 0, "")
 			st.lastPick = i
 		}
-		v, d, ok := st.sources[i].Next()
+		v, d, ok := st.sources[i].next()
 		if !ok {
 			st.markDone(i)
 			continue
@@ -279,7 +290,7 @@ func (st *expansionState) run() error {
 		st.stats.SettledVertices++
 		st.radExp[i] = st.e.kernel(d)
 		bit := uint64(1) << i
-		for _, tid := range st.e.db.TrajsAtVertex(v) {
+		for _, tid := range st.sources[i].scan(v) {
 			c := st.candFor(tid)
 			if c.complete || c.mask&bit != 0 {
 				continue
@@ -378,7 +389,7 @@ func (st *expansionState) markDone(i int) {
 	st.liveN--
 	st.radExp[i] = 0
 	st.doneMask |= uint64(1) << i
-	st.emit(TraceSourceDone, i, -1, st.sources[i].Radius(), 0, "")
+	st.emit(TraceSourceDone, i, -1, st.sources[i].radius(), 0, "")
 	keep := st.active[:0]
 	for _, tid := range st.active {
 		c := st.cands[tid]
@@ -639,8 +650,8 @@ func (st *expansionState) pickSource() int {
 		// unseen bound dominates and plain min-radius shrinks it fastest.
 		best, bestR := -1, math.Inf(1)
 		for i, ok := range st.live {
-			if ok && st.labels[i] > 0 && st.sources[i].Radius() < bestR {
-				best, bestR = i, st.sources[i].Radius()
+			if ok && st.labels[i] > 0 && st.sources[i].radius() < bestR {
+				best, bestR = i, st.sources[i].radius()
 			}
 		}
 		if best >= 0 {
@@ -653,8 +664,8 @@ func (st *expansionState) pickSource() int {
 func (st *expansionState) minRadiusSource() int {
 	best, bestR := -1, math.Inf(1)
 	for i, ok := range st.live {
-		if ok && st.sources[i].Radius() < bestR {
-			best, bestR = i, st.sources[i].Radius()
+		if ok && st.sources[i].radius() < bestR {
+			best, bestR = i, st.sources[i].radius()
 		}
 	}
 	return best

@@ -11,38 +11,8 @@ import (
 	"uots/internal/trajdb"
 )
 
-func TestTimeWindowContains(t *testing.T) {
-	w := TimeWindow{From: 8 * 3600, To: 10 * 3600}
-	cases := []struct {
-		t    float64
-		want bool
-	}{
-		{8 * 3600, true},
-		{9 * 3600, true},
-		{10 * 3600, true},
-		{7*3600 + 3599, false},
-		{10*3600 + 1, false},
-	}
-	for _, c := range cases {
-		if got := w.Contains(c.t); got != c.want {
-			t.Errorf("Contains(%g) = %v", c.t, got)
-		}
-	}
-	// Midnight wrap: 22:00–02:00.
-	wrap := TimeWindow{From: 22 * 3600, To: 2 * 3600}
-	if !wrap.Contains(23*3600) || !wrap.Contains(1*3600) {
-		t.Error("wrap window should contain late night and early morning")
-	}
-	if wrap.Contains(12 * 3600) {
-		t.Error("wrap window should not contain noon")
-	}
-	if err := (TimeWindow{From: -1, To: 5}).Validate(); !errors.Is(err, ErrBadWindow) {
-		t.Errorf("negative From: %v", err)
-	}
-	if err := (TimeWindow{From: 0, To: 86400}).Validate(); !errors.Is(err, ErrBadWindow) {
-		t.Errorf("To at day end: %v", err)
-	}
-}
+// TimeWindow.Contains and Validate boundary tests live in
+// timewindow_test.go.
 
 func TestSearchWindowedMatchesFilteredExhaustive(t *testing.T) {
 	e, f := testEngineDefault(t)

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"uots/internal/trajdb"
+)
+
+// TestTimeWindowContains pins the boundary semantics of the departure
+// filter: both endpoints are inclusive, a window with To < From wraps
+// midnight, and From == To admits exactly that single instant.
+func TestTimeWindowContains(t *testing.T) {
+	const day = trajdb.SecondsPerDay
+	tests := []struct {
+		name   string
+		w      TimeWindow
+		t      float64
+		want   bool
+		reason string
+	}{
+		{"inside", TimeWindow{From: 3600, To: 7200}, 5000, true, "interior instant"},
+		{"from-endpoint", TimeWindow{From: 3600, To: 7200}, 3600, true, "From is inclusive"},
+		{"to-endpoint", TimeWindow{From: 3600, To: 7200}, 7200, true, "To is inclusive"},
+		{"before", TimeWindow{From: 3600, To: 7200}, 3599.999, false, "just before From"},
+		{"after", TimeWindow{From: 3600, To: 7200}, 7200.001, false, "just after To"},
+		{"full-day", TimeWindow{From: 0, To: day - 1}, 43200, true, "whole-day window"},
+		{"day-start", TimeWindow{From: 0, To: day - 1}, 0, true, "midnight belongs to a window starting at 0"},
+
+		{"wrap-late", TimeWindow{From: 22 * 3600, To: 2 * 3600}, 23 * 3600, true, "late evening inside a 22:00–02:00 wrap"},
+		{"wrap-early", TimeWindow{From: 22 * 3600, To: 2 * 3600}, 3600, true, "early morning inside the wrap"},
+		{"wrap-midnight", TimeWindow{From: 22 * 3600, To: 2 * 3600}, 0, true, "midnight itself inside the wrap"},
+		{"wrap-outside", TimeWindow{From: 22 * 3600, To: 2 * 3600}, 12 * 3600, false, "noon outside the wrap"},
+		{"wrap-from-endpoint", TimeWindow{From: 22 * 3600, To: 2 * 3600}, 22 * 3600, true, "wrap From is inclusive"},
+		{"wrap-to-endpoint", TimeWindow{From: 22 * 3600, To: 2 * 3600}, 2 * 3600, true, "wrap To is inclusive"},
+		{"wrap-just-before", TimeWindow{From: 22 * 3600, To: 2 * 3600}, 22*3600 - 1, false, "just before the wrap opens"},
+		{"wrap-just-after", TimeWindow{From: 22 * 3600, To: 2 * 3600}, 2*3600 + 1, false, "just after the wrap closes"},
+
+		{"instant-hit", TimeWindow{From: 5 * 3600, To: 5 * 3600}, 5 * 3600, true, "From == To admits that instant"},
+		{"instant-miss-after", TimeWindow{From: 5 * 3600, To: 5 * 3600}, 5*3600 + 1, false, "From == To rejects the next second"},
+		{"instant-miss-before", TimeWindow{From: 5 * 3600, To: 5 * 3600}, 5*3600 - 1, false, "From == To rejects the prior second"},
+		{"zero-instant", TimeWindow{From: 0, To: 0}, 0, true, "the zero window admits midnight only"},
+		{"zero-instant-miss", TimeWindow{From: 0, To: 0}, 1, false, "the zero window rejects everything else"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.w.Contains(tc.t); got != tc.want {
+				t.Errorf("TimeWindow{%g, %g}.Contains(%g) = %v, want %v (%s)",
+					tc.w.From, tc.w.To, tc.t, got, tc.want, tc.reason)
+			}
+		})
+	}
+}
+
+// TestTimeWindowValidate pins the domain check: bounds live in
+// [0, 86400) — a full day is expressed as [0, 86399], not [0, 86400].
+func TestTimeWindowValidate(t *testing.T) {
+	const day = trajdb.SecondsPerDay
+	valid := []TimeWindow{
+		{From: 0, To: 0},
+		{From: 0, To: day - 1},
+		{From: 22 * 3600, To: 2 * 3600},
+	}
+	for _, w := range valid {
+		if err := w.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", w, err)
+		}
+	}
+	invalid := []TimeWindow{
+		{From: -1, To: 3600},
+		{From: 0, To: day},
+		{From: day, To: day},
+		{From: 3600, To: -0.5},
+	}
+	for _, w := range invalid {
+		if err := w.Validate(); !errors.Is(err, ErrBadWindow) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadWindow", w, err)
+		}
+	}
+}

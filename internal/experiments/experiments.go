@@ -33,6 +33,7 @@ func All() []Experiment {
 		{"F8", "disk", "disk-resident store vs memory (LRU buffer budgets)", DiskResident},
 		{"F9", "locality", "effect of query-location spread (clustered → city-wide)", Locality},
 		{"F10", "sharding", "sharded scatter-gather vs monolithic (shard count N)", Sharding},
+		{"F11", "batchshare", "shared-expansion batch planner vs independent execution (source-overlap rate)", BatchShare},
 	}
 }
 

@@ -88,6 +88,8 @@ type serverMetrics struct {
 	searchTextScored *obs.Counter
 	searchProbes     *obs.Counter
 	searchEarlyTerm  *obs.Counter
+
+	batch *obs.BatchMetrics // uots_batch_* (the /batch path's planner counters)
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -121,6 +123,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Adaptive text-probe distance computations."),
 		searchEarlyTerm: reg.Counter("uots_search_early_terminated_total",
 			"Searches that stopped early because the upper bound fell below the bar."),
+
+		batch: obs.NewBatchMetrics(reg),
 	}
 }
 
@@ -136,6 +140,13 @@ func (m *serverMetrics) recordSearch(st core.SearchStats) {
 	if st.EarlyTerminated {
 		m.searchEarlyTerm.Inc()
 	}
+}
+
+// recordBatch accumulates one /batch run's aggregate and planner
+// counters (per-entry search work still goes through recordSearch).
+func (m *serverMetrics) recordBatch(st core.BatchStats, shared bool) {
+	m.batch.RecordBatch(st.Queries, st.Failed, st.DistinctSources, st.SourceRefs,
+		st.FrontierSettles, st.ServedSettles, shared)
 }
 
 // routeLabel maps a request onto a bounded route set so metric label

@@ -59,15 +59,18 @@ const (
 )
 
 // SearchBackend runs the default (expansion) search variants a /search
-// request dispatches. core.Engine satisfies it, as does shard.Engine —
-// wiring a sharded backend through Config.Searcher scales the default
-// algorithm out without touching the handlers. The exhaustive, textfirst
-// and /batch paths always run on the monolithic engine: they are
+// request dispatches plus the /batch path. core.Engine satisfies it, as
+// does shard.Engine — wiring a sharded backend through Config.Searcher
+// scales the default algorithm out without touching the handlers, and
+// batches then scatter whole to every shard so the shared-expansion
+// planner shares frontiers per shard. The explicit exhaustive and
+// textfirst algorithms always run on the monolithic engine: they are
 // baselines and diagnostics, not the serving path.
 type SearchBackend interface {
 	SearchCtx(ctx context.Context, q core.Query) ([]core.Result, core.SearchStats, error)
 	SearchWindowedCtx(ctx context.Context, q core.Query, w core.TimeWindow) ([]core.Result, core.SearchStats, error)
 	OrderAwareSearchCtx(ctx context.Context, q core.Query) ([]core.Result, core.SearchStats, error)
+	SearchBatch(ctx context.Context, queries []core.Query, opts core.BatchOptions) ([]core.BatchResult, core.BatchStats, error)
 }
 
 var _ SearchBackend = (*core.Engine)(nil)
@@ -474,6 +477,12 @@ type BatchRequest struct {
 	Queries []SearchRequest `json:"queries"`
 	// Workers sizes the goroutine pool (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// Shared toggles the shared-expansion batch planner: queries
+	// referencing the same source vertex share one expansion frontier,
+	// cutting redundant Dijkstra work while keeping every entry's
+	// results byte-identical to an independent search. Default true;
+	// set false to force fully independent execution.
+	Shared *bool `json:"shared,omitempty"`
 }
 
 // BatchResponse is the POST /batch reply; Responses align with the
@@ -481,6 +490,21 @@ type BatchRequest struct {
 type BatchResponse struct {
 	Responses   []BatchEntry `json:"responses"`
 	WallClockMs float64      `json:"wallClockMs"`
+	// SharedExpansion reports whether the shared-expansion planner ran;
+	// the planner counters below are zero when it did not (or when no
+	// query validated).
+	SharedExpansion bool `json:"sharedExpansion"`
+	// DistinctSources is the number of distinct source vertices the
+	// planner gave one shared frontier (summed per shard on sharded
+	// backends); SourceRefs is how many per-query source references
+	// those frontiers served.
+	DistinctSources int `json:"distinctSources,omitempty"`
+	SourceRefs      int `json:"sourceRefs,omitempty"`
+	// FrontierSettles is the Dijkstra work actually performed by shared
+	// frontiers; ServedSettles is the work served to queries. The
+	// difference is the expansion work sharing avoided.
+	FrontierSettles uint64 `json:"frontierSettles,omitempty"`
+	ServedSettles   uint64 `json:"servedSettles,omitempty"`
 }
 
 // BatchEntry is one query's outcome within a batch.
@@ -531,12 +555,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			live = append(live, queries[i])
 		}
 	}
+	shared := req.Shared == nil || *req.Shared
 	if len(live) > 0 {
-		out, stats, err := s.engine.SearchBatch(r.Context(), live, core.BatchOptions{Workers: req.Workers})
+		out, stats, err := s.backend.SearchBatch(r.Context(), live,
+			core.BatchOptions{Workers: req.Workers, SharedExpansion: shared})
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return
 		}
+		s.metrics.recordBatch(stats, shared)
+		resp.SharedExpansion = shared
+		resp.DistinctSources = stats.DistinctSources
+		resp.SourceRefs = stats.SourceRefs
+		resp.FrontierSettles = stats.FrontierSettles
+		resp.ServedSettles = stats.ServedSettles
 		for j, o := range out {
 			entry := &resp.Responses[idx[j]]
 			if o.Err != nil {

@@ -319,6 +319,78 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+// TestBatchSharedExpansionFlag pins the /batch planner contract: the
+// shared-expansion planner is on by default, reports its work in the
+// response's planner fields, and an explicit "shared": false forces
+// fully independent execution with zero planner counters — and the
+// same per-entry answers.
+func TestBatchSharedExpansionFlag(t *testing.T) {
+	s, _ := testServer(t)
+	// Four queries over the same two source vertices: maximal overlap,
+	// so the planner must record more served than performed settles.
+	queries := make([]SearchRequest, 4)
+	for i := range queries {
+		queries[i] = SearchRequest{VertexIDs: []int32{5, 60}, Keywords: "t0_kw0", K: 3}
+	}
+
+	rec, body := doJSON(t, s.Handler(), "POST", "/batch", BatchRequest{Queries: queries})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default batch = %d: %v", rec.Code, body)
+	}
+	if body["sharedExpansion"] != true {
+		t.Error("sharedExpansion not reported true by default")
+	}
+	served, _ := body["servedSettles"].(float64)
+	frontier, _ := body["frontierSettles"].(float64)
+	if served <= frontier || served == 0 {
+		t.Errorf("planner fields report no sharing: served=%v frontier=%v", served, frontier)
+	}
+	if ds, _ := body["distinctSources"].(float64); ds != 2 {
+		t.Errorf("distinctSources = %v, want 2", ds)
+	}
+	if refs, _ := body["sourceRefs"].(float64); refs != 8 {
+		t.Errorf("sourceRefs = %v, want 8", refs)
+	}
+
+	off := false
+	recOff, bodyOff := doJSON(t, s.Handler(), "POST", "/batch",
+		BatchRequest{Queries: queries, Shared: &off})
+	if recOff.Code != http.StatusOK {
+		t.Fatalf("shared=false batch = %d: %v", recOff.Code, bodyOff)
+	}
+	if bodyOff["sharedExpansion"] != false {
+		t.Error("sharedExpansion not reported false when disabled")
+	}
+	if v, ok := bodyOff["servedSettles"]; ok && v.(float64) != 0 {
+		t.Errorf("independent batch reported servedSettles = %v", v)
+	}
+
+	// Same answers either way.
+	for i := range queries {
+		sharedTop := body["responses"].([]any)[i].(map[string]any)["results"].([]any)[0].(map[string]any)["trajectory"]
+		offTop := bodyOff["responses"].([]any)[i].(map[string]any)["results"].([]any)[0].(map[string]any)["trajectory"]
+		if sharedTop != offTop {
+			t.Errorf("entry %d: shared top %v != independent top %v", i, sharedTop, offTop)
+		}
+	}
+
+	// The uots_batch_* series are exposed on /metrics.
+	mreq := httptest.NewRequest("GET", "/metrics", nil)
+	recM := httptest.NewRecorder()
+	s.Handler().ServeHTTP(recM, mreq)
+	text := recM.Body.String()
+	for _, name := range []string{
+		"uots_batch_requests_total",
+		"uots_batch_queries_total",
+		"uots_batch_shared_total",
+		"uots_batch_served_settles_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}
+
 func TestBatchValidation(t *testing.T) {
 	s, _ := testServer(t)
 	rec, _ := doJSON(t, s.Handler(), "POST", "/batch", BatchRequest{})

@@ -144,3 +144,75 @@ func TestShardedBackendSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedBatchEndpoint drives /batch through the sharded backend:
+// mixed valid/invalid entries answer per slot, every valid entry
+// matches the monolithic engine, and a repeat batch serves from the
+// shard result cache without re-scattering.
+func TestShardedBatchEndpoint(t *testing.T) {
+	s, reg, mono := shardedServer(t)
+
+	req := BatchRequest{
+		Queries: []SearchRequest{
+			{VertexIDs: []int32{3, 17}, Keywords: "t0_kw0", K: 4},
+			{K: 2}, // invalid: no locations
+			{VertexIDs: []int32{3, 29}, Keywords: "t1_kw1", K: 4},
+			{VertexIDs: []int32{3, 17}, Keywords: "t2_kw2", K: 4},
+		},
+	}
+	rec, body := doJSON(t, s.Handler(), "POST", "/batch", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sharded /batch = %d: %v", rec.Code, body)
+	}
+	if body["sharedExpansion"] != true {
+		t.Error("sharded batch did not report sharedExpansion")
+	}
+	responses := body["responses"].([]any)
+	if len(responses) != 4 {
+		t.Fatalf("got %d responses, want 4", len(responses))
+	}
+	if e := responses[1].(map[string]any)["error"]; e == nil || e == "" {
+		t.Error("invalid entry missing its error")
+	}
+	for _, qi := range []int{0, 2, 3} {
+		q, _, err := s.buildQuery(req.Queries[qi])
+		if err != nil {
+			t.Fatalf("buildQuery %d: %v", qi, err)
+		}
+		want, _, err := mono.SearchCtx(context.Background(), q)
+		if err != nil {
+			t.Fatalf("monolithic query %d: %v", qi, err)
+		}
+		results := responses[qi].(map[string]any)["results"].([]any)
+		if len(results) != len(want) {
+			t.Fatalf("entry %d: %d results, monolithic %d", qi, len(results), len(want))
+		}
+		for i, raw := range results {
+			got := int32(raw.(map[string]any)["trajectory"].(float64))
+			if got != int32(want[i].Traj) {
+				t.Errorf("entry %d rank %d: sharded %d, monolithic %d", qi, i, got, want[i].Traj)
+			}
+		}
+	}
+
+	// A repeat of the same batch is all cache hits (3 valid entries).
+	hitsBefore := reg.Counter("uots_shard_cache_hits_total", "").Value()
+	rec, body2 := doJSON(t, s.Handler(), "POST", "/batch", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("repeat sharded /batch = %d", rec.Code)
+	}
+	if hits := reg.Counter("uots_shard_cache_hits_total", "").Value(); hits != hitsBefore+3 {
+		t.Errorf("repeat batch recorded %d cache hits, want %d", hits, hitsBefore+3)
+	}
+	for _, qi := range []int{0, 2, 3} {
+		a := responses[qi].(map[string]any)["results"].([]any)
+		b := body2["responses"].([]any)[qi].(map[string]any)["results"].([]any)
+		for i := range a {
+			at := a[i].(map[string]any)["trajectory"]
+			bt := b[i].(map[string]any)["trajectory"]
+			if at != bt {
+				t.Errorf("entry %d rank %d: cached %v != fresh %v", qi, i, bt, at)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+	"uots/internal/pqueue"
+)
+
+// Sharded batch execution. The whole batch scatters to every shard as
+// one core.SearchBatch call, so a shared-expansion batch
+// (core.BatchOptions.SharedExpansion) shares frontiers per shard — each
+// shard runs one frontier per distinct source vertex over its own
+// partition of the store. The gather then merges per query: each
+// query's local top-k lists fold into the global top-k exactly as the
+// single-query scatter does (selection lemma + globals remap), and each
+// query's error resolves with the same deterministic precedence as
+// Executor.resolve.
+//
+// The cross-shard SharedBound exchange stays OFF for batches, like the
+// order-aware variant: the bound is valid only among participants of
+// the SAME query with the same K, and a batch multiplexes many queries
+// over one scatter context.
+
+// shardBatchOut is one shard's batch outcome.
+type shardBatchOut struct {
+	out   []core.BatchResult
+	stats core.BatchStats
+	err   error // shard-level failure (cancellation, closed pool, frame fault)
+	ran   bool
+}
+
+// SearchBatch mirrors core.Engine.SearchBatch over the shards: every
+// shard runs the whole batch (with intra-shard expansion sharing when
+// enabled), and results merge per query. Per-query errors surface in
+// the per-slot Err like the monolithic batch; under PartialDegrade a
+// query is served from its healthy shards when others hit store faults.
+// The returned error is ctx.Err(), matching the monolithic contract.
+func (ex *Executor) SearchBatch(ctx context.Context, queries []core.Query, opts core.BatchOptions) ([]core.BatchResult, core.BatchStats, error) {
+	elapsed := obs.Stopwatch()
+	switch opts.Algorithm {
+	case core.AlgoExpansion, core.AlgoExhaustive, core.AlgoTextFirst:
+	default:
+		return nil, core.BatchStats{}, fmt.Errorf("core: unknown batch algorithm %d", int(opts.Algorithm))
+	}
+	sctx, trace := ex.begin(ctx, "batch", false)
+	outs := ex.scatterBatch(sctx, queries, opts)
+
+	var bstats core.BatchStats
+	bstats.Queries = len(queries)
+	out := make([]core.BatchResult, len(queries))
+	considered := 0
+	for i := range outs {
+		o := &outs[i]
+		if !o.ran {
+			continue
+		}
+		bstats.DistinctSources += o.stats.DistinctSources
+		bstats.SourceRefs += o.stats.SourceRefs
+		bstats.FrontierSettles += o.stats.FrontierSettles
+		bstats.ServedSettles += o.stats.ServedSettles
+		if trace != nil {
+			note := ""
+			if o.err != nil {
+				note = "err"
+			}
+			trace.Emit(obs.SpanEvent{Kind: TraceShardDone, Source: -1, Traj: -1,
+				Value: float64(i), Extra: float64(len(o.out)), Note: note})
+		}
+	}
+	for qi := range queries {
+		out[qi] = ex.gatherQuery(ctx, outs, qi, queries[qi].K, &considered)
+		if out[qi].Err != nil {
+			bstats.Failed++
+			continue
+		}
+		bstats.PerQuery.Add(out[qi].Stats)
+	}
+	if trace != nil {
+		trace.Emit(obs.SpanEvent{Kind: TraceMerge, Source: -1, Traj: -1,
+			Value: float64(len(queries) - bstats.Failed), Extra: float64(considered)})
+	}
+	bstats.WallClock = elapsed()
+	return out, bstats, ctx.Err()
+}
+
+// scatterBatch fans the whole batch out to every non-empty shard on the
+// worker pool and waits for all submitted tasks. Unlike scatter there
+// is no fail-fast sibling cancellation: a per-query store fault is a
+// per-query outcome (the monolithic batch keeps running too), and a
+// shard-level error is only ever a cancellation the siblings already
+// observe through the shared context.
+func (ex *Executor) scatterBatch(ctx context.Context, queries []core.Query, opts core.BatchOptions) []shardBatchOut {
+	out := make([]shardBatchOut, len(ex.shards))
+	done := make(chan struct{}, len(ex.shards))
+	submitted := 0
+	for i := range ex.shards {
+		h := &ex.shards[i]
+		if h.engine == nil {
+			continue
+		}
+		o := &out[i]
+		ok := ex.pool.submit(ctx, func() {
+			res, stats, err := h.engine.SearchBatch(ctx, queries, opts)
+			o.out, o.stats, o.err, o.ran = res, stats, err, true
+			h.counters.record(stats.PerQuery, err)
+			done <- struct{}{}
+		})
+		if !ok {
+			// The context died (or the pool closed) before a worker freed
+			// up; the task never ran.
+			err := ctx.Err()
+			if err == nil {
+				err = ErrClosed
+			}
+			o.err, o.ran = err, true
+			continue
+		}
+		submitted++
+	}
+	for j := 0; j < submitted; j++ {
+		<-done
+	}
+	return out
+}
+
+// gatherQuery resolves and merges one query of a gathered batch
+// scatter, mirroring resolve's deterministic error precedence: the
+// caller's own cancellation first, then the lowest-index shard error
+// that is not a secondary cancellation, with PartialDegrade store
+// faults dropped from the merge unless every shard faulted.
+func (ex *Executor) gatherQuery(ctx context.Context, outs []shardBatchOut, qi, k int, considered *int) core.BatchResult {
+	var stats core.SearchStats
+	var firstErr, firstNonCancel, firstFault error
+	var use []int
+	degraded := 0
+	for i := range outs {
+		o := &outs[i]
+		if !o.ran {
+			continue
+		}
+		qerr := o.err
+		if qerr == nil {
+			r := &o.out[qi]
+			stats.Add(r.Stats)
+			if r.Stats.EarlyTerminated {
+				stats.EarlyTerminated = true
+			}
+			qerr = r.Err
+			if qerr == nil {
+				use = append(use, i)
+				continue
+			}
+		}
+		if ex.partial == PartialDegrade && errors.Is(qerr, core.ErrStoreFault) {
+			if firstFault == nil {
+				firstFault = qerr
+			}
+			degraded++
+			continue
+		}
+		if firstErr == nil {
+			firstErr = qerr
+		}
+		if firstNonCancel == nil && !errors.Is(qerr, context.Canceled) {
+			firstNonCancel = qerr
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return core.BatchResult{Index: qi, Stats: stats, Err: cerr}
+	}
+	if firstNonCancel != nil {
+		return core.BatchResult{Index: qi, Stats: stats, Err: firstNonCancel}
+	}
+	if firstErr != nil {
+		return core.BatchResult{Index: qi, Stats: stats, Err: firstErr}
+	}
+	if degraded > 0 && len(use) == 0 {
+		return core.BatchResult{Index: qi, Stats: stats, Err: fmt.Errorf("%w: %w", ErrAllShardsFailed, firstFault)}
+	}
+	ex.metrics.recordDegraded(degraded)
+	if k < 1 {
+		k = 1 // Query.normalize's default
+	}
+	top := pqueue.NewTopK[core.Result](k)
+	for _, si := range use {
+		h := &ex.shards[si]
+		for _, r := range outs[si].out[qi].Results {
+			r.Traj = h.globals[r.Traj]
+			top.Offer(r.Score, int64(r.Traj), r)
+			*considered++
+		}
+	}
+	return core.BatchResult{Index: qi, Results: top.Results(), Stats: stats}
+}

@@ -17,9 +17,10 @@ import (
 //
 // Hits return the results only, with zero work stats — a cached answer
 // did no store work, and reporting the original query's counters again
-// would double-count in metrics. Entries are value copies; callers may
-// not mutate returned results' Dists in place (they are shared between
-// hits of the same key).
+// would double-count in metrics. Entries are deep copies: put copies
+// the stored list (including each result's Dists) away from the
+// caller, and every get hands out a fresh copy, so callers own the
+// returned results outright and may mutate them freely.
 type Cache struct {
 	shards []cacheShard
 }
@@ -42,7 +43,10 @@ type cacheEntry struct {
 const cacheSubShards = 8
 
 // newCache builds a cache holding up to total entries across its
-// sub-shards, or returns nil (caching disabled) for total <= 0.
+// sub-shards, or returns nil (caching disabled) for total <= 0. The
+// capacity is distributed exactly: the first total%n sub-shards get one
+// extra slot, so the aggregate capacity equals total (a ceil split
+// would hand e.g. total=9 a 16-slot budget).
 func newCache(total int) *Cache {
 	if total <= 0 {
 		return nil
@@ -51,13 +55,16 @@ func newCache(total int) *Cache {
 	if total < n {
 		n = 1
 	}
-	per := (total + n - 1) / n
+	base, rem := total/n, total%n
 	c := &Cache{shards: make([]cacheShard, n)}
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.cap = per
+		s.cap = base
+		if i < rem {
+			s.cap++
+		}
 		s.lru = list.New()
-		s.byKey = make(map[string]*list.Element, per)
+		s.byKey = make(map[string]*list.Element, s.cap)
 	}
 	return c
 }
@@ -71,8 +78,19 @@ func (c *Cache) shardFor(key string) *cacheShard {
 	return &c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
-// get returns a copy of the cached result list for key, if present,
-// refreshing its recency.
+// copyResults deep-copies a result list: a shallow copy would alias the
+// per-result Dists backing arrays, letting one caller's in-place
+// mutation corrupt every later hit of the same key.
+func copyResults(res []core.Result) []core.Result {
+	cp := append([]core.Result(nil), res...)
+	for i := range cp {
+		cp[i].Dists = append([]float64(nil), cp[i].Dists...)
+	}
+	return cp
+}
+
+// get returns a deep copy of the cached result list for key, if
+// present, refreshing its recency.
 func (c *Cache) get(key string) ([]core.Result, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -82,16 +100,15 @@ func (c *Cache) get(key string) ([]core.Result, bool) {
 		return nil, false
 	}
 	s.lru.MoveToFront(el)
-	res := el.Value.(*cacheEntry).res
-	return append([]core.Result(nil), res...), true
+	return copyResults(el.Value.(*cacheEntry).res), true
 }
 
-// put stores results under key, evicting the least-recently-used entry
-// when the sub-shard is full. It returns the number of evictions (0 or
-// 1) for metrics.
+// put stores a deep copy of results under key, evicting the
+// least-recently-used entry when the sub-shard is full. It returns the
+// number of evictions (0 or 1) for metrics.
 func (c *Cache) put(key string, res []core.Result) int {
 	s := c.shardFor(key)
-	stored := append([]core.Result(nil), res...)
+	stored := copyResults(res)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.byKey[key]; ok {

@@ -56,6 +56,58 @@ func TestCacheReturnsCopies(t *testing.T) {
 	}
 }
 
+// TestCacheDeepCopiesDists is the regression test for the Dists
+// aliasing bug: get and put used to copy the result slice shallowly, so
+// the per-result Dists backing arrays were shared between the cache and
+// every caller — mutating a hit's Dists in place corrupted all later
+// hits of the same key.
+func TestCacheDeepCopiesDists(t *testing.T) {
+	c := newCache(2)
+	orig := []core.Result{{Traj: 7, Score: 0.5, Dists: []float64{1.5, 2.5}}}
+	c.put("k", orig)
+
+	// The caller's slice must be detached from the stored entry.
+	orig[0].Dists[0] = -1
+	a, _ := c.get("k")
+	if a[0].Dists[0] != 1.5 {
+		t.Fatalf("mutating the put slice leaked into the cache: dist = %v, want 1.5", a[0].Dists[0])
+	}
+
+	// And a hit's slice must be detached from both the cache and other hits.
+	a[0].Dists[1] = -2
+	b, _ := c.get("k")
+	if b[0].Dists[1] != 2.5 {
+		t.Fatalf("mutating a hit's Dists leaked into the cache: dist = %v, want 2.5", b[0].Dists[1])
+	}
+}
+
+// TestCacheCapacityExact is the regression test for the ceil-split
+// over-admission: newCache used to give every sub-shard ceil(total/n)
+// slots, so a total=9 cache admitted 16 entries. The aggregate capacity
+// must now equal the configured total exactly.
+func TestCacheCapacityExact(t *testing.T) {
+	for _, total := range []int{1, 7, 8, 9, 15, 17, 100} {
+		c := newCache(total)
+		sum := 0
+		for i := range c.shards {
+			if c.shards[i].cap < 1 {
+				t.Errorf("total=%d: sub-shard %d has capacity %d", total, i, c.shards[i].cap)
+			}
+			sum += c.shards[i].cap
+		}
+		if sum != total {
+			t.Errorf("total=%d: aggregate capacity %d, want exactly %d", total, sum, total)
+		}
+		// Overfill and confirm the LRU never holds more than total entries.
+		for i := 0; i < 3*total; i++ {
+			c.put(fmt.Sprintf("k%d", i), []core.Result{{Traj: trajdb.TrajID(i)}})
+		}
+		if got := c.len(); got > total {
+			t.Errorf("total=%d: cache holds %d entries after overfill", total, got)
+		}
+	}
+}
+
 func TestCacheKeyDiscriminates(t *testing.T) {
 	q := core.Query{
 		Locations: []roadnet.VertexID{3, 1},

@@ -223,6 +223,57 @@ func (e *Engine) DiversifiedSearchCtx(ctx context.Context, q core.Query, opts co
 		})
 }
 
+// SearchBatch mirrors core.Engine.SearchBatch over the shards (see
+// Executor.SearchBatch). AlgoExpansion entries consult the result cache
+// under the same keys as SearchCtx — a batch answer for a query is
+// byte-identical to its single-query answer, so the two paths share
+// entries. Hits are served without scattering (zero work stats, like
+// single-query hits); the misses scatter as one sub-batch, so
+// shared-expansion batches share frontiers among the uncached queries.
+func (e *Engine) SearchBatch(ctx context.Context, queries []core.Query, opts core.BatchOptions) ([]core.BatchResult, core.BatchStats, error) {
+	elapsed := obs.Stopwatch()
+	ex, gen, err := e.executor()
+	if err != nil {
+		return nil, core.BatchStats{}, err
+	}
+	out := make([]core.BatchResult, len(queries))
+	bstats := core.BatchStats{Queries: len(queries)}
+	cacheable := e.cache != nil && opts.Algorithm == core.AlgoExpansion
+	idx := make([]int, 0, len(queries))
+	live := make([]core.Query, 0, len(queries))
+	for i, q := range queries {
+		if cacheable {
+			if res, ok := e.cached(ctx, cacheKey(cacheSearch, gen, q)); ok {
+				out[i] = core.BatchResult{Index: i, Results: res}
+				continue
+			}
+		}
+		idx = append(idx, i)
+		live = append(live, q)
+	}
+	if len(live) > 0 {
+		sub, sstats, serr := ex.SearchBatch(ctx, live, opts)
+		if sub == nil && serr != nil {
+			return nil, core.BatchStats{Queries: len(queries), WallClock: elapsed()}, serr
+		}
+		for j, r := range sub {
+			r.Index = idx[j]
+			out[idx[j]] = r
+			if cacheable && r.Err == nil {
+				e.store(cacheKey(cacheSearch, gen, live[j]), r.Results)
+			}
+		}
+		bstats.Failed = sstats.Failed
+		bstats.PerQuery = sstats.PerQuery
+		bstats.DistinctSources = sstats.DistinctSources
+		bstats.SourceRefs = sstats.SourceRefs
+		bstats.FrontierSettles = sstats.FrontierSettles
+		bstats.ServedSettles = sstats.ServedSettles
+	}
+	bstats.WallClock = elapsed()
+	return out, bstats, ctx.Err()
+}
+
 // NumShards reports the current executor's shard count (0 before the
 // first dynamic build).
 func (e *Engine) NumShards() int {
