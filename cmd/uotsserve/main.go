@@ -7,6 +7,8 @@
 //	          [-timeout 10s -max-inflight 64 -max-body 8388608 -drain 10s]
 //	          [-debug-addr 127.0.0.1:6060 -trace-depth 64 -log-requests]
 //	          [-shards 4 -partition hash -cache-size 1024]
+//	          [-remote-shards 'h1:p,h2:p;h3:p,h4:p' -rpc-timeout 2s -rpc-retries 3
+//	           -hedge-delay 5ms -probe-interval 5s -rpc-partial degrade]
 //
 // Endpoints:
 //
@@ -36,6 +38,20 @@
 // /metrics. -cache-size adds a result cache in front of the shards
 // (entries; 0 disables). The exhaustive/textfirst baselines and /batch
 // keep running on the monolithic engine.
+//
+// -remote-shards routes the default search to remote uotsshard
+// processes instead: "hostA:1,hostA2:1;hostB:2,hostB2:2" lists one
+// replica group per partition (';' separates partitions in partition
+// order, ',' separates that partition's interchangeable replicas; a
+// bare host:port gets http://). Every node must serve the same dataset
+// partitioned the same way (-partition, partition count = group count).
+// Per-attempt deadlines (-rpc-timeout), bounded retries (-rpc-retries),
+// hedged requests (-hedge-delay; 0 disables), and health probes
+// (-probe-interval) guard the wire; -rpc-partial picks whether a dead
+// partition fails queries ("fail") or serves degraded answers from the
+// survivors ("degrade"), flagged in traces and uots_shard_* metrics.
+// uots_rpc_* series on /metrics account the transport. Mutually
+// exclusive with -shards.
 package main
 
 import (
@@ -48,6 +64,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,6 +72,7 @@ import (
 	"uots/internal/core"
 	"uots/internal/diskstore"
 	"uots/internal/obs"
+	"uots/internal/rpc"
 	"uots/internal/server"
 	"uots/internal/shard"
 )
@@ -74,6 +92,12 @@ func main() {
 	shards := flag.Int("shards", 1, "serve the default search from this many store shards (1 = monolithic)")
 	partition := flag.String("partition", "hash", "shard partitioner: hash or region")
 	cacheSize := flag.Int("cache-size", 0, "sharded result-cache capacity in entries (0 disables; needs -shards > 1)")
+	remoteShards := flag.String("remote-shards", "", "route the default search to remote uotsshard replica groups: 'a,b;c,d' (';' partitions, ',' replicas)")
+	rpcTimeout := flag.Duration("rpc-timeout", 2*time.Second, "per-attempt deadline for remote shard calls (0 = caller deadline only)")
+	rpcRetries := flag.Int("rpc-retries", 3, "total attempts per remote shard call before the partition counts as faulted")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "duplicate a remote call on a second replica after this tail-latency delay (0 disables)")
+	probeInterval := flag.Duration("probe-interval", 5*time.Second, "background health-probe period for remote replicas (0 disables)")
+	rpcPartial := flag.String("rpc-partial", "fail", "dead remote partition policy: fail (query errors) or degrade (serve survivors)")
 	flag.Parse()
 
 	gf, err := os.Open(*data + ".graph")
@@ -121,6 +145,60 @@ func main() {
 	}
 	if *logRequests {
 		cfg.Logger = log.Default()
+	}
+	if *remoteShards != "" && *shards > 1 {
+		fatal(errors.New("-remote-shards and -shards are mutually exclusive"))
+	}
+	if *remoteShards != "" {
+		var partial shard.PartialPolicy
+		switch *rpcPartial {
+		case "fail":
+			partial = shard.PartialFail
+		case "degrade":
+			partial = shard.PartialDegrade
+		default:
+			fatal(fmt.Errorf("unknown -rpc-partial %q (want fail or degrade)", *rpcPartial))
+		}
+		reg := obs.NewRegistry()
+		m := rpc.NewMetrics(reg)
+		gcfg := rpc.GroupConfig{
+			CallTimeout:   *rpcTimeout,
+			MaxAttempts:   *rpcRetries,
+			HedgeDelay:    *hedgeDelay,
+			ProbeInterval: *probeInterval,
+		}
+		var groups []*rpc.Group
+		for i, partSpec := range strings.Split(*remoteShards, ";") {
+			var bases []string
+			for _, b := range strings.Split(partSpec, ",") {
+				b = strings.TrimSpace(b)
+				if b == "" {
+					continue
+				}
+				if !strings.Contains(b, "://") {
+					b = "http://" + b
+				}
+				bases = append(bases, b)
+			}
+			g, err := rpc.NewGroup(bases, gcfg, m)
+			if err != nil {
+				fatal(fmt.Errorf("remote partition %d: %w", i, err))
+			}
+			groups = append(groups, g)
+		}
+		remote, err := shard.NewRemoteExecutor(groups, shard.RemoteConfig{
+			Global:  engine,
+			Partial: partial,
+			Metrics: reg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer remote.Close()
+		cfg.Metrics = reg
+		cfg.Searcher = remote
+		log.Printf("uotsserve: remote search over %d partitions (%s; retries=%d timeout=%s hedge=%s probe=%s)",
+			len(groups), partial, *rpcRetries, *rpcTimeout, *hedgeDelay, *probeInterval)
 	}
 	if *shards > 1 {
 		part, ok := shard.PartitionerByName(*partition)

@@ -1,0 +1,127 @@
+// Command uotsshard serves one partition of a dataset written by
+// uotsdgen as a remote shard server for uotsserve's -remote-shards
+// router (the internal/rpc wire protocol).
+//
+// Usage:
+//
+//	uotsshard -data dataset -addr 127.0.0.1:0 -shard 0 -shards 2
+//	          [-partition hash -drain 10s]
+//
+// The process loads the full dataset, derives partition -shard of
+// -shards with the named partitioner — the same derivation the router
+// uses, which is the topology contract that makes shard-local answers
+// mergeable — and serves that piece's engine over HTTP:
+//
+//	POST /rpc/v1/search   one search, any variant (gob)
+//	POST /rpc/v1/batch    a whole query batch (gob)
+//	GET  /rpc/v1/health   shard identity + liveness (gob)
+//	GET  /metrics         Prometheus text exposition
+//
+// The actual listen address is printed to stdout as
+// "uotsshard: listening on HOST:PORT" — with -addr :0 that line is how
+// scripts learn the kernel-assigned port. On SIGINT/SIGTERM the server
+// stops accepting, gives in-flight requests up to -drain, then exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uots"
+	"uots/internal/core"
+	"uots/internal/obs"
+	"uots/internal/rpc"
+	"uots/internal/shard"
+)
+
+func main() {
+	data := flag.String("data", "dataset", "dataset path prefix (expects <prefix>.graph and <prefix>.trajs)")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 = kernel-assigned, printed on stdout)")
+	shardIdx := flag.Int("shard", 0, "partition index served by this process")
+	shards := flag.Int("shards", 1, "total partition count of the topology")
+	partition := flag.String("partition", "hash", "shard partitioner: hash or region (must match the router)")
+	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	gf, err := os.Open(*data + ".graph")
+	if err != nil {
+		fatal(err)
+	}
+	g, err := uots.ReadGraph(gf)
+	gf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	tf, err := os.Open(*data + ".trajs")
+	if err != nil {
+		fatal(err)
+	}
+	db, err := uots.ReadStore(tf, g)
+	tf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	part, ok := shard.PartitionerByName(*partition)
+	if !ok {
+		fatal(fmt.Errorf("unknown partitioner %q (want hash or region)", *partition))
+	}
+	engine, globals, err := shard.BuildShardEngine(db, core.Options{}, part, *shards, *shardIdx)
+	if err != nil {
+		fatal(err)
+	}
+	ss, err := rpc.NewShardServer(engine, globals, *shardIdx, *shards)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/", ss.Handler())
+	mux.Handle("/metrics", reg.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// Stdout, not the log: scripts parse this line for the actual port.
+	fmt.Printf("uotsshard: listening on %s\n", ln.Addr())
+	log.Printf("uotsshard: shard %d/%d (%s partitioning, %d of %d trajectories) on %s",
+		*shardIdx, *shards, part, len(globals), db.NumTrajectories(), ln.Addr())
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		//uots:allow ctxflow -- shutdown drain: the signal ctx is already done, the drain window needs a fresh deadline
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(dctx)
+		cancel()
+		if err != nil {
+			srv.Close() // drain window expired: cancel the stragglers
+		}
+	}
+	log.Printf("uotsshard: shut down cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uotsshard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,323 @@
+package uots_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// shardProc is one running uotsshard process plus the address it
+// actually bound (parsed from its stdout, so -addr :0 works).
+type shardProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startShard launches uotsshard serving partition idx of n and waits
+// for its "listening on" line.
+func startShard(t *testing.T, bin, data string, idx, n int) *shardProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-data", data, "-addr", "127.0.0.1:0",
+		"-shard", fmt.Sprint(idx), "-shards", fmt.Sprint(n), "-drain", "5s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("uotsshard stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("uotsshard start: %v", err)
+	}
+	p := &shardProc{cmd: cmd}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "uotsshard: listening on "); ok {
+				addrc <- a
+				break
+			}
+		}
+		close(addrc)
+	}()
+	select {
+	case a, ok := <-addrc:
+		if !ok || a == "" {
+			t.Fatalf("uotsshard %d/%d exited before announcing its address", idx, n)
+		}
+		p.addr = a
+	case <-time.After(30 * time.Second):
+		t.Fatalf("uotsshard %d/%d never announced its address", idx, n)
+	}
+	return p
+}
+
+// searchVariants are the five query shapes the distributed path must
+// serve; every body targets the same dataset region so each variant has
+// candidates to rank.
+var searchVariants = []struct {
+	name string
+	body string
+}{
+	{"default", `{"points":[[1.0,1.0],[1.5,1.2]],"keywords":"t0_kw0 t0_kw1","k":5}`},
+	{"threshold", `{"points":[[1.0,1.0],[1.5,1.2]],"keywords":"t0_kw0 t0_kw1","k":5,"theta":0.35}`},
+	{"windowed", `{"points":[[1.0,1.0],[1.5,1.2]],"keywords":"t0_kw0 t0_kw1","k":5,"window":"06:00-18:00"}`},
+	{"orderaware", `{"points":[[1.0,1.0],[1.5,1.2]],"keywords":"t0_kw0 t0_kw1","k":5,"orderAware":true}`},
+	{"diversified", `{"points":[[1.0,1.0],[1.5,1.2]],"keywords":"t0_kw0 t0_kw1","k":5,"diversifyMu":0.4}`},
+}
+
+type searchResp struct {
+	Results []struct {
+		Trajectory int32   `json:"trajectory"`
+		Score      float64 `json:"score"`
+	} `json:"results"`
+}
+
+func postSearch(t *testing.T, base, body string) searchResp {
+	t.Helper()
+	resp, err := http.Post(base+"/search", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("search request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	var sr searchResp
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("search decode: %v", err)
+	}
+	return sr
+}
+
+// scrapeCounter reads one un-labelled counter from a Prometheus text
+// exposition endpoint.
+func scrapeCounter(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if val, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(val, "%g", &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestDistributedServing drives the full remote topology end to end:
+// two uotsshard partitions with two replicas each behind a
+// -remote-shards uotsserve router, cross-validated against a monolithic
+// uotsserve on the same dataset — then a replica is SIGKILLed mid-run
+// (answers must stay correct via failover), the whole partition is
+// killed (answers must degrade, flagged in metrics, not error), and the
+// router must still drain cleanly on SIGTERM.
+func TestDistributedServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed end-to-end skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, name := range []string{"uotsdgen", "uotsshard", "uotsserve"} {
+		out, err := exec.Command("go", "build", "-o", bin(name), "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	data := filepath.Join(dir, "world")
+	out, err := exec.Command(bin("uotsdgen"),
+		"-city", "brn", "-scale", "0.1", "-trajs", "500", "-mean", "15", "-out", data).CombinedOutput()
+	if err != nil {
+		t.Fatalf("uotsdgen: %v\n%s", err, out)
+	}
+
+	// 2 partitions x 2 replicas; replicas of a partition serve identical
+	// shard engines, so any one of them can answer for the group.
+	const partitions = 2
+	grid := make([][]*shardProc, partitions)
+	for p := 0; p < partitions; p++ {
+		for r := 0; r < 2; r++ {
+			grid[p] = append(grid[p], startShard(t, bin("uotsshard"), data, p, partitions))
+		}
+	}
+	var topo []string
+	for _, group := range grid {
+		var bases []string
+		for _, sp := range group {
+			bases = append(bases, sp.addr)
+		}
+		topo = append(topo, strings.Join(bases, ","))
+	}
+
+	const monoAddr = "127.0.0.1:18936"
+	const routerAddr = "127.0.0.1:18937"
+	startServe := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(bin("uotsserve"), append([]string{"-data", data, "-drain", "5s"}, args...)...)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("uotsserve start: %v", err)
+		}
+		t.Cleanup(func() {
+			if cmd.ProcessState == nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		})
+		return cmd
+	}
+	waitHealthy := func(addr string) {
+		t.Helper()
+		for attempt := 0; ; attempt++ {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return
+			}
+			if attempt >= 100 {
+				t.Fatalf("server on %s never came up: %v", addr, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	startServe("-addr", monoAddr)
+	router := startServe("-addr", routerAddr,
+		"-remote-shards", strings.Join(topo, ";"),
+		"-rpc-partial", "degrade", "-rpc-retries", "3", "-rpc-timeout", "30s",
+		"-probe-interval", "200ms")
+	waitHealthy(monoAddr)
+	waitHealthy(routerAddr)
+	mono := "http://" + monoAddr
+	remote := "http://" + routerAddr
+
+	checkAllVariants := func(phase string) {
+		t.Helper()
+		for _, v := range searchVariants {
+			want := postSearch(t, mono, v.body)
+			got := postSearch(t, remote, v.body)
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("%s/%s: %d results, monolithic returned %d",
+					phase, v.name, len(got.Results), len(want.Results))
+			}
+			for i := range want.Results {
+				if got.Results[i].Trajectory != want.Results[i].Trajectory {
+					t.Fatalf("%s/%s: rank %d is trajectory %d, monolithic ranked %d",
+						phase, v.name, i, got.Results[i].Trajectory, want.Results[i].Trajectory)
+				}
+				if math.Abs(got.Results[i].Score-want.Results[i].Score) > 1e-9 {
+					t.Fatalf("%s/%s: rank %d score %v, monolithic %v",
+						phase, v.name, i, got.Results[i].Score, want.Results[i].Score)
+				}
+			}
+		}
+	}
+	checkAllVariants("healthy")
+
+	// /batch also routes through the remote executor (expansion-only on
+	// the wire); the aggregate answer must match the monolithic server.
+	batchBody := `{"queries":[` + searchVariants[0].body + `,` + searchVariants[0].body + `]}`
+	for _, base := range []string{mono, remote} {
+		resp, err := http.Post(base+"/batch", "application/json", strings.NewReader(batchBody))
+		if err != nil {
+			t.Fatalf("batch request: %v", err)
+		}
+		var br struct {
+			Responses []struct {
+				Results []json.RawMessage `json:"results"`
+				Error   string            `json:"error"`
+			} `json:"responses"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&br)
+		resp.Body.Close()
+		if err != nil || len(br.Responses) != 2 {
+			t.Fatalf("batch via %s: err=%v responses=%d", base, err, len(br.Responses))
+		}
+		for i, e := range br.Responses {
+			if e.Error != "" || len(e.Results) == 0 {
+				t.Fatalf("batch via %s entry %d: error=%q results=%d", base, i, e.Error, len(e.Results))
+			}
+		}
+	}
+
+	// SIGKILL one replica of partition 0 mid-run: the group fails over to
+	// the surviving replica and answers stay identical to monolithic.
+	grid[0][0].cmd.Process.Kill()
+	grid[0][0].cmd.Wait()
+	checkAllVariants("one-replica-down")
+	if v := scrapeCounter(t, remote, "uots_shard_degraded_queries_total"); v != 0 {
+		t.Fatalf("degraded queries after single-replica kill: %g, want 0 (failover must hide it)", v)
+	}
+
+	// Kill the other replica too: partition 0 is gone. Under
+	// -rpc-partial degrade the router keeps answering from partition 1,
+	// flags the loss in uots_shard_degraded_queries_total, and never
+	// serves a 5xx for it.
+	grid[0][1].cmd.Process.Kill()
+	grid[0][1].cmd.Wait()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sr := postSearch(t, remote, searchVariants[0].body)
+		if len(sr.Results) == 0 {
+			t.Fatalf("degraded search returned no results")
+		}
+		if scrapeCounter(t, remote, "uots_shard_degraded_queries_total") > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partition kill never surfaced in uots_shard_degraded_queries_total")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if v := scrapeCounter(t, remote, "uots_rpc_group_exhausted_total"); v == 0 {
+		t.Fatalf("uots_rpc_group_exhausted_total = 0 after killing a whole partition")
+	}
+
+	// The router must still shut down cleanly with a partition dead.
+	if err := router.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM router: %v", err)
+	}
+	exitc := make(chan error, 1)
+	go func() { exitc <- router.Wait() }()
+	select {
+	case err := <-exitc:
+		if err != nil {
+			t.Fatalf("router exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router did not exit after SIGTERM")
+	}
+
+	// And so must a shard server.
+	sp := grid[1][0]
+	if err := sp.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM shard: %v", err)
+	}
+	shardExit := make(chan error, 1)
+	go func() { shardExit <- sp.cmd.Wait() }()
+	select {
+	case err := <-shardExit:
+		if err != nil {
+			t.Fatalf("shard exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("shard did not exit after SIGTERM")
+	}
+}

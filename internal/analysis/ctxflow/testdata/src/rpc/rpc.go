@@ -1,0 +1,37 @@
+// Package rpc exercises ctxflow on the transport's shapes: hedged
+// attempts and retries must inherit the caller's context, while the
+// lifetime-scoped health prober is a documented exemption.
+package rpc
+
+import "context"
+
+// call stands in for one network attempt against a replica.
+func call(ctx context.Context, replica int) error { return nil }
+
+// hedgedDetached launches the hedge attempt on a fresh context: the
+// caller's cancellation can no longer reach the duplicate request.
+func hedgedDetached(ctx context.Context, primary, hedge int) error {
+	go call(context.Background(), hedge) // want `context\.Background\(\) drops the caller's context`
+	return call(ctx, primary)
+}
+
+// retryNil drops the context between attempts.
+func retryNil(replica int) error {
+	return call(nil, replica) // want `nil context passed`
+}
+
+// hedged threads the caller's context into both attempts; cancelling
+// the caller cancels the loser too.
+func hedged(ctx context.Context, primary, hedge int) error {
+	go call(ctx, hedge)
+	return call(ctx, primary)
+}
+
+// probeAll runs on the group's lifetime, not any caller's request.
+//
+//uots:allow ctxflow -- health probes have no inbound request context; they live and die with the group
+func probeAll(replicas []int) {
+	for _, r := range replicas {
+		call(context.Background(), r)
+	}
+}

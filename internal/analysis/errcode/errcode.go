@@ -11,22 +11,34 @@ import (
 
 const name = "errcode"
 
-// Analyzer flags ad-hoc HTTP error writes in the server package.
+// scopePkgs are the packages that answer HTTP: the JSON serving layer
+// and the gob RPC shard server. Both have a blessed error helper
+// (writeError, writeWireError) producing a machine-readable envelope.
+var scopePkgs = map[string]bool{
+	"server": true,
+	"rpc":    true,
+}
+
+// Analyzer flags ad-hoc HTTP error writes in the serving packages.
 var Analyzer = &analysis.Analyzer{
 	Name: name,
-	Doc: `errcode: forbid ad-hoc HTTP error responses in internal/server.
+	Doc: `errcode: forbid ad-hoc HTTP error responses in internal/server
+and internal/rpc.
 
 Handlers must emit 4xx/5xx responses only through the typed coded-error
-helpers (writeError and friends), which produce the machine-readable
-JSON envelope clients and the fleet's alerting parse. Direct calls to
-http.Error / http.NotFound, or WriteHeader with a constant status >= 400,
-bypass the envelope and break that contract. Exempt deliberate sites
-with //uots:allow errcode -- <reason>.`,
+helpers (writeError in the JSON layer, writeWireError on the gob wire),
+which produce the machine-readable envelope clients, routers and the
+fleet's alerting parse. Direct calls to http.Error / http.NotFound, or
+WriteHeader with a constant status >= 400, bypass the envelope and
+break that contract — on the RPC wire a plain-text body additionally
+fails to gob-decode, turning a coded engine error into an opaque
+transport error that charges the replica's health budget. Exempt
+deliberate sites with //uots:allow errcode -- <reason>.`,
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	if analysis.PathBase(pass.Pkg.Path()) != "server" {
+	if !scopePkgs[analysis.PathBase(pass.Pkg.Path())] {
 		return nil
 	}
 	for _, file := range pass.Files {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrcode(t *testing.T) {
-	analysistest.Run(t, "testdata", errcode.Analyzer, "server", "client")
+	analysistest.Run(t, "testdata", errcode.Analyzer, "server", "rpc", "client")
 }

@@ -1,0 +1,34 @@
+// Package rpc is a fixture of the gob wire layer: every error response
+// must be the coded envelope writeWireError emits, because plain-text
+// bodies fail to gob-decode and masquerade as transport faults.
+package rpc
+
+import "net/http"
+
+// writeWireError is the blessed helper — non-constant status, so the
+// WriteHeader inside it is not a candidate.
+func writeWireError(w http.ResponseWriter, status int, code, msg string) {
+	w.WriteHeader(status) // ok: non-constant status
+	w.Write([]byte(code))
+}
+
+func handleSearch(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad variant", http.StatusBadRequest) // want `http\.Error writes a plain-text error`
+}
+
+func handleBatch(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusInternalServerError) // want `WriteHeader\(500\) emits an error status`
+}
+
+func handleEnveloped(w http.ResponseWriter, r *http.Request) {
+	writeWireError(w, http.StatusBadRequest, "bad_query", "unknown variant")
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK) // ok: success status
+}
+
+func handleNotFound(w http.ResponseWriter, r *http.Request) {
+	//uots:allow errcode -- unknown paths answer the stock 404: they are outside the /rpc/v1 wire contract
+	http.NotFound(w, r)
+}

@@ -11,13 +11,16 @@ import (
 const name = "looppoll"
 
 // scopePkgs hold the heap/queue expansion loops: the engine core, the
-// road-network search kernels, and the sharded scatter-gather layer
-// (whose worker drain loops must stay cancellable so one stuck shard
-// cannot pin a pool slot forever).
+// road-network search kernels, the sharded scatter-gather layer (whose
+// worker drain loops must stay cancellable so one stuck shard cannot
+// pin a pool slot forever), and the RPC transport (whose retry/hedge/
+// probe loops must keep honouring caller cancellation between network
+// attempts).
 var scopePkgs = map[string]bool{
 	"core":    true,
 	"roadnet": true,
 	"shard":   true,
+	"rpc":     true,
 }
 
 // drainNames are the methods that advance a frontier; a loop built
@@ -41,7 +44,8 @@ var pollNames = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: name,
 	Doc: `looppoll: unbounded heap/queue drain loops in internal/core,
-internal/roadnet and internal/shard must poll for cancellation.
+internal/roadnet, internal/shard and internal/rpc must poll for
+cancellation.
 
 A "for { ... heap.Pop() ... }" (or "for cond { ... }") expansion loop
 runs for as long as the frontier lasts — on a metropolitan road network

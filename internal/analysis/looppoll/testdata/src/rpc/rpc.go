@@ -1,0 +1,99 @@
+// Package rpc is a fixture of the transport's retry and response-drain
+// loops: network attempts must keep honouring caller cancellation.
+package rpc
+
+type attemptQueue struct{ n int }
+
+func (q *attemptQueue) Pop() (int, bool) { q.n--; return q.n, q.n >= 0 }
+
+type responseStream struct{ n int }
+
+func (s *responseStream) Next() ([]byte, bool) { s.n--; return nil, s.n >= 0 }
+
+// retryNoPoll walks the replica attempt queue with no cancellation
+// check between network calls: a hung replica pins the caller past its
+// deadline.
+func retryNoPoll(q *attemptQueue) int {
+	for { // want `unbounded drain loop never polls for cancellation`
+		attempt, ok := q.Pop()
+		if !ok {
+			return -1
+		}
+		if attempt == 0 {
+			return attempt
+		}
+	}
+}
+
+// drainNoPoll reads wire frames until the stream dries up, deaf to the
+// request context.
+func drainNoPoll(s *responseStream) int {
+	n := 0
+	for { // want `unbounded drain loop never polls for cancellation`
+		_, ok := s.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// retryWithErr polls ctx.Err between attempts — the shape callGroup
+// uses between backoff waits.
+type ctxLike struct{}
+
+func (ctxLike) Err() error { return nil }
+
+func retryWithErr(ctx ctxLike, q *attemptQueue) int {
+	for {
+		if ctx.Err() != nil {
+			return -1
+		}
+		attempt, ok := q.Pop()
+		if !ok {
+			return -1
+		}
+		if attempt == 0 {
+			return attempt
+		}
+	}
+}
+
+// hedgedGather is the first-response-wins select: the hedge result
+// channel races the done channel every iteration.
+func hedgedGather(results <-chan int, done <-chan struct{}, s *responseStream) int {
+	for {
+		select {
+		case v := <-results:
+			s.Next()
+			return v
+		case <-done:
+			return -1
+		}
+	}
+}
+
+// drainLosers empties what the cancelled hedge attempt already queued;
+// it IS the cancellation path, so nothing can cancel it.
+func drainLosers(s *responseStream) {
+	//uots:allow looppoll -- hedge-loser drain: runs after the winner returned, bounded by frames already buffered
+	for {
+		if _, ok := s.Next(); !ok {
+			return
+		}
+	}
+}
+
+// boundedAttempts is the capped retry ladder; terminates by
+// construction, not a candidate.
+func boundedAttempts(q *attemptQueue, max int) int {
+	last := -1
+	for i := 0; i < max; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		last = v
+	}
+	return last
+}

@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"F9", "locality", "effect of query-location spread (clustered → city-wide)", Locality},
 		{"F10", "sharding", "sharded scatter-gather vs monolithic (shard count N)", Sharding},
 		{"F11", "batchshare", "shared-expansion batch planner vs independent execution (source-overlap rate)", BatchShare},
+		{"F12", "hedging", "hedged requests vs tail latency (distributed path, injected slow replica)", Hedging},
 	}
 }
 

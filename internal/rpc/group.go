@@ -1,0 +1,483 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+)
+
+// TimerFunc abstracts the one timer the robustness machinery arms — the
+// hedge delay and retry backoff waits. It returns a channel that fires
+// once after d and a stop function (time.Timer semantics). Tests inject
+// a gated implementation so hedging decisions are driven by the test,
+// not the wall clock.
+type TimerFunc func(d time.Duration) (<-chan time.Time, func() bool)
+
+func stdTimer(d time.Duration) (<-chan time.Time, func() bool) {
+	t := time.NewTimer(d)
+	return t.C, t.Stop
+}
+
+// GroupConfig tunes one partition's replica group.
+type GroupConfig struct {
+	// CallTimeout bounds each individual attempt (not the whole call —
+	// retries and hedges each get a fresh one). Zero means attempts run
+	// on the caller's deadline alone.
+	CallTimeout time.Duration
+	// MaxAttempts is the total number of tries (initial + retries)
+	// across the group before it reports exhaustion. Zero means 3.
+	MaxAttempts int
+	// Backoff is the retry schedule. The zero value means DefaultBackoff.
+	Backoff BackoffConfig
+	// HedgeDelay arms a duplicate request on a second replica when the
+	// first has not answered within the delay; first response wins and
+	// the loser is cancelled. Zero disables hedging. Hedging needs at
+	// least two replicas.
+	HedgeDelay time.Duration
+	// FailureThreshold is the consecutive-transport-failure budget after
+	// which a replica is ejected from rotation. Zero means 3.
+	FailureThreshold int
+	// ProbeInterval runs a background health prober at this period,
+	// re-admitting ejected replicas that answer the probe. Zero disables
+	// the prober (call ProbeAll directly, as the tests do).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe. Zero means 1s.
+	ProbeTimeout time.Duration
+	// Seed seeds the backoff jitter rng, making retry schedules
+	// reproducible. Zero picks a fixed default.
+	Seed uint64
+	// Timer overrides the timer used for hedge delays and backoff waits.
+	// Nil means the real clock.
+	Timer TimerFunc
+	// HTTPClient carries the transport shared by the group's replicas.
+	// Nil means a private client with default pooling.
+	HTTPClient *http.Client
+}
+
+// Sentinel errors of the group layer.
+var (
+	// ErrNoReplicas rejects construction of an empty group.
+	ErrNoReplicas = errors.New("rpc: replica group needs at least one replica")
+	// ErrGroupClosed answers calls issued after Close.
+	ErrGroupClosed = errors.New("rpc: replica group closed")
+)
+
+// replica is one backend plus its health state.
+type replica struct {
+	client   *Client
+	counters replicaCounters
+
+	mu          sync.Mutex
+	consecFails int
+	ejected     bool
+}
+
+func (r *replica) isEjected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ejected
+}
+
+// noteFailure charges one transport-class failure against the error
+// budget, reporting whether this failure tripped the ejection.
+func (r *replica) noteFailure(threshold int) (ejected bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails++
+	if !r.ejected && r.consecFails >= threshold {
+		r.ejected = true
+		return true
+	}
+	return false
+}
+
+// noteSuccess resets the error budget, reporting whether it re-admitted
+// an ejected replica.
+func (r *replica) noteSuccess() (readmitted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails = 0
+	if r.ejected {
+		r.ejected = false
+		return true
+	}
+	return false
+}
+
+// ReplicaStatus is one replica's health snapshot (see Group.Status).
+type ReplicaStatus struct {
+	Base                string
+	Ejected             bool
+	ConsecutiveFailures int
+}
+
+// Group fans calls over one partition's replicas with retries, hedging,
+// and health-checked failover. Safe for concurrent use.
+type Group struct {
+	cfg      GroupConfig
+	replicas []*replica
+	metrics  *Metrics
+	timerFn  TimerFunc
+	hc       *http.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	next      atomic.Uint64 // round-robin cursor
+	closed    atomic.Bool
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewGroup builds a replica group over the given base URLs. All
+// replicas must serve the same shard (same partition of the same
+// dataset) — the group assumes their answers are interchangeable. If
+// cfg.ProbeInterval > 0 a background prober starts immediately; Close
+// stops it.
+func NewGroup(bases []string, cfg GroupConfig, m *Metrics) (*Group, error) {
+	if len(bases) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if (cfg.Backoff == BackoffConfig{}) {
+		cfg.Backoff = DefaultBackoff
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	timer := cfg.Timer
+	if timer == nil {
+		timer = stdTimer
+	}
+	g := &Group{
+		cfg:     cfg,
+		metrics: m,
+		timerFn: timer,
+		hc:      hc,
+		rng:     rand.New(rand.NewPCG(seed, seed)),
+		stop:    make(chan struct{}),
+	}
+	for _, base := range bases {
+		c := NewClient(base, hc)
+		g.replicas = append(g.replicas, &replica{client: c, counters: m.forReplica(c.Base())})
+	}
+	if cfg.ProbeInterval > 0 {
+		g.wg.Add(1)
+		go g.prober()
+	}
+	return g, nil
+}
+
+// Close stops the health prober and releases idle connections. It is
+// idempotent and safe to call concurrently with in-flight calls (those
+// finish normally; new calls get ErrGroupClosed).
+func (g *Group) Close() {
+	g.closeOnce.Do(func() {
+		g.closed.Store(true)
+		close(g.stop)
+		g.wg.Wait()
+		g.hc.CloseIdleConnections()
+	})
+}
+
+// Status snapshots every replica's health, in construction order.
+func (g *Group) Status() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(g.replicas))
+	for i, r := range g.replicas {
+		r.mu.Lock()
+		out[i] = ReplicaStatus{Base: r.client.Base(), Ejected: r.ejected, ConsecutiveFailures: r.consecFails}
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// prober periodically probes every replica, restoring ejected ones that
+// recover. The loop polls g.stop so Close drains it promptly.
+func (g *Group) prober() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.ProbeAll()
+		}
+	}
+}
+
+// ProbeAll health-checks every replica once: a failed probe counts
+// against the replica's error budget (ejecting it at the threshold), a
+// successful probe resets the budget and re-admits an ejected replica.
+// The background prober calls this on its ticker; tests call it
+// directly for deterministic health transitions.
+//
+//uots:allow ctxflow -- probes run on the group's lifetime, not any caller's request; there is no inbound context to thread.
+func (g *Group) ProbeAll() {
+	for _, r := range g.replicas {
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+		_, err := r.client.Health(ctx)
+		cancel()
+		if err != nil {
+			r.counters.probeFailure()
+			g.markFailure(r)
+			continue
+		}
+		g.markSuccess(r)
+	}
+}
+
+func (g *Group) markFailure(r *replica) {
+	if r.noteFailure(g.cfg.FailureThreshold) {
+		r.counters.ejection()
+	}
+}
+
+func (g *Group) markSuccess(r *replica) {
+	if r.noteSuccess() {
+		r.counters.readmission()
+	}
+}
+
+// pick chooses the next replica round-robin, preferring healthy ones
+// and skipping exclude (the hedge's primary). With every replica
+// ejected it still returns one — a last-resort attempt beats refusing
+// to try — and returns nil only when exclusion leaves nothing.
+func (g *Group) pick(exclude *replica) *replica {
+	n := len(g.replicas)
+	start := int(g.next.Add(1)-1) % n
+	var fallback *replica
+	for i := 0; i < n; i++ {
+		r := g.replicas[(start+i)%n]
+		if r == exclude {
+			continue
+		}
+		if !r.isEjected() {
+			return r
+		}
+		if fallback == nil {
+			fallback = r
+		}
+	}
+	return fallback
+}
+
+// delay serialises the jitter rng draw.
+func (g *Group) delay(attempt int) time.Duration {
+	g.rngMu.Lock()
+	defer g.rngMu.Unlock()
+	return g.cfg.Backoff.Delay(attempt, g.rng)
+}
+
+// callOnce runs one attempt against one replica: per-attempt deadline,
+// latency accounting, and failure classification. The caller's own
+// context outcome (cancellation, deadline, a lost hedge) never counts
+// against the replica's health; an attempt-level timeout or transport
+// failure does.
+func callOnce[T any](g *Group, ctx context.Context, r *replica, do func(context.Context, *Client) (T, error)) (T, error) {
+	actx := ctx
+	cancel := func() {}
+	if g.cfg.CallTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, g.cfg.CallTimeout)
+	}
+	defer cancel()
+	r.counters.request()
+	sw := obs.Stopwatch()
+	out, err := do(actx, r.client)
+	r.counters.observe(sw().Seconds())
+	if err == nil {
+		g.markSuccess(r)
+		return out, nil
+	}
+	var zero T
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller went away (or a hedge sibling won): the attempt's
+		// fate is the caller's outcome, not the replica's fault.
+		return zero, cerr
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// The per-attempt deadline fired while the caller is still
+		// alive: a tail-latency event, charged like any transport fault.
+		err = &TransportError{Replica: r.client.Base(), Err: fmt.Errorf("attempt aborted: %w", err)}
+	}
+	if IsTransient(err) {
+		r.counters.transportError()
+		g.markFailure(r)
+	}
+	return zero, err
+}
+
+// hedged runs one logical attempt with tail-latency hedging: if the
+// primary has not answered within HedgeDelay, a duplicate fires on a
+// second replica; the first success wins and the loser is cancelled
+// via the shared hedge context.
+func hedged[T any](g *Group, ctx context.Context, primary *replica, do func(context.Context, *Client) (T, error)) (T, error) {
+	var zero T
+	if g.cfg.HedgeDelay <= 0 {
+		return callOnce(g, ctx, primary, do)
+	}
+	secondary := g.pick(primary)
+	if secondary == nil {
+		return callOnce(g, ctx, primary, do)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the loser once a winner returns
+
+	type outcome struct {
+		out   T
+		err   error
+		hedge bool
+	}
+	results := make(chan outcome, 2) // buffered: losers never block
+	launch := func(r *replica, isHedge bool) {
+		go func() {
+			out, err := callOnce(g, hctx, r, do)
+			results <- outcome{out: out, err: err, hedge: isHedge}
+		}()
+	}
+	launch(primary, false)
+	timerC, stopTimer := g.timerFn(g.cfg.HedgeDelay)
+	defer stopTimer()
+
+	inFlight := 1
+	for {
+		select {
+		case o := <-results:
+			inFlight--
+			if o.err == nil {
+				if o.hedge {
+					g.metrics.recordHedgeWin()
+				}
+				return o.out, nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return zero, cerr
+			}
+			if inFlight == 0 {
+				return zero, o.err
+			}
+			// The other attempt is still running; its answer may yet
+			// succeed, so keep waiting.
+		case <-timerC:
+			g.metrics.recordHedge()
+			launch(secondary, true)
+			inFlight++
+			timerC = nil // fires once
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// callGroup is the full robustness ladder: bounded retries with backoff
+// across the group, each attempt hedged. Transient failures rotate to
+// the next replica; definitive answers (engine errors, the caller's own
+// context) return immediately. Exhaustion surfaces as a store fault so
+// the scatter-gather policy layer treats the partition as faulted.
+func callGroup[T any](g *Group, ctx context.Context, do func(context.Context, *Client) (T, error)) (T, error) {
+	var zero T
+	if g.closed.Load() {
+		return zero, ErrGroupClosed
+	}
+	var lastErr error
+	var lastTried *replica
+	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return zero, cerr
+		}
+		if attempt > 0 {
+			g.metrics.recordRetry()
+			if d := g.delay(attempt); d > 0 {
+				timerC, stopTimer := g.timerFn(d)
+				select {
+				case <-timerC:
+				case <-ctx.Done():
+					stopTimer()
+					return zero, ctx.Err()
+				}
+			}
+		}
+		// Retries fail over: prefer any replica but the one that just
+		// failed (a single-replica group has no choice but to re-try it).
+		primary := g.pick(lastTried)
+		if primary == nil {
+			primary = lastTried
+		}
+		lastTried = primary
+		out, err := hedged(g, ctx, primary, do)
+		if err == nil {
+			return out, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return zero, cerr
+		}
+		if !IsTransient(err) {
+			return zero, err
+		}
+		lastErr = err
+	}
+	g.metrics.recordGroupExhausted()
+	return zero, fmt.Errorf("%w (%w): %w", ErrGroupExhausted, core.ErrStoreFault, lastErr)
+}
+
+// Search runs one search against the group with the full retry/hedge/
+// failover ladder. When bound is non-nil the request carries the
+// scatter's current global k-th bound as a pruning hint (re-read before
+// every attempt, so retries and hedges start from the level the rest of
+// the scatter has already reached) and the response's piggybacked shard
+// threshold is folded back in.
+func (g *Group) Search(ctx context.Context, req SearchRequest, bound *core.SharedBound) (SearchResponse, error) {
+	resp, err := callGroup(g, ctx, func(ctx context.Context, c *Client) (SearchResponse, error) {
+		if bound != nil {
+			if v, ok := bound.Load(); ok {
+				req.Bound = v
+			}
+		}
+		return c.Search(ctx, req)
+	})
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	if bound != nil && resp.Bound != 0 {
+		bound.Raise(resp.Bound)
+	}
+	return resp, nil
+}
+
+// Batch runs one batch request against the group with the full ladder.
+func (g *Group) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	return callGroup(g, ctx, func(ctx context.Context, c *Client) (BatchResponse, error) {
+		return c.Batch(ctx, req)
+	})
+}
+
+// Health probes one replica chosen round-robin (the router's own
+// liveness view; per-replica probing is ProbeAll's job).
+func (g *Group) Health(ctx context.Context) (HealthResponse, error) {
+	return callGroup(g, ctx, func(ctx context.Context, c *Client) (HealthResponse, error) {
+		return c.Health(ctx)
+	})
+}

@@ -1,0 +1,408 @@
+package rpc
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+	"uots/internal/trajdb"
+)
+
+// fakeReplica is a hand-driven shard server: it answers PathSearch with
+// a canned response and can be switched into failure or blocking modes.
+type fakeReplica struct {
+	*httptest.Server
+	results  []core.Result
+	broken   atomic.Bool   // break the connection mid-response
+	gate     chan struct{} // when non-nil, handlers block until it closes
+	searches atomic.Int64
+	probes   atomic.Int64
+}
+
+func newFakeReplica(t *testing.T, results []core.Result) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{results: results}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathSearch, func(w http.ResponseWriter, r *http.Request) {
+		f.searches.Add(1)
+		if f.broken.Load() {
+			panic(http.ErrAbortHandler) // connection dies mid-flight
+		}
+		if f.gate != nil {
+			select {
+			case <-f.gate:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		var req SearchRequest
+		if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("fake replica: decoding request: %v", err)
+		}
+		writeGob(w, &SearchResponse{Results: f.results, Bound: req.Bound})
+	})
+	mux.HandleFunc("GET "+PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		f.probes.Add(1)
+		if f.broken.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		writeGob(w, &HealthResponse{Status: "ok"})
+	})
+	f.Server = httptest.NewServer(mux)
+	t.Cleanup(f.Server.Close)
+	return f
+}
+
+func resultsOf(id trajdb.TrajID) []core.Result {
+	return []core.Result{{Traj: id, Score: 0.5}}
+}
+
+// fastCfg is a test config with no real waiting: zero-jitter nanosecond
+// backoff and no hedging unless a test overrides it.
+func fastCfg() GroupConfig {
+	return GroupConfig{
+		MaxAttempts:      3,
+		Backoff:          BackoffConfig{Base: time.Nanosecond},
+		FailureThreshold: 2,
+		Seed:             1,
+	}
+}
+
+func mustGroup(t *testing.T, bases []string, cfg GroupConfig, m *Metrics) *Group {
+	t.Helper()
+	g, err := NewGroup(bases, cfg, m)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string, labels ...string) uint64 {
+	t.Helper()
+	if len(labels) > 0 {
+		return reg.CounterVec(name, "", "replica").With(labels...).Value()
+	}
+	return reg.Counter(name, "").Value()
+}
+
+func TestGroupFailoverToHealthyReplica(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := newFakeReplica(t, resultsOf(1))
+	bad.broken.Store(true)
+	good := newFakeReplica(t, resultsOf(2))
+	g := mustGroup(t, []string{bad.URL, good.URL}, fastCfg(), NewMetrics(reg))
+
+	resp, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Traj != 2 {
+		t.Fatalf("Search answered %+v, want replica good's results", resp.Results)
+	}
+	if got := counterValue(t, reg, "uots_rpc_retries_total"); got != 1 {
+		t.Errorf("retries_total = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "uots_rpc_transport_errors_total", bad.URL); got != 1 {
+		t.Errorf("transport_errors_total{%s} = %d, want 1", bad.URL, got)
+	}
+}
+
+func TestGroupEjectionAndReadmission(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := newFakeReplica(t, resultsOf(1))
+	bad.broken.Store(true)
+	good := newFakeReplica(t, resultsOf(2))
+	g := mustGroup(t, []string{bad.URL, good.URL}, fastCfg(), NewMetrics(reg))
+
+	// Each call that lands on bad charges one failure; threshold 2.
+	for i := 0; i < 6; i++ {
+		if _, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil); err != nil {
+			t.Fatalf("Search %d: %v", i, err)
+		}
+	}
+	st := g.Status()
+	if !st[0].Ejected {
+		t.Fatalf("bad replica not ejected after repeated failures: %+v", st)
+	}
+	if got := counterValue(t, reg, "uots_rpc_replica_ejections_total", bad.URL); got != 1 {
+		t.Errorf("ejections_total{bad} = %d, want 1", got)
+	}
+
+	// Ejected replicas stop receiving traffic (healthy rotation only).
+	before := bad.searches.Load()
+	for i := 0; i < 4; i++ {
+		if _, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil); err != nil {
+			t.Fatalf("Search post-ejection: %v", err)
+		}
+	}
+	if after := bad.searches.Load(); after != before {
+		t.Errorf("ejected replica served %d more searches, want 0", after-before)
+	}
+
+	// Recovery: probes re-admit it.
+	bad.broken.Store(false)
+	g.ProbeAll()
+	st = g.Status()
+	if st[0].Ejected {
+		t.Fatalf("recovered replica still ejected after successful probe: %+v", st)
+	}
+	if got := counterValue(t, reg, "uots_rpc_replica_readmissions_total", bad.URL); got != 1 {
+		t.Errorf("readmissions_total{bad} = %d, want 1", got)
+	}
+}
+
+func TestGroupProbeFailuresEject(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := newFakeReplica(t, resultsOf(1))
+	bad.broken.Store(true)
+	good := newFakeReplica(t, resultsOf(2))
+	g := mustGroup(t, []string{bad.URL, good.URL}, fastCfg(), NewMetrics(reg))
+
+	g.ProbeAll()
+	g.ProbeAll()
+	if st := g.Status(); !st[0].Ejected {
+		t.Fatalf("replica not ejected after %d failed probes: %+v", 2, st)
+	}
+	if got := counterValue(t, reg, "uots_rpc_probe_failures_total", bad.URL); got != 2 {
+		t.Errorf("probe_failures_total{bad} = %d, want 2", got)
+	}
+}
+
+func TestGroupExhaustedIsStoreFault(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := newFakeReplica(t, resultsOf(1))
+	bad.broken.Store(true)
+	g := mustGroup(t, []string{bad.URL}, fastCfg(), NewMetrics(reg))
+
+	_, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil)
+	if !errors.Is(err, ErrGroupExhausted) {
+		t.Fatalf("err = %v, want ErrGroupExhausted", err)
+	}
+	if !errors.Is(err, core.ErrStoreFault) {
+		t.Fatalf("err = %v, want it to wrap core.ErrStoreFault for the shard policy layer", err)
+	}
+	if got := bad.searches.Load(); got != 3 {
+		t.Errorf("dead replica attempted %d times, want MaxAttempts=3", got)
+	}
+	if got := counterValue(t, reg, "uots_rpc_group_exhausted_total"); got != 1 {
+		t.Errorf("group_exhausted_total = %d, want 1", got)
+	}
+}
+
+// TestGroupDefinitiveErrorNoRetry: coded engine errors return
+// immediately — retrying a query every replica would reject identically
+// only burns the error budget of healthy replicas.
+func TestGroupDefinitiveErrorNoRetry(t *testing.T) {
+	calls := atomic.Int64{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathSearch, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeWireError(w, http.StatusBadRequest, CodeBadQuery, "bad K")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	g := mustGroup(t, []string{srv.URL}, fastCfg(), nil)
+
+	_, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil)
+	var we *Error
+	if !errors.As(err, &we) || we.Code != CodeBadQuery {
+		t.Fatalf("err = %v, want coded bad_query", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("definitive error retried: %d calls, want 1", got)
+	}
+	if st := g.Status(); st[0].ConsecutiveFailures != 0 {
+		t.Errorf("definitive error charged the replica's budget: %+v", st)
+	}
+}
+
+// TestGroupCallerCancellation: the caller's own cancellation surfaces
+// as context.Canceled and never penalises the replica that happened to
+// be serving the call.
+func TestGroupCallerCancellation(t *testing.T) {
+	slow := newFakeReplica(t, resultsOf(1))
+	slow.gate = make(chan struct{})
+	defer close(slow.gate)
+	g := mustGroup(t, []string{slow.URL}, fastCfg(), nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Search(ctx, SearchRequest{Variant: VariantSearch}, nil)
+		done <- err
+	}()
+	// Wait until the request is parked in the handler, then cancel.
+	waitFor(t, func() bool { return slow.searches.Load() > 0 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := g.Status(); st[0].ConsecutiveFailures != 0 || st[0].Ejected {
+		t.Errorf("caller cancellation charged the replica: %+v", st)
+	}
+}
+
+// TestGroupAttemptTimeoutIsTransient: a per-attempt deadline with the
+// caller still alive is a tail-latency event — retried, and charged.
+func TestGroupAttemptTimeoutIsTransient(t *testing.T) {
+	slow := newFakeReplica(t, resultsOf(1))
+	slow.gate = make(chan struct{})
+	defer close(slow.gate)
+	fast := newFakeReplica(t, resultsOf(2))
+	cfg := fastCfg()
+	cfg.CallTimeout = 20 * time.Millisecond
+	g := mustGroup(t, []string{slow.URL, fast.URL}, cfg, nil)
+
+	resp, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Traj != 2 {
+		t.Fatalf("Search answered %+v, want failover to the fast replica", resp.Results)
+	}
+	if st := g.Status(); st[0].ConsecutiveFailures == 0 {
+		t.Errorf("attempt timeout did not charge the slow replica: %+v", st)
+	}
+}
+
+// TestHedgeBeatsSlowPrimary drives the hedge timer by hand: the primary
+// is gated shut, the injected timer fires, and the hedge's answer wins.
+// No wall clock is involved in the hedging decision.
+func TestHedgeBeatsSlowPrimary(t *testing.T) {
+	reg := obs.NewRegistry()
+	slow := newFakeReplica(t, resultsOf(1))
+	slow.gate = make(chan struct{})
+	defer close(slow.gate)
+	fast := newFakeReplica(t, resultsOf(2))
+
+	fire := make(chan time.Time, 1)
+	cfg := fastCfg()
+	cfg.HedgeDelay = time.Hour // the injected timer decides, not the clock
+	cfg.Timer = func(d time.Duration) (<-chan time.Time, func() bool) {
+		return fire, func() bool { return true }
+	}
+	g := mustGroup(t, []string{slow.URL, fast.URL}, cfg, NewMetrics(reg))
+
+	done := make(chan SearchResponse, 1)
+	errs := make(chan error, 1)
+	go func() {
+		resp, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil)
+		done <- resp
+		errs <- err
+	}()
+	// Primary (replica 0) is parked in its handler; fire the hedge.
+	waitFor(t, func() bool { return slow.searches.Load() > 0 })
+	fire <- time.Time{}
+
+	resp, err := <-done, <-errs
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Traj != 2 {
+		t.Fatalf("Search answered %+v, want the hedge replica's results", resp.Results)
+	}
+	if got := counterValue(t, reg, "uots_rpc_hedges_total"); got != 1 {
+		t.Errorf("hedges_total = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "uots_rpc_hedge_wins_total"); got != 1 {
+		t.Errorf("hedge_wins_total = %d, want 1", got)
+	}
+	if st := g.Status(); st[0].ConsecutiveFailures != 0 {
+		t.Errorf("losing a hedge charged the slow replica's budget: %+v", st)
+	}
+}
+
+// TestHedgePrimaryWins: when the primary answers before the timer
+// fires, no hedge is sent at all.
+func TestHedgePrimaryWins(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newFakeReplica(t, resultsOf(1))
+	b := newFakeReplica(t, resultsOf(2))
+	cfg := fastCfg()
+	cfg.HedgeDelay = time.Hour
+	cfg.Timer = func(d time.Duration) (<-chan time.Time, func() bool) {
+		return make(chan time.Time), func() bool { return true } // never fires
+	}
+	g := mustGroup(t, []string{a.URL, b.URL}, cfg, NewMetrics(reg))
+
+	resp, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Traj != 1 {
+		t.Fatalf("Search answered %+v, want the primary's results", resp.Results)
+	}
+	if got := counterValue(t, reg, "uots_rpc_hedges_total"); got != 0 {
+		t.Errorf("hedges_total = %d, want 0", got)
+	}
+	if got := b.searches.Load(); got != 0 {
+		t.Errorf("secondary served %d searches, want 0", got)
+	}
+}
+
+// TestGroupBoundPiggyback: the request carries the shared bound's
+// current value and the response's bound folds back in.
+func TestGroupBoundPiggyback(t *testing.T) {
+	var lastSeen atomic.Value // float64: Bound of the last request
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathSearch, func(w http.ResponseWriter, r *http.Request) {
+		var req SearchRequest
+		if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		lastSeen.Store(req.Bound)
+		writeGob(w, &SearchResponse{Bound: 0.75})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	g := mustGroup(t, []string{srv.URL}, fastCfg(), nil)
+
+	bound := &core.SharedBound{}
+	bound.Raise(0.25)
+	if _, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, bound); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if got := lastSeen.Load().(float64); got != 0.25 {
+		t.Errorf("request carried bound %v, want 0.25", got)
+	}
+	if v, ok := bound.Load(); !ok || v != 0.75 {
+		t.Errorf("shard bound not folded back: got (%v, %v), want (0.75, true)", v, ok)
+	}
+}
+
+func TestGroupClosed(t *testing.T) {
+	a := newFakeReplica(t, resultsOf(1))
+	g := mustGroup(t, []string{a.URL}, fastCfg(), nil)
+	g.Close()
+	g.Close() // idempotent
+	if _, err := g.Search(context.Background(), SearchRequest{Variant: VariantSearch}, nil); !errors.Is(err, ErrGroupClosed) {
+		t.Fatalf("Search after Close: err = %v, want ErrGroupClosed", err)
+	}
+}
+
+func TestGroupNoReplicas(t *testing.T) {
+	if _, err := NewGroup(nil, GroupConfig{}, nil); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("NewGroup(nil) err = %v, want ErrNoReplicas", err)
+	}
+}
+
+// waitFor spins until cond holds (bounded); the conditions it waits on
+// are "request reached the handler" barriers, not timing assumptions.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,239 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"uots/internal/core"
+	"uots/internal/trajdb"
+)
+
+// ShardServer serves one partition of the corpus over the wire: the five
+// search variants, the batch path, and a health probe. It is an
+// http.Handler factory — mount Handler on any listener. A ShardServer is
+// immutable after construction and safe for concurrent use.
+//
+// The topology contract: every shard server and every router loads the
+// same dataset with the same engine options and the same partitioner, so
+// keyword term IDs, trajectory IDs, and scores agree across the fleet.
+// Results leave the server already remapped to global trajectory IDs.
+type ShardServer struct {
+	engine  *core.Engine    // nil for an empty partition
+	globals []trajdb.TrajID // shard-local index → global ID; nil = identity
+	shard   int
+	shards  int
+	mux     *http.ServeMux
+}
+
+// ErrBadGlobals rejects a globals mapping that does not cover the
+// engine's store.
+var ErrBadGlobals = errors.New("rpc: globals mapping does not match the shard store")
+
+// NewShardServer builds a server over one partition's engine. globals
+// maps the engine's shard-local trajectory IDs to global corpus IDs
+// (shard.BuildShardEngine returns it); nil means the engine already
+// speaks global IDs (single-shard or whole-corpus serving). A nil engine
+// serves an empty partition: every search answers success with no
+// results, mirroring how the in-process executor skips empty shards.
+// shardIdx/shards are echoed by the health probe so operators can verify
+// a fleet's wiring.
+func NewShardServer(engine *core.Engine, globals []trajdb.TrajID, shardIdx, shards int) (*ShardServer, error) {
+	if engine != nil && globals != nil && len(globals) != engine.Store().NumTrajectories() {
+		return nil, fmt.Errorf("%w: %d global IDs for %d trajectories",
+			ErrBadGlobals, len(globals), engine.Store().NumTrajectories())
+	}
+	s := &ShardServer{
+		engine:  engine,
+		globals: append([]trajdb.TrajID(nil), globals...),
+		shard:   shardIdx,
+		shards:  shards,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST "+PathSearch, s.handleSearch)
+	s.mux.HandleFunc("POST "+PathBatch, s.handleBatch)
+	s.mux.HandleFunc("GET "+PathHealth, s.handleHealth)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler: the RPC routes wrapped in
+// panic recovery, so a malformed request can never take the shard down.
+func (s *ShardServer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { // net/http's own control flow
+				panic(rec)
+			}
+			writeWireError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("panic: %v", rec))
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// statusOf maps a wire code onto its HTTP status. The client keys off
+// the code, not the status; the status exists for proxies and logs.
+func statusOf(code string) int {
+	switch code {
+	case CodeStoreFault, CodeInternal:
+		return http.StatusInternalServerError
+	case CodeBadQuery:
+		return http.StatusBadRequest
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeWireError is the only place a ShardServer emits an error
+// response: status plus a gob-encoded coded Error envelope, the wire
+// half of the serving layer's machine-readable error contract.
+func writeWireError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(status)
+	_ = gob.NewEncoder(w).Encode(&Error{Code: code, Msg: msg}) // the connection is the only failure mode
+}
+
+// writeEngineError maps an engine failure onto the coded envelope.
+func writeEngineError(w http.ResponseWriter, err error) {
+	code := errorToCode(err)
+	writeWireError(w, statusOf(code), code, err.Error())
+}
+
+func writeGob(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = gob.NewEncoder(w).Encode(v)
+}
+
+func (s *ShardServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	trajs := 0
+	if s.engine != nil {
+		trajs = s.engine.Store().NumTrajectories()
+	}
+	writeGob(w, &HealthResponse{Status: "ok", Shard: s.shard, Shards: s.shards, Trajs: trajs})
+}
+
+// remap rewrites shard-local trajectory IDs to global ones in place.
+func (s *ShardServer) remap(results []core.Result) {
+	if s.globals == nil {
+		return
+	}
+	for i := range results {
+		results[i].Traj = s.globals[results[i].Traj]
+	}
+}
+
+func (s *ShardServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeWireError(w, http.StatusBadRequest, CodeBadQuery, "undecodable search request: "+err.Error())
+		return
+	}
+	if s.engine == nil {
+		writeGob(w, &SearchResponse{}) // empty partition: no candidates
+		return
+	}
+
+	// Seed the shard-local bound exchange with the client's piggybacked
+	// global bound; read the final local threshold back out afterwards.
+	// Variants whose scatter runs boundless (threshold: the bar is
+	// global already; orderaware: shard-local K' rounds break the
+	// same-K precondition) skip the exchange, mirroring the in-process
+	// executor.
+	ctx := r.Context()
+	var bound *core.SharedBound
+	switch req.Variant {
+	case VariantSearch, VariantWindowed:
+		bound = &core.SharedBound{}
+		bound.Raise(req.Bound)
+		ctx = core.ContextWithSharedBound(ctx, bound)
+	}
+
+	var (
+		results []core.Result
+		stats   core.SearchStats
+		err     error
+	)
+	switch req.Variant {
+	case VariantSearch:
+		results, stats, err = s.engine.SearchCtx(ctx, req.Query)
+	case VariantThreshold:
+		results, stats, err = s.engine.SearchThresholdCtx(ctx, req.Query, req.Theta)
+	case VariantWindowed:
+		results, stats, err = s.engine.SearchWindowedCtx(ctx, req.Query, req.Window)
+	case VariantOrderAware:
+		results, stats, err = s.engine.OrderAwareSearchCtx(ctx, req.Query)
+	case VariantDiversified:
+		// Shard-local diversification: exact only over this partition.
+		// The distributed executor does NOT scatter this variant — it
+		// scatters the relevance pool as VariantSearch and runs the MMR
+		// selection globally — but the wire exposes it so a shard can be
+		// queried standalone with every engine entry point.
+		results, stats, err = s.engine.DiversifiedSearchCtx(ctx, req.Query, req.Div)
+	default:
+		writeWireError(w, http.StatusBadRequest, CodeBadQuery, fmt.Sprintf("unknown search variant %q", req.Variant))
+		return
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	s.remap(results)
+	resp := SearchResponse{Results: results, Stats: stats}
+	if bound != nil {
+		if v, ok := bound.Load(); ok {
+			resp.Bound = v
+		}
+	}
+	writeGob(w, &resp)
+}
+
+func (s *ShardServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeWireError(w, http.StatusBadRequest, CodeBadQuery, "undecodable batch request: "+err.Error())
+		return
+	}
+	if s.engine == nil {
+		resp := BatchResponse{Entries: make([]BatchEntry, len(req.Queries))}
+		for i := range resp.Entries {
+			resp.Entries[i].Index = i
+		}
+		resp.Stats.Queries = len(req.Queries)
+		writeGob(w, &resp)
+		return
+	}
+	out, bstats, err := s.engine.SearchBatch(r.Context(), req.Queries, req.Opts.Core())
+	// SearchBatch returns ctx.Err() as the batch-level error while still
+	// filling every slot; a cancelled batch answers with the coded
+	// envelope (the client's own context is authoritative anyway).
+	if err != nil && out == nil {
+		writeEngineError(w, err)
+		return
+	}
+	if cerr := r.Context().Err(); cerr != nil {
+		writeEngineError(w, cerr)
+		return
+	}
+	resp := BatchResponse{Entries: make([]BatchEntry, len(out)), Stats: bstats}
+	for i, br := range out {
+		e := BatchEntry{Index: br.Index, Results: br.Results, Stats: br.Stats}
+		if br.Err != nil {
+			e.Results = nil
+			e.ErrCode = errorToCode(br.Err)
+			e.ErrMsg = br.Err.Error()
+		} else {
+			s.remap(e.Results)
+		}
+		resp.Entries[i] = e
+	}
+	writeGob(w, &resp)
+}

@@ -1,0 +1,302 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"uots/internal/core"
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// serverFixture is a small engine world for wire-protocol tests.
+type serverFixture struct {
+	g      *roadnet.Graph
+	vocab  *textual.SyntheticVocab
+	db     *trajdb.Store
+	engine *core.Engine
+}
+
+var (
+	serverFixtureOnce sync.Once
+	serverFixtureVal  serverFixture
+)
+
+func testServerFixture(t *testing.T) serverFixture {
+	t.Helper()
+	serverFixtureOnce.Do(func() {
+		g := roadnet.BRNLike(0.12, 7)
+		vocab := textual.GenerateVocab(6, 40, 1.0, 11)
+		db, err := trajdb.Generate(g, trajdb.GenOptions{Count: 80, MeanSamples: 15, Vocab: vocab, Seed: 17})
+		if err != nil {
+			panic("fixture: " + err.Error())
+		}
+		engine, err := core.NewEngine(db, core.Options{})
+		if err != nil {
+			panic("fixture: " + err.Error())
+		}
+		serverFixtureVal = serverFixture{g: g, vocab: vocab, db: db, engine: engine}
+	})
+	return serverFixtureVal
+}
+
+func (f serverFixture) query(rng *rand.Rand, k int) core.Query {
+	locs := make([]roadnet.VertexID, 3)
+	for i := range locs {
+		locs[i] = roadnet.VertexID(rng.IntN(f.g.NumVertices()))
+	}
+	regions := trajdb.NewRegionTopics(f.g.Bounds(), f.vocab.NumTopics())
+	topic := regions.TopicOf(f.g.Point(locs[0]))
+	kws := f.vocab.DrawQueryTerms(topic, 3, 0.8, rng)
+	return core.Query{Locations: locs, Keywords: kws, Lambda: 0.5, K: k}
+}
+
+func startShardServer(t *testing.T, engine *core.Engine, globals []trajdb.TrajID, idx, n int) *Client {
+	t.Helper()
+	s, err := NewShardServer(engine, globals, idx, n)
+	if err != nil {
+		t.Fatalf("NewShardServer: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return NewClient(hs.URL, nil)
+}
+
+// TestServerSearchRoundTrip: every variant's wire answer is exactly the
+// engine's in-process answer — gob must round-trip float64 scores and
+// distances bit-for-bit.
+func TestServerSearchRoundTrip(t *testing.T) {
+	f := testServerFixture(t)
+	c := startShardServer(t, f.engine, nil, 0, 1)
+	rng := rand.New(rand.NewPCG(19, 0))
+	q := f.query(rng, 5)
+	ctx := context.Background()
+	window := core.TimeWindow{From: 6 * 3600, To: 18 * 3600}
+	div := core.DiversifyOptions{Mu: 0.4}
+
+	cases := []struct {
+		req  SearchRequest
+		want func() ([]core.Result, core.SearchStats, error)
+	}{
+		{SearchRequest{Variant: VariantSearch, Query: q},
+			func() ([]core.Result, core.SearchStats, error) { return f.engine.SearchCtx(ctx, q) }},
+		{SearchRequest{Variant: VariantThreshold, Query: q, Theta: 0.35},
+			func() ([]core.Result, core.SearchStats, error) { return f.engine.SearchThresholdCtx(ctx, q, 0.35) }},
+		{SearchRequest{Variant: VariantWindowed, Query: q, Window: window},
+			func() ([]core.Result, core.SearchStats, error) { return f.engine.SearchWindowedCtx(ctx, q, window) }},
+		{SearchRequest{Variant: VariantOrderAware, Query: q},
+			func() ([]core.Result, core.SearchStats, error) { return f.engine.OrderAwareSearchCtx(ctx, q) }},
+		{SearchRequest{Variant: VariantDiversified, Query: q, Div: div},
+			func() ([]core.Result, core.SearchStats, error) { return f.engine.DiversifiedSearchCtx(ctx, q, div) }},
+	}
+	for _, tc := range cases {
+		want, _, err := tc.want()
+		if err != nil {
+			t.Fatalf("%s: engine: %v", tc.req.Variant, err)
+		}
+		resp, err := c.Search(ctx, tc.req)
+		if err != nil {
+			t.Fatalf("%s: wire: %v", tc.req.Variant, err)
+		}
+		// nil and empty both mean "no results" (gob does not preserve
+		// the distinction); normalise before the exact comparison.
+		got := resp.Results
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: wire results differ from engine results\n got: %+v\nwant: %+v", tc.req.Variant, got, want)
+		}
+	}
+}
+
+// TestServerBatchRoundTrip: the batch path answers exactly like the
+// in-process batch, slot for slot.
+func TestServerBatchRoundTrip(t *testing.T) {
+	f := testServerFixture(t)
+	c := startShardServer(t, f.engine, nil, 0, 1)
+	rng := rand.New(rand.NewPCG(23, 0))
+	queries := []core.Query{f.query(rng, 5), f.query(rng, 3), {Locations: nil, K: 5}} // last one invalid
+	opts := BatchOptions{SharedExpansion: true}
+	ctx := context.Background()
+
+	want, _, err := f.engine.SearchBatch(ctx, queries, opts.Core())
+	if err != nil {
+		t.Fatalf("engine batch: %v", err)
+	}
+	resp, err := c.Batch(ctx, BatchRequest{Queries: queries, Opts: opts})
+	if err != nil {
+		t.Fatalf("wire batch: %v", err)
+	}
+	if len(resp.Entries) != len(want) {
+		t.Fatalf("wire batch answered %d entries, want %d", len(resp.Entries), len(want))
+	}
+	for i, e := range resp.Entries {
+		w := want[i]
+		if e.Index != w.Index {
+			t.Errorf("entry %d: index %d, want %d", i, e.Index, w.Index)
+		}
+		if (e.Err() == nil) != (w.Err == nil) {
+			t.Errorf("entry %d: err %v, want %v", i, e.Err(), w.Err)
+			continue
+		}
+		if w.Err != nil {
+			continue
+		}
+		if len(e.Results) == 0 && len(w.Results) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(e.Results, w.Results) {
+			t.Errorf("entry %d: results differ\n got: %+v\nwant: %+v", i, e.Results, w.Results)
+		}
+	}
+}
+
+// TestServerGlobalsRemap: results cross the wire in global IDs.
+func TestServerGlobalsRemap(t *testing.T) {
+	f := testServerFixture(t)
+	n := f.db.NumTrajectories()
+	globals := make([]trajdb.TrajID, n)
+	const shift = 1000
+	for i := range globals {
+		globals[i] = trajdb.TrajID(i + shift)
+	}
+	c := startShardServer(t, f.engine, globals, 0, 1)
+	rng := rand.New(rand.NewPCG(29, 0))
+	q := f.query(rng, 5)
+
+	want, _, err := f.engine.SearchCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	resp, err := c.Search(context.Background(), SearchRequest{Variant: VariantSearch, Query: q})
+	if err != nil {
+		t.Fatalf("wire: %v", err)
+	}
+	if len(resp.Results) != len(want) {
+		t.Fatalf("wire answered %d results, want %d", len(resp.Results), len(want))
+	}
+	for i, r := range resp.Results {
+		if r.Traj != want[i].Traj+shift {
+			t.Errorf("rank %d: wire traj %d, want %d (local %d remapped)", i, r.Traj, want[i].Traj+shift, want[i].Traj)
+		}
+	}
+}
+
+func TestServerBadGlobals(t *testing.T) {
+	f := testServerFixture(t)
+	if _, err := NewShardServer(f.engine, []trajdb.TrajID{1, 2, 3}, 0, 1); !errors.Is(err, ErrBadGlobals) {
+		t.Fatalf("NewShardServer with short globals: err = %v, want ErrBadGlobals", err)
+	}
+}
+
+// TestServerErrorEnvelope: engine rejections cross the wire as coded
+// envelopes and decode back into recognisable errors.
+func TestServerErrorEnvelope(t *testing.T) {
+	f := testServerFixture(t)
+	c := startShardServer(t, f.engine, nil, 0, 1)
+	ctx := context.Background()
+
+	// Unknown variant → coded bad_query.
+	_, err := c.Search(ctx, SearchRequest{Variant: "bogus"})
+	var we *Error
+	if !errors.As(err, &we) || we.Code != CodeBadQuery {
+		t.Fatalf("unknown variant: err = %v, want coded bad_query", err)
+	}
+
+	// Engine validation error (no locations) → coded bad_query, and not
+	// a transport error (it must not trigger retries).
+	_, err = c.Search(ctx, SearchRequest{Variant: VariantSearch, Query: core.Query{K: 5}})
+	if !errors.As(err, &we) || we.Code != CodeBadQuery {
+		t.Fatalf("invalid query: err = %v, want coded bad_query", err)
+	}
+	if IsTransient(err) {
+		t.Fatalf("engine validation error classified transient: %v", err)
+	}
+}
+
+// TestServerEmptyShard: a nil engine serves every request with zero
+// results, mirroring how the in-process executor skips empty shards.
+func TestServerEmptyShard(t *testing.T) {
+	c := startShardServer(t, nil, nil, 1, 4)
+	ctx := context.Background()
+	resp, err := c.Search(ctx, SearchRequest{Variant: VariantSearch, Query: core.Query{K: 5}})
+	if err != nil || len(resp.Results) != 0 {
+		t.Fatalf("empty shard search: (%d results, %v), want (0, nil)", len(resp.Results), err)
+	}
+	bresp, err := c.Batch(ctx, BatchRequest{Queries: make([]core.Query, 3)})
+	if err != nil || len(bresp.Entries) != 3 {
+		t.Fatalf("empty shard batch: (%d entries, %v), want (3, nil)", len(bresp.Entries), err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Shard != 1 || h.Shards != 4 || h.Trajs != 0 {
+		t.Fatalf("empty shard health: (%+v, %v), want shard 1/4 with 0 trajs", h, err)
+	}
+}
+
+func TestServerHealth(t *testing.T) {
+	f := testServerFixture(t)
+	c := startShardServer(t, f.engine, nil, 2, 3)
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "ok" || h.Shard != 2 || h.Shards != 3 || h.Trajs != f.db.NumTrajectories() {
+		t.Fatalf("Health = %+v, want ok 2/3 with %d trajs", h, f.db.NumTrajectories())
+	}
+}
+
+// TestServerBoundPiggyback: a same-K variant seeds its SharedBound from
+// the request and reports its final threshold back; the hint changes
+// pruning only, never the answer.
+func TestServerBoundPiggyback(t *testing.T) {
+	f := testServerFixture(t)
+	c := startShardServer(t, f.engine, nil, 0, 1)
+	rng := rand.New(rand.NewPCG(31, 0))
+	q := f.query(rng, 5)
+	ctx := context.Background()
+
+	base, err := c.Search(ctx, SearchRequest{Variant: VariantSearch, Query: q})
+	if err != nil {
+		t.Fatalf("wire: %v", err)
+	}
+	if base.Bound <= 0 {
+		t.Fatalf("no piggybacked bound on a full-K answer: %v", base.Bound)
+	}
+	hinted, err := c.Search(ctx, SearchRequest{Variant: VariantSearch, Query: q, Bound: base.Bound})
+	if err != nil {
+		t.Fatalf("wire (hinted): %v", err)
+	}
+	// A tight seed bound can resolve a winner's distances via the probe
+	// path instead of incremental relaxation — same shortest paths, last
+	// ULP may differ — so compare the ranking and scores, not raw bytes.
+	if len(hinted.Results) != len(base.Results) {
+		t.Fatalf("bound hint changed result count: %d, want %d", len(hinted.Results), len(base.Results))
+	}
+	for i := range base.Results {
+		h, b := hinted.Results[i], base.Results[i]
+		if h.Traj != b.Traj || math.Abs(h.Score-b.Score) > 1e-9 {
+			t.Fatalf("bound hint changed rank %d: (%d, %v), want (%d, %v)", i, h.Traj, h.Score, b.Traj, b.Score)
+		}
+	}
+}
+
+// TestServerCanceledContext: errors.Is works across the network for the
+// canonical context sentinels.
+func TestServerCanceledContext(t *testing.T) {
+	f := testServerFixture(t)
+	c := startShardServer(t, f.engine, nil, 0, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Search(ctx, SearchRequest{Variant: VariantSearch, Query: core.Query{K: 5}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled search: err = %v, want context.Canceled", err)
+	}
+}

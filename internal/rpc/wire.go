@@ -1,0 +1,131 @@
+package rpc
+
+import (
+	"uots/internal/core"
+)
+
+// Transport constants shared by client and server.
+const (
+	// ContentType tags gob-encoded request and response bodies. Gob (not
+	// JSON) because search results carry float64 scores and distances
+	// that must round-trip bit-exactly — including the +Inf distance of
+	// an unreachable query location, which JSON rejects outright.
+	ContentType = "application/x-uots-gob"
+
+	// PathSearch serves one search (any variant) over the replica's
+	// shard.
+	PathSearch = "/rpc/v1/search"
+	// PathBatch serves a whole query batch over the replica's shard.
+	PathBatch = "/rpc/v1/batch"
+	// PathHealth is the liveness/identity probe.
+	PathHealth = "/rpc/v1/health"
+)
+
+// Search variants carried in SearchRequest.Variant. They mirror the five
+// core.Engine entry points the sharded executor scatters.
+const (
+	VariantSearch      = "search"
+	VariantThreshold   = "threshold"
+	VariantWindowed    = "windowed"
+	VariantOrderAware  = "orderaware"
+	VariantDiversified = "diversified"
+)
+
+// SearchRequest is the wire form of one scattered shard search. Exactly
+// one variant's auxiliary field is meaningful, selected by Variant.
+type SearchRequest struct {
+	// Variant selects the engine entry point (Variant* constants).
+	Variant string
+	// Query is the search itself. Keyword term IDs are meaningful only
+	// when client and server were built from the same vocabulary — the
+	// topology contract is that every node loads the same dataset.
+	Query core.Query
+	// Theta is the score bar of VariantThreshold.
+	Theta float64
+	// Window is the departure filter of VariantWindowed.
+	Window core.TimeWindow
+	// Div are the re-ranking options of VariantDiversified.
+	Div core.DiversifyOptions
+	// Bound is the client's best known global k-th-score lower bound at
+	// send time (0 = none). The shard seeds its core.SharedBound with it
+	// so a late, retried, or hedged call starts pruning at the level the
+	// rest of the scatter already reached. A pruning hint only: results
+	// are identical with or without it.
+	Bound float64
+}
+
+// SearchResponse is the wire form of one shard's answer.
+type SearchResponse struct {
+	// Results carry trajectory IDs remapped to the global corpus — the
+	// shard-local numbering never crosses the wire.
+	Results []core.Result
+	// Stats is the shard-side work accounting.
+	Stats core.SearchStats
+	// Bound is the shard's final local k-th threshold (0 = none), the
+	// piggybacked update the client folds into its scatter-wide
+	// core.SharedBound.
+	Bound float64
+}
+
+// BatchOptions is the wire-safe subset of core.BatchOptions. Remote
+// batches are expansion-only: the text-first baseline is tuned with an
+// in-process landmark index (core.TextFirstOptions.Landmarks) that
+// cannot cross the wire, and the RemoteExecutor rejects it before
+// scattering.
+type BatchOptions struct {
+	Workers         int
+	SharedExpansion bool
+}
+
+// Core expands the wire options back into the engine's batch options.
+func (o BatchOptions) Core() core.BatchOptions {
+	return core.BatchOptions{
+		Workers:         o.Workers,
+		Algorithm:       core.AlgoExpansion,
+		SharedExpansion: o.SharedExpansion,
+	}
+}
+
+// BatchRequest is the wire form of a whole-batch scatter: the shard runs
+// every query (sharing expansion frontiers per BatchOptions) and answers
+// per slot.
+type BatchRequest struct {
+	Queries []core.Query
+	Opts    BatchOptions
+}
+
+// BatchEntry is one query's outcome within a batch response. Errors
+// cross the wire as (code, message) pairs — core.BatchResult.Err is an
+// interface gob cannot carry — and the client rebuilds canonical errors
+// with codeToError.
+type BatchEntry struct {
+	Index   int
+	Results []core.Result // global trajectory IDs
+	Stats   core.SearchStats
+	ErrCode string // empty on success
+	ErrMsg  string
+}
+
+// Err rebuilds the entry's canonical error: nil when the entry
+// succeeded, otherwise the coded envelope decoded back into the
+// sentinel-preserving error codeToError produces.
+func (e BatchEntry) Err() error {
+	if e.ErrCode == "" {
+		return nil
+	}
+	return codeToError(e.ErrCode, e.ErrMsg)
+}
+
+// BatchResponse is the wire form of a shard's batch answer.
+type BatchResponse struct {
+	Entries []BatchEntry
+	Stats   core.BatchStats
+}
+
+// HealthResponse answers the probe endpoint.
+type HealthResponse struct {
+	Status string // "ok"
+	Shard  int    // partition index i
+	Shards int    // partition count N
+	Trajs  int    // trajectories served by this shard (0 = empty shard)
+}

@@ -68,8 +68,10 @@ const (
 // baselines and diagnostics, not the serving path.
 type SearchBackend interface {
 	SearchCtx(ctx context.Context, q core.Query) ([]core.Result, core.SearchStats, error)
+	SearchThresholdCtx(ctx context.Context, q core.Query, theta float64) ([]core.Result, core.SearchStats, error)
 	SearchWindowedCtx(ctx context.Context, q core.Query, w core.TimeWindow) ([]core.Result, core.SearchStats, error)
 	OrderAwareSearchCtx(ctx context.Context, q core.Query) ([]core.Result, core.SearchStats, error)
+	DiversifiedSearchCtx(ctx context.Context, q core.Query, opts core.DiversifyOptions) ([]core.Result, core.SearchStats, error)
 	SearchBatch(ctx context.Context, queries []core.Query, opts core.BatchOptions) ([]core.BatchResult, core.BatchStats, error)
 }
 
@@ -254,6 +256,12 @@ type SearchRequest struct {
 	Window string `json:"window,omitempty"`
 	// OrderAware switches to itinerary-order matching.
 	OrderAware bool `json:"orderAware,omitempty"`
+	// Theta switches to the threshold variant: every trajectory scoring
+	// at least theta, best first (k is ignored).
+	Theta *float64 `json:"theta,omitempty"`
+	// DiversifyMu switches to the diversified variant with the given
+	// relevance/diversity trade-off in [0,1].
+	DiversifyMu *float64 `json:"diversifyMu,omitempty"`
 }
 
 // SearchResponse is the POST /search reply.
@@ -422,6 +430,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			if err == nil {
 				results, stats, err = s.backend.SearchWindowedCtx(ctx, q, win)
 			}
+		case req.Theta != nil:
+			results, stats, err = s.backend.SearchThresholdCtx(ctx, q, *req.Theta)
+		case req.DiversifyMu != nil:
+			results, stats, err = s.backend.DiversifiedSearchCtx(ctx, q, core.DiversifyOptions{Mu: *req.DiversifyMu})
 		default:
 			results, stats, err = s.backend.SearchCtx(ctx, q)
 		}

@@ -133,6 +133,17 @@ func (ex *Executor) scatterBatch(ctx context.Context, queries []core.Query, opts
 // that is not a secondary cancellation, with PartialDegrade store
 // faults dropped from the merge unless every shard faulted.
 func (ex *Executor) gatherQuery(ctx context.Context, outs []shardBatchOut, qi, k int, considered *int) core.BatchResult {
+	return gatherQueryOuts(ctx, outs, qi, k, ex.partial, ex.metrics, ex.remap, considered)
+}
+
+// gatherQueryOuts is gatherQuery's policy core, shared by the
+// in-process Executor and the RemoteExecutor. remap rewrites shard i's
+// local trajectory IDs to global ones in place; nil means the results
+// are global already (the remote path — shard servers remap before
+// answering).
+func gatherQueryOuts(ctx context.Context, outs []shardBatchOut, qi, k int,
+	partial PartialPolicy, m *metrics, remap func(i int, results []core.Result), considered *int,
+) core.BatchResult {
 	var stats core.SearchStats
 	var firstErr, firstNonCancel, firstFault error
 	var use []int
@@ -155,7 +166,7 @@ func (ex *Executor) gatherQuery(ctx context.Context, outs []shardBatchOut, qi, k
 				continue
 			}
 		}
-		if ex.partial == PartialDegrade && errors.Is(qerr, core.ErrStoreFault) {
+		if partial == PartialDegrade && errors.Is(qerr, core.ErrStoreFault) {
 			if firstFault == nil {
 				firstFault = qerr
 			}
@@ -181,15 +192,17 @@ func (ex *Executor) gatherQuery(ctx context.Context, outs []shardBatchOut, qi, k
 	if degraded > 0 && len(use) == 0 {
 		return core.BatchResult{Index: qi, Stats: stats, Err: fmt.Errorf("%w: %w", ErrAllShardsFailed, firstFault)}
 	}
-	ex.metrics.recordDegraded(degraded)
+	m.recordDegraded(degraded)
 	if k < 1 {
 		k = 1 // Query.normalize's default
 	}
 	top := pqueue.NewTopK[core.Result](k)
 	for _, si := range use {
-		h := &ex.shards[si]
-		for _, r := range outs[si].out[qi].Results {
-			r.Traj = h.globals[r.Traj]
+		rs := outs[si].out[qi].Results
+		if remap != nil {
+			remap(si, rs)
+		}
+		for _, r := range rs {
 			top.Offer(r.Score, int64(r.Traj), r)
 			*considered++
 		}

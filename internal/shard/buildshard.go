@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"fmt"
+
+	"uots/internal/core"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// buildSubStore rebuilds one partition's trajectories as a standalone
+// frozen store over the shared graph. Samples and keywords are copied
+// because a Traj result is only valid until the next store call;
+// keywords are pre-interned TermSets, so no vocabulary is needed.
+func buildSubStore(db core.TrajStore, ids []trajdb.TrajID, shardIdx int) (core.TrajStore, error) {
+	b := trajdb.NewBuilder(db.Graph(), nil)
+	for _, gid := range ids {
+		samples := append([]trajdb.Sample(nil), db.Traj(gid).Samples...)
+		keywords := append(textual.TermSet(nil), db.Keywords(gid)...)
+		if _, err := b.Add(samples, keywords); err != nil {
+			return nil, fmt.Errorf("shard: rebuilding trajectory %d for shard %d: %w", gid, shardIdx, err)
+		}
+	}
+	return b.Freeze(), nil
+}
+
+// BuildShardEngine partitions db with part into shards pieces and builds
+// the core.Engine serving piece index, plus the shard-local → global
+// trajectory ID mapping its results need. This is the shard-server
+// half of the distributed topology contract: a shard server and the
+// router both derive the partition from the same (dataset, partitioner,
+// shard count) inputs, so piece index here holds exactly the
+// trajectories the router's scatter expects of partition index. A nil
+// partitioner means HashPartitioner, matching Config.Partitioner.
+//
+// An empty partition returns (nil, nil, nil): serve it with a nil-engine
+// rpc.ShardServer, which answers every search with zero results.
+// Corpus-dependent text similarities are rejected with ErrShardedTextSim
+// for the same reason NewExecutor rejects them: shard-local IDF differs
+// from global IDF, so shard-local scores would not be the monolithic
+// scores.
+func BuildShardEngine(db core.TrajStore, opts core.Options, part Partitioner, shards, index int) (eng *core.Engine, globals []trajdb.TrajID, err error) {
+	defer recoverBuildFault(&err)
+	if shards <= 0 || index < 0 || index >= shards {
+		return nil, nil, fmt.Errorf("%w: shard %d of %d", ErrBadShards, index, shards)
+	}
+	if opts.TextSim != core.TextJaccard {
+		return nil, nil, fmt.Errorf("%w: got %v", ErrShardedTextSim, opts.TextSim)
+	}
+	if part == nil {
+		part = HashPartitioner{}
+	}
+	assignment := part.Partition(db, shards)
+	if len(assignment) != shards {
+		return nil, nil, fmt.Errorf("shard: partitioner %q returned %d shards, want %d", part, len(assignment), shards)
+	}
+	ids := assignment[index]
+	if len(ids) == 0 {
+		return nil, nil, nil
+	}
+	sub, err := buildSubStore(db, ids, index)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err = core.NewEngine(sub, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: engine for shard %d: %w", index, err)
+	}
+	return eng, append([]trajdb.TrajID(nil), ids...), nil
+}

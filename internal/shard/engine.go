@@ -78,7 +78,11 @@ func NewDynamicEngine(ds *trajdb.DynamicStore, opts core.Options, cfg Config) (*
 }
 
 // Close stops the engine's workers after in-flight shard searches
-// finish.
+// finish. It is idempotent — repeated and concurrent Close calls are
+// safe (the pool shutdown is once-guarded and every call waits for the
+// drain) — and safe against in-flight queries: a query racing Close
+// either completes normally or fails with ErrClosed; it never observes
+// a half-closed engine. RemoteExecutor.Close follows the same contract.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	e.closed = true

@@ -10,7 +10,6 @@ import (
 	"uots/internal/core"
 	"uots/internal/obs"
 	"uots/internal/pqueue"
-	"uots/internal/textual"
 	"uots/internal/trajdb"
 )
 
@@ -135,18 +134,11 @@ func newExecutor(db core.TrajStore, opts core.Options, cfg Config, pool *workerP
 			continue // empty shard: skipped at query time
 		}
 		// Shards are plain frozen stores over the partition's
-		// trajectories. Keywords are pre-interned TermSets, so no
-		// vocabulary is needed; samples and keywords are copied because a
-		// Traj result is only valid until the next store call.
-		b := trajdb.NewBuilder(db.Graph(), nil)
-		for _, gid := range ids {
-			samples := append([]trajdb.Sample(nil), db.Traj(gid).Samples...)
-			keywords := append(textual.TermSet(nil), db.Keywords(gid)...)
-			if _, err := b.Add(samples, keywords); err != nil {
-				return nil, fmt.Errorf("shard: rebuilding trajectory %d for shard %d: %w", gid, s, err)
-			}
+		// trajectories (see buildSubStore).
+		sub, err := buildSubStore(db, ids, s)
+		if err != nil {
+			return nil, err
 		}
-		var sub core.TrajStore = b.Freeze()
 		if cfg.WrapStore != nil {
 			sub = cfg.WrapStore(s, sub)
 		}
@@ -253,6 +245,13 @@ func (ex *Executor) scatter(ctx context.Context, fn func(ctx context.Context, h 
 // PartialDegrade store faults dropped (not failed) unless every shard
 // faulted.
 func (ex *Executor) resolve(ctx context.Context, out []shardOut, trace obs.Tracer) (use []int, stats core.SearchStats, err error) {
+	return resolveOuts(ctx, out, ex.partial, ex.metrics, trace)
+}
+
+// resolveOuts is resolve's policy core, shared by the in-process
+// Executor and the RemoteExecutor (whose shard outcomes arrive over the
+// wire but resolve under exactly the same precedence).
+func resolveOuts(ctx context.Context, out []shardOut, partial PartialPolicy, m *metrics, trace obs.Tracer) (use []int, stats core.SearchStats, err error) {
 	var firstErr, firstNonCancel, firstFault error
 	degraded := 0
 	for i := range out {
@@ -276,7 +275,7 @@ func (ex *Executor) resolve(ctx context.Context, out []shardOut, trace obs.Trace
 			use = append(use, i)
 			continue
 		}
-		if ex.partial == PartialDegrade && errors.Is(o.err, core.ErrStoreFault) {
+		if partial == PartialDegrade && errors.Is(o.err, core.ErrStoreFault) {
 			if firstFault == nil {
 				firstFault = o.err
 			}
@@ -308,7 +307,7 @@ func (ex *Executor) resolve(ctx context.Context, out []shardOut, trace obs.Trace
 	if degraded > 0 && len(use) == 0 {
 		return nil, stats, fmt.Errorf("%w: %w", ErrAllShardsFailed, firstFault)
 	}
-	ex.metrics.recordDegraded(degraded)
+	m.recordDegraded(degraded)
 	return use, stats, nil
 }
 
@@ -317,15 +316,31 @@ func (ex *Executor) resolve(ctx context.Context, out []shardOut, trace obs.Trace
 // tie-break (score descending, then global ID ascending) matches
 // core.sortResults, so the merged order is the monolithic order.
 func (ex *Executor) mergeTopK(out []shardOut, use []int, k int) ([]core.Result, int) {
+	for _, i := range use {
+		ex.remap(i, out[i].results)
+	}
+	return mergeTopKGlobal(out, use, k)
+}
+
+// remap rewrites shard i's local trajectory IDs to global ones in place.
+func (ex *Executor) remap(i int, results []core.Result) {
+	globals := ex.shards[i].globals
+	for j := range results {
+		results[j].Traj = globals[results[j].Traj]
+	}
+}
+
+// mergeTopKGlobal folds already-global result lists into the global
+// top-k. The remote executor feeds it directly (shard servers remap
+// before answering); the in-process mergeTopK remaps first.
+func mergeTopKGlobal(out []shardOut, use []int, k int) ([]core.Result, int) {
 	if k < 1 {
 		k = 1
 	}
 	top := pqueue.NewTopK[core.Result](k)
 	considered := 0
 	for _, i := range use {
-		h := &ex.shards[i]
 		for _, r := range out[i].results {
-			r.Traj = h.globals[r.Traj]
 			top.Offer(r.Score, int64(r.Traj), r)
 			considered++
 		}
@@ -337,13 +352,17 @@ func (ex *Executor) mergeTopK(out []shardOut, use []int, k int) ([]core.Result, 
 // searches return every qualifying trajectory) and re-sorts them into
 // the monolithic order.
 func (ex *Executor) mergeAll(out []shardOut, use []int) ([]core.Result, int) {
+	for _, i := range use {
+		ex.remap(i, out[i].results)
+	}
+	return mergeAllGlobal(out, use)
+}
+
+// mergeAllGlobal is mergeAll over already-global result lists.
+func mergeAllGlobal(out []shardOut, use []int) ([]core.Result, int) {
 	var all []core.Result
 	for _, i := range use {
-		h := &ex.shards[i]
-		for _, r := range out[i].results {
-			r.Traj = h.globals[r.Traj]
-			all = append(all, r)
-		}
+		all = append(all, out[i].results...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Score != all[j].Score {

@@ -1,0 +1,471 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+	"uots/internal/rpc"
+	"uots/internal/trajdb"
+)
+
+// remoteCluster is a full in-process distributed topology: shards×replicas
+// rpc.ShardServers on loopback HTTP, one rpc.Group per partition, and a
+// RemoteExecutor routing over them.
+type remoteCluster struct {
+	re      *RemoteExecutor
+	servers [][]*httptest.Server // [partition][replica]
+}
+
+// startCluster builds the topology. gcfg (nil = defaults) picks each
+// partition's group config; wrap (nil = identity) intercepts each
+// replica's handler — the hook the fault-injection tests use to kill or
+// stall individual replicas.
+func startCluster(t *testing.T, f fixture, shards, replicas int, cfg RemoteConfig,
+	gcfg func(p int) rpc.GroupConfig, reg *obs.Registry,
+	wrap func(p, r int, h http.Handler) http.Handler,
+) *remoteCluster {
+	t.Helper()
+	m := rpc.NewMetrics(reg)
+	groups := make([]*rpc.Group, shards)
+	servers := make([][]*httptest.Server, shards)
+	for p := 0; p < shards; p++ {
+		eng, globals, err := BuildShardEngine(f.db, core.Options{}, nil, shards, p)
+		if err != nil {
+			t.Fatalf("BuildShardEngine(%d/%d): %v", p, shards, err)
+		}
+		bases := make([]string, replicas)
+		servers[p] = make([]*httptest.Server, replicas)
+		for r := 0; r < replicas; r++ {
+			ss, err := rpc.NewShardServer(eng, globals, p, shards)
+			if err != nil {
+				t.Fatalf("NewShardServer(%d/%d): %v", p, shards, err)
+			}
+			h := http.Handler(ss.Handler())
+			if wrap != nil {
+				h = wrap(p, r, h)
+			}
+			hs := httptest.NewServer(h)
+			t.Cleanup(hs.Close)
+			servers[p][r] = hs
+			bases[r] = hs.URL
+		}
+		gc := rpc.GroupConfig{}
+		if gcfg != nil {
+			gc = gcfg(p)
+		}
+		groups[p], err = rpc.NewGroup(bases, gc, m)
+		if err != nil {
+			t.Fatalf("NewGroup(partition %d): %v", p, err)
+		}
+	}
+	re, err := NewRemoteExecutor(groups, cfg)
+	if err != nil {
+		t.Fatalf("NewRemoteExecutor: %v", err)
+	}
+	t.Cleanup(re.Close)
+	return &remoteCluster{re: re, servers: servers}
+}
+
+// fastGroup is a group config tuned for fault tests: immediate retries,
+// no real waiting.
+func fastGroup(attempts int) func(int) rpc.GroupConfig {
+	return func(int) rpc.GroupConfig {
+		return rpc.GroupConfig{
+			MaxAttempts: attempts,
+			Backoff:     rpc.BackoffConfig{Base: time.Nanosecond},
+		}
+	}
+}
+
+func remoteCounter(t *testing.T, reg *obs.Registry, name string) uint64 {
+	t.Helper()
+	return reg.Counter(name, "").Value()
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRemoteMatchesMonolithic is the distributed ground truth: every
+// search variant plus the batch path, scattered over N partitions × R
+// replicas of real shard servers, answers exactly like the monolithic
+// engine on the unpartitioned store.
+func TestRemoteMatchesMonolithic(t *testing.T) {
+	f := testFixture(t)
+	mono, err := core.NewEngine(f.db, core.Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(67, 0))
+	queries := []core.Query{
+		f.randomQuery(rng, 3, 3, 0.5, 5),
+		f.randomQuery(rng, 2, 2, 0.5, 5),
+		f.randomQuery(rng, 1, 0, 1.0, 8),  // pure spatial
+		f.randomQuery(rng, 2, 4, 0.0, 5),  // pure textual
+		f.randomQuery(rng, 4, 2, 0.7, 25), // k wider than any one shard's share
+	}
+	window := core.TimeWindow{From: 6 * 3600, To: 18 * 3600}
+	const theta = 0.35
+	divOpts := core.DiversifyOptions{Mu: 0.4}
+	ctx := context.Background()
+
+	for _, n := range []int{2, 4} {
+		for _, r := range []int{1, 2} {
+			cl := startCluster(t, f, n, r, RemoteConfig{Global: mono}, nil, nil, nil)
+			for qi, q := range queries {
+				tag := fmt.Sprintf("n=%d/r=%d/q=%d", n, r, qi)
+
+				wantR, _, wantErr := mono.SearchCtx(ctx, q)
+				gotR, _, gotErr := cl.re.SearchCtx(ctx, q)
+				checkSame(t, tag+"/search", gotR, gotErr, wantR, wantErr)
+
+				wantR, _, wantErr = mono.SearchThresholdCtx(ctx, q, theta)
+				gotR, _, gotErr = cl.re.SearchThresholdCtx(ctx, q, theta)
+				checkSame(t, tag+"/threshold", gotR, gotErr, wantR, wantErr)
+
+				wantR, _, wantErr = mono.SearchWindowedCtx(ctx, q, window)
+				gotR, _, gotErr = cl.re.SearchWindowedCtx(ctx, q, window)
+				checkSame(t, tag+"/windowed", gotR, gotErr, wantR, wantErr)
+
+				wantR, _, wantErr = mono.OrderAwareSearchCtx(ctx, q)
+				gotR, _, gotErr = cl.re.OrderAwareSearchCtx(ctx, q)
+				checkSame(t, tag+"/orderaware", gotR, gotErr, wantR, wantErr)
+
+				wantR, _, wantErr = mono.DiversifiedSearchCtx(ctx, q, divOpts)
+				gotR, _, gotErr = cl.re.DiversifiedSearchCtx(ctx, q, divOpts)
+				checkSame(t, tag+"/diversified", gotR, gotErr, wantR, wantErr)
+			}
+
+			// Batch: same queries plus an invalid slot, per-entry parity.
+			bq := append(append([]core.Query(nil), queries[:3]...), core.Query{K: 5})
+			opts := core.BatchOptions{SharedExpansion: true}
+			want, _, wantErr := mono.SearchBatch(ctx, bq, opts)
+			got, _, gotErr := cl.re.SearchBatch(ctx, bq, opts)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("n=%d/r=%d/batch: error %v, want %v", n, r, gotErr, wantErr)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d/r=%d/batch: %d entries, want %d", n, r, len(got), len(want))
+			}
+			for i := range want {
+				tag := fmt.Sprintf("n=%d/r=%d/batch/q=%d", n, r, i)
+				if (got[i].Err == nil) != (want[i].Err == nil) {
+					t.Fatalf("%s: err %v, want %v", tag, got[i].Err, want[i].Err)
+				}
+				if want[i].Err == nil {
+					sameResults(t, tag, got[i].Results, want[i].Results)
+				}
+			}
+			cl.re.Close()
+		}
+	}
+}
+
+// TestRemoteMidQueryCancellation: the client cancels while a replica is
+// still computing; the scatter drains and reports the caller's own
+// context error, never a partial answer.
+func TestRemoteMidQueryCancellation(t *testing.T) {
+	f := testFixture(t)
+	rng := rand.New(rand.NewPCG(71, 0))
+	q := f.randomQuery(rng, 3, 3, 0.5, 5)
+
+	var started atomic.Int64
+	cl := startCluster(t, f, 2, 1, RemoteConfig{}, nil, nil,
+		func(p, r int, h http.Handler) http.Handler {
+			if p != 0 {
+				return h
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				if req.URL.Path != rpc.PathSearch {
+					h.ServeHTTP(w, req)
+					return
+				}
+				// Drain the body first: the server only watches for client
+				// disconnect (cancelling req.Context()) once the request has
+				// been fully read.
+				io.Copy(io.Discard, req.Body)
+				started.Add(1)
+				<-req.Context().Done() // park until the client hangs up
+			})
+		})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type out struct {
+		res []core.Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, _, err := cl.re.SearchCtx(ctx, q)
+		done <- out{res, err}
+	}()
+	waitUntil(t, "replica to receive the scattered search", func() bool { return started.Load() > 0 })
+	cancel()
+	o := <-done
+	if !errors.Is(o.err, context.Canceled) {
+		t.Fatalf("mid-query cancel: err = %v, want context.Canceled", o.err)
+	}
+	if o.res != nil {
+		t.Fatalf("cancelled query returned %d results, want none", len(o.res))
+	}
+}
+
+// abortOnSearch kills the connection mid-request for search traffic —
+// the HTTP-level equivalent of the replica process dying — while leaving
+// health probes intact.
+func abortOnSearch(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == rpc.PathSearch || req.URL.Path == rpc.PathBatch {
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, req)
+	})
+}
+
+// TestRemoteReplicaKilledMidQueryFailsOver: with R=2, killing one
+// replica mid-query is invisible — the group retries onto its healthy
+// sibling and the answers stay exactly monolithic.
+func TestRemoteReplicaKilledMidQueryFailsOver(t *testing.T) {
+	f := testFixture(t)
+	mono, err := core.NewEngine(f.db, core.Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(73, 0))
+	q := f.randomQuery(rng, 3, 3, 0.5, 5)
+	reg := obs.NewRegistry()
+	cl := startCluster(t, f, 2, 2, RemoteConfig{Global: mono}, fastGroup(3), reg,
+		func(p, r int, h http.Handler) http.Handler {
+			if p == 0 && r == 0 {
+				return abortOnSearch(h)
+			}
+			return h
+		})
+
+	ctx := context.Background()
+	window := core.TimeWindow{From: 6 * 3600, To: 18 * 3600}
+	divOpts := core.DiversifyOptions{Mu: 0.4}
+
+	wantR, _, wantErr := mono.SearchCtx(ctx, q)
+	gotR, _, gotErr := cl.re.SearchCtx(ctx, q)
+	checkSame(t, "killed-replica/search", gotR, gotErr, wantR, wantErr)
+
+	wantR, _, wantErr = mono.SearchThresholdCtx(ctx, q, 0.35)
+	gotR, _, gotErr = cl.re.SearchThresholdCtx(ctx, q, 0.35)
+	checkSame(t, "killed-replica/threshold", gotR, gotErr, wantR, wantErr)
+
+	wantR, _, wantErr = mono.SearchWindowedCtx(ctx, q, window)
+	gotR, _, gotErr = cl.re.SearchWindowedCtx(ctx, q, window)
+	checkSame(t, "killed-replica/windowed", gotR, gotErr, wantR, wantErr)
+
+	wantR, _, wantErr = mono.OrderAwareSearchCtx(ctx, q)
+	gotR, _, gotErr = cl.re.OrderAwareSearchCtx(ctx, q)
+	checkSame(t, "killed-replica/orderaware", gotR, gotErr, wantR, wantErr)
+
+	wantR, _, wantErr = mono.DiversifiedSearchCtx(ctx, q, divOpts)
+	gotR, _, gotErr = cl.re.DiversifiedSearchCtx(ctx, q, divOpts)
+	checkSame(t, "killed-replica/diversified", gotR, gotErr, wantR, wantErr)
+
+	if got := remoteCounter(t, reg, "uots_rpc_retries_total"); got == 0 {
+		t.Fatalf("failover path recorded no retries")
+	}
+	if got := remoteCounter(t, reg, "uots_rpc_group_exhausted_total"); got != 0 {
+		t.Fatalf("group exhausted %d times despite a healthy sibling", got)
+	}
+}
+
+// TestRemotePartitionDownDegrades: with R=1, killing a partition's only
+// replica exhausts its group; under PartialDegrade the answer is exactly
+// the top-k over the surviving partitions — the same oracle the
+// in-process degraded test pins.
+func TestRemotePartitionDownDegrades(t *testing.T) {
+	f := testFixture(t)
+	rng := rand.New(rand.NewPCG(79, 0))
+	q := f.randomQuery(rng, 3, 3, 0.5, 5)
+	const shards, faultShard = 4, 2
+
+	reg := obs.NewRegistry()
+	cl := startCluster(t, f, shards, 1, RemoteConfig{Partial: PartialDegrade}, fastGroup(2), reg,
+		func(p, r int, h http.Handler) http.Handler {
+			if p == faultShard {
+				return abortOnSearch(h)
+			}
+			return h
+		})
+
+	got, _, err := cl.re.SearchCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("degraded SearchCtx: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatalf("degraded query returned no results")
+	}
+	if v := remoteCounter(t, reg, "uots_rpc_group_exhausted_total"); v == 0 {
+		t.Fatalf("dead partition never reported group exhaustion")
+	}
+
+	mono, err := core.NewEngine(f.db, core.Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	allQ := q
+	allQ.K = f.db.NumTrajectories()
+	ranked, _, err := mono.SearchCtx(context.Background(), allQ)
+	if err != nil {
+		t.Fatalf("monolithic full ranking: %v", err)
+	}
+	assignment := HashPartitioner{}.Partition(f.db, shards)
+	faulted := make(map[trajdb.TrajID]bool, len(assignment[faultShard]))
+	for _, id := range assignment[faultShard] {
+		faulted[id] = true
+	}
+	var want []core.Result
+	for _, r := range ranked {
+		if faulted[r.Traj] {
+			continue
+		}
+		want = append(want, r)
+		if len(want) == q.K {
+			break
+		}
+	}
+	sameResults(t, "remote degraded top-k", got, want)
+}
+
+// TestRemotePartitionDownFails: same dead partition under PartialFail —
+// the exhausted group surfaces as the canonical store fault, exactly
+// like an injected *trajdb.StoreError in the in-process executor.
+func TestRemotePartitionDownFails(t *testing.T) {
+	f := testFixture(t)
+	rng := rand.New(rand.NewPCG(83, 0))
+	q := f.randomQuery(rng, 3, 3, 0.5, 5)
+
+	cl := startCluster(t, f, 2, 1, RemoteConfig{Partial: PartialFail}, fastGroup(2), nil,
+		func(p, r int, h http.Handler) http.Handler {
+			if p == 1 {
+				return abortOnSearch(h)
+			}
+			return h
+		})
+
+	res, _, err := cl.re.SearchCtx(context.Background(), q)
+	if !errors.Is(err, core.ErrStoreFault) {
+		t.Fatalf("dead partition under PartialFail: err = %v, want ErrStoreFault", err)
+	}
+	if !errors.Is(err, rpc.ErrGroupExhausted) {
+		t.Fatalf("dead partition error %v does not carry ErrGroupExhausted", err)
+	}
+	if res != nil {
+		t.Fatalf("failed query returned %d results, want none", len(res))
+	}
+}
+
+// TestRemoteHedgedSlowReplica pins hedging end to end, deterministically:
+// partition 0's primary replica parks, the injected hedge timer fires, the
+// duplicate lands on the healthy sibling, and the answer is still exactly
+// monolithic. No wall-clock in any decision — the test drives the timer.
+func TestRemoteHedgedSlowReplica(t *testing.T) {
+	f := testFixture(t)
+	mono, err := core.NewEngine(f.db, core.Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(89, 0))
+	q := f.randomQuery(rng, 3, 3, 0.5, 5)
+
+	fire := make(chan time.Time, 1)
+	var slowHits atomic.Int64
+	reg := obs.NewRegistry()
+	cl := startCluster(t, f, 2, 2, RemoteConfig{},
+		func(p int) rpc.GroupConfig {
+			if p != 0 {
+				return rpc.GroupConfig{} // partition 1: no hedging
+			}
+			return rpc.GroupConfig{
+				// The injected timer is the only thing that can arm the
+				// hedge; the delay itself is unreachable by wall clock.
+				HedgeDelay: time.Hour,
+				Timer: func(d time.Duration) (<-chan time.Time, func() bool) {
+					return fire, func() bool { return true }
+				},
+			}
+		}, reg,
+		func(p, r int, h http.Handler) http.Handler {
+			if p != 0 || r != 0 {
+				return h
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				if req.URL.Path != rpc.PathSearch {
+					h.ServeHTTP(w, req)
+					return
+				}
+				io.Copy(io.Discard, req.Body) // see TestRemoteMidQueryCancellation
+				slowHits.Add(1)
+				<-req.Context().Done() // the slow replica never answers
+			})
+		})
+
+	type out struct {
+		res []core.Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, _, err := cl.re.SearchCtx(context.Background(), q)
+		done <- out{res, err}
+	}()
+	waitUntil(t, "slow primary to receive the search", func() bool { return slowHits.Load() > 0 })
+	fire <- time.Time{} // arm the hedge
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("hedged SearchCtx: %v", o.err)
+	}
+	want, _, err := mono.SearchCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("monolithic SearchCtx: %v", err)
+	}
+	sameResults(t, "hedged search", o.res, want)
+
+	if v := remoteCounter(t, reg, "uots_rpc_hedges_total"); v != 1 {
+		t.Fatalf("uots_rpc_hedges_total = %d, want 1", v)
+	}
+	if v := remoteCounter(t, reg, "uots_rpc_hedge_wins_total"); v != 1 {
+		t.Fatalf("uots_rpc_hedge_wins_total = %d, want 1", v)
+	}
+}
+
+// TestRemoteRejections covers the remote-only argument errors.
+func TestRemoteRejections(t *testing.T) {
+	f := testFixture(t)
+	rng := rand.New(rand.NewPCG(97, 0))
+	q := f.randomQuery(rng, 2, 2, 0.5, 5)
+	cl := startCluster(t, f, 2, 1, RemoteConfig{}, nil, nil, nil)
+
+	if _, _, err := cl.re.DiversifiedSearchCtx(context.Background(), q, core.DiversifyOptions{}); !errors.Is(err, ErrRemoteDiversify) {
+		t.Fatalf("diversified without Global: err = %v, want ErrRemoteDiversify", err)
+	}
+	if _, _, err := cl.re.SearchBatch(context.Background(), []core.Query{q}, core.BatchOptions{Algorithm: core.AlgoExhaustive}); !errors.Is(err, ErrRemoteBatchAlgo) {
+		t.Fatalf("remote exhaustive batch: err = %v, want ErrRemoteBatchAlgo", err)
+	}
+	if _, err := NewRemoteExecutor(nil, RemoteConfig{}); !errors.Is(err, ErrBadShards) {
+		t.Fatalf("NewRemoteExecutor with no groups: err = %v, want ErrBadShards", err)
+	}
+}
