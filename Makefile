@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench check
+.PHONY: build vet lint lint-audit wire-schema test race bench check
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,20 @@ lint:
 	$(GO) build -o bin/uotsvet ./cmd/uotsvet
 	$(GO) vet -vettool=$(CURDIR)/bin/uotsvet ./...
 
+# lint-audit runs the analyzers in standalone mode with the
+# unused-allows audit: every //uots:allow directive must still suppress
+# a diagnostic, or the target fails and the directive must be pruned.
+lint-audit:
+	$(GO) build -o bin/uotsvet ./cmd/uotsvet
+	./bin/uotsvet -unused-allows ./...
+
+# wire-schema regenerates internal/rpc/wire_schema.golden from the
+# compiled wire structs. Run it only for a deliberate wire change, and
+# commit the golden diff (wirecompat and TestWireSchemaGolden fail
+# until you do).
+wire-schema:
+	cd internal/rpc && $(GO) test -run TestWireSchemaGolden -args -update-wire-schema
+
 test:
 	$(GO) test ./...
 
@@ -28,4 +42,4 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-check: vet lint race
+check: vet lint lint-audit race

@@ -110,7 +110,6 @@ func main() {
 			fatal(err)
 		}
 	case <-ctx.Done():
-		//uots:allow ctxflow -- shutdown drain: the signal ctx is already done, the drain window needs a fresh deadline
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := srv.Shutdown(dctx)
 		cancel()

@@ -55,6 +55,7 @@ type Pass struct {
 	diags  []Diagnostic
 	allows []allowSpan
 	built  bool
+	used   map[AllowKey]bool
 }
 
 // A Diagnostic is one reported contract violation.
@@ -95,6 +96,9 @@ const directivePrefix = "//uots:allow"
 // allowSpan is one parsed allow directive's coverage.
 type allowSpan struct {
 	names map[string]bool
+	// pos is the directive comment's own position: the identity the
+	// unused-allows audit matches suppressions against.
+	pos token.Pos
 	// Doc-attached directives cover [start, end].
 	start, end token.Pos
 	// Free-standing directives cover their own line and the next.
@@ -173,7 +177,7 @@ func (p *Pass) buildAllows() {
 				for _, n := range names {
 					set[n] = true
 				}
-				as := allowSpan{names: set}
+				as := allowSpan{names: set, pos: c.Pos()}
 				if isDoc {
 					as.start, as.end = span[0], span[1]
 				} else {
@@ -187,15 +191,20 @@ func (p *Pass) buildAllows() {
 }
 
 // Allowed reports whether pos is covered by a well-formed
-// //uots:allow directive naming the given analyzer.
+// //uots:allow directive naming the given analyzer. A match is
+// recorded as a suppression for the unused-allows audit (the analyzers
+// only consult Allowed for sites that would otherwise be flagged, so
+// every match is a real suppression).
 func (p *Pass) Allowed(name string, pos token.Pos) bool {
 	p.buildAllows()
-	for _, as := range p.allows {
+	for i := range p.allows {
+		as := &p.allows[i]
 		if !as.names[name] {
 			continue
 		}
 		if as.start.IsValid() {
 			if as.start <= pos && pos <= as.end {
+				p.markUsed(name, as.pos)
 				return true
 			}
 			continue
@@ -203,11 +212,71 @@ func (p *Pass) Allowed(name string, pos token.Pos) bool {
 		f := p.Fset.File(pos)
 		if f == as.file {
 			if line := f.Line(pos); line == as.line || line == as.line+1 {
+				p.markUsed(name, as.pos)
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// An AllowKey identifies one (directive, analyzer) suppression: the
+// directive comment's position plus the analyzer name it silenced.
+type AllowKey struct {
+	Pos  token.Pos
+	Name string
+}
+
+func (p *Pass) markUsed(name string, pos token.Pos) {
+	if p.used == nil {
+		p.used = make(map[AllowKey]bool)
+	}
+	p.used[AllowKey{Pos: pos, Name: name}] = true
+}
+
+// UsedAllows returns every (directive, analyzer) pair whose directive
+// suppressed at least one diagnostic during this pass.
+func (p *Pass) UsedAllows() []AllowKey {
+	keys := make([]AllowKey, 0, len(p.used))
+	for k := range p.used {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pos != keys[j].Pos {
+			return keys[i].Pos < keys[j].Pos
+		}
+		return keys[i].Name < keys[j].Name
+	})
+	return keys
+}
+
+// An AllowDirective is one well-formed //uots:allow comment, as
+// collected for the unused-allows audit.
+type AllowDirective struct {
+	Pos    token.Pos
+	Names  []string
+	Reason string
+}
+
+// CollectAllows lists every well-formed allow directive in files, in
+// source order. Malformed directives (no names, missing reason) are
+// skipped: they never suppress anything, so auditing them is the
+// ordinary lint run's job, not the audit's.
+func CollectAllows(files []*ast.File) []AllowDirective {
+	var out []AllowDirective
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				names, reason, ok := ParseAllowDirective(c.Text)
+				if !ok {
+					continue
+				}
+				out = append(out, AllowDirective{Pos: c.Pos(), Names: names, Reason: reason})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
 }
 
 // InTestFile reports whether pos lies in a _test.go file. The contract

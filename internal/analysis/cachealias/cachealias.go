@@ -1,0 +1,367 @@
+// Package cachealias enforces the deep-copy contract of result caches
+// and memo tables: cached values must not alias caller memory.
+package cachealias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"uots/internal/analysis"
+)
+
+const name = "cachealias"
+
+// scopePkgs are the package directory names holding caches and memo
+// tables whose entries outlive the request that created them: the shard
+// result cache, the batch planner's memoized scans, the RPC layer, and
+// the serving layer.
+var scopePkgs = map[string]bool{
+	"core":   true,
+	"shard":  true,
+	"rpc":    true,
+	"server": true,
+}
+
+// getterNames are the method names treated as cache reads: what they
+// return crosses the cache boundary and must be a fresh copy.
+var getterNames = map[string]bool{
+	"get": true, "Get": true,
+	"load": true, "Load": true,
+	"lookup": true, "Lookup": true,
+	"fetch": true, "Fetch": true,
+}
+
+// Analyzer flags cache/memo methods that store or return
+// reference-typed data without a deep copy.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: `cachealias: cache and memo entries must deep-copy reference-typed
+data on both put and get.
+
+A cache entry outlives the request that created it and is served to many
+later requests. Storing a caller's slice or map (or returning the stored
+one) aliases live memory: one caller's in-place sort or truncation
+silently corrupts every later hit of the same key — the exact Dists
+slice-aliasing bug fixed in the shard result cache. Inside internal/core,
+internal/shard, internal/rpc and internal/server, methods on types whose
+name contains "cache" or "memo" must therefore:
+
+ 1. never store a reference-carrying parameter raw (launder it through a
+    copy helper such as copyResults first);
+ 2. never deep-clone with a bare append when the element type itself
+    carries slices or maps — the headers are copied, the backing arrays
+    stay shared;
+ 3. in getters (get/load/lookup/fetch), return only freshly copied
+    values, never internal storage.
+
+Caches whose entries are immutable by documented contract may be
+exempted with //uots:allow cachealias -- <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scopePkgs[analysis.PathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if !isCacheType(recvTypeName(fd)) {
+				continue
+			}
+			checkStores(pass, fd)
+			if getterNames[fd.Name.Name] {
+				checkGetter(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func isCacheType(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "cache") || strings.Contains(l, "memo")
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkStores applies the put-side rules: reference-carrying parameters
+// (and their trivial aliases) must not reach a store position raw, and
+// in-method clones of nested element types must be deep.
+func checkStores(pass *analysis.Pass, fd *ast.FuncDecl) {
+	tainted := taintedParams(pass, fd)
+	if len(tainted) > 0 {
+		// Propagate through trivial aliases (x := p, x = p).
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				src, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || !tainted[pass.TypesInfo.Uses[src]] {
+					continue
+				}
+				if dst, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[dst]; obj != nil {
+						tainted[obj] = true
+					} else if obj := pass.TypesInfo.Uses[dst]; obj != nil && !isFieldOrIndex(as.Lhs[i]) {
+						tainted[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if !isFieldOrIndex(lhs) {
+					continue
+				}
+				reportRawStore(pass, tainted, n.Rhs[i])
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				reportRawStore(pass, tainted, elt)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, tainted, n)
+		}
+		return true
+	})
+}
+
+// reportRawStore flags expr when it is a raw tainted identifier landing
+// in a store position.
+func reportRawStore(pass *analysis.Pass, tainted map[types.Object]bool, expr ast.Expr) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok || !tainted[pass.TypesInfo.Uses[id]] {
+		return
+	}
+	if pass.Allowed(name, id.Pos()) {
+		return
+	}
+	pass.Reportf(id.Pos(),
+		"cache stores caller-owned %s without a deep copy: the entry aliases live memory and a later in-place mutation corrupts every hit of the key; launder it through a copy helper first (//uots:allow cachealias -- reason to exempt)",
+		id.Name)
+}
+
+// checkCall handles the two call-shaped hazards: raw tainted arguments
+// escaping into container methods, and shallow append-clones of nested
+// element types.
+func checkCall(pass *analysis.Pass, tainted map[types.Object]bool, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "append" {
+			return // free functions (copy helpers among them) may read params
+		}
+		if _, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok {
+			return
+		}
+		checkAppendClone(pass, call)
+	case *ast.SelectorExpr:
+		if isCopyName(fun.Sel.Name) {
+			return
+		}
+		// A method call (s.lru.PushFront(res), m.Store(key, res)):
+		// arguments escape into owned storage.
+		if _, isSel := pass.TypesInfo.Selections[fun]; !isSel {
+			return // package-qualified call, not a container method
+		}
+		for _, arg := range call.Args {
+			reportRawStore(pass, tainted, arg)
+		}
+	}
+}
+
+// checkAppendClone flags append-based clones whose element type carries
+// nested references: append copies the slice header per element, so the
+// nested backing arrays stay shared — the shallow-copy bug class.
+func checkAppendClone(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 2 || !call.Ellipsis.IsValid() {
+		return
+	}
+	if !isFreshSlice(pass, call.Args[0]) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok || !carriesRefs(slice.Elem(), nil) {
+		return
+	}
+	if pass.Allowed(name, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"shallow clone: append copies only the outer slice of %s, whose elements carry nested slices/maps that stay aliased; deep-copy per element, copyResults-style (//uots:allow cachealias -- reason to exempt)",
+		types.TypeString(slice.Elem(), func(p *types.Package) string { return analysis.PathBase(p.Path()) }))
+}
+
+// isFreshSlice reports whether expr denotes new backing storage: a
+// T(nil) conversion, a nil literal, or an empty composite literal — the
+// clone idiom's first argument.
+func isFreshSlice(pass *analysis.Pass, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr: // conversion like []Result(nil)
+		if len(e.Args) != 1 {
+			return false
+		}
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return isFreshSlice(pass, e.Args[0])
+		}
+	}
+	return false
+}
+
+// checkGetter enforces rule 3: getters return copies, never internal
+// storage.
+func checkGetter(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			checkReturned(pass, res)
+		}
+		return true
+	})
+}
+
+func checkReturned(pass *analysis.Pass, expr ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil || !carriesRefs(tv.Type, nil) {
+		return
+	}
+	if isSanctionedCopy(pass, expr) {
+		return
+	}
+	if pass.Allowed(name, expr.Pos()) {
+		return
+	}
+	pass.Reportf(expr.Pos(),
+		"cache getter returns internal storage without a deep copy: callers receive aliased memory and their mutations corrupt later hits; return a fresh copy (//uots:allow cachealias -- reason to exempt)")
+}
+
+// isSanctionedCopy reports whether expr manufactures fresh memory: nil,
+// a copy-helper call, a deep-safe append clone, a composite literal, or
+// make.
+func isSanctionedCopy(pass *analysis.Pass, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if isCopyName(fun.Name) || fun.Name == "make" {
+				return true
+			}
+			if fun.Name == "append" {
+				// A flat append clone is a real copy; a nested one is the
+				// shallow-copy bug and checkAppendClone already flagged it,
+				// so do not double-report here.
+				return true
+			}
+		case *ast.SelectorExpr:
+			return isCopyName(fun.Sel.Name)
+		}
+	}
+	return false
+}
+
+// isFieldOrIndex reports whether expr names owned storage: a struct
+// field or an indexed element, as opposed to a plain local.
+func isFieldOrIndex(expr ast.Expr) bool {
+	switch ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func isCopyName(fn string) bool {
+	l := strings.ToLower(fn)
+	return strings.HasPrefix(l, "copy") || strings.HasPrefix(l, "clone") || strings.HasPrefix(l, "deep")
+}
+
+// taintedParams returns the reference-carrying parameters of fd.
+func taintedParams(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return tainted
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			obj := pass.TypesInfo.Defs[id]
+			if obj != nil && carriesRefs(obj.Type(), nil) {
+				tainted[obj] = true
+			}
+		}
+	}
+	return tainted
+}
+
+// carriesRefs reports whether values of t share backing memory when
+// assigned: slices, maps, pointers, channels, funcs, interfaces, and
+// aggregates containing them. Strings are immutable and safe.
+func carriesRefs(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false // recursive type: already being checked above
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch t := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return carriesRefs(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if carriesRefs(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package cachealias_test
+
+import (
+	"testing"
+
+	"uots/internal/analysis/analysistest"
+	"uots/internal/analysis/cachealias"
+)
+
+func TestCacheAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", cachealias.Analyzer, "shard", "other")
+}

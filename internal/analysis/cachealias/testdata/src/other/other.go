@@ -1,0 +1,20 @@
+// Package other is outside the cachealias scope: identical code, no
+// diagnostics.
+package other
+
+type Result struct {
+	Dists []float64
+}
+
+type resultCache struct {
+	byKey map[string][]Result
+}
+
+func (c *resultCache) put(key string, res []Result) {
+	c.byKey[key] = res
+}
+
+func (c *resultCache) get(key string) ([]Result, bool) {
+	r, ok := c.byKey[key]
+	return r, ok
+}

@@ -1,0 +1,115 @@
+// Package shard is a fixture of the result-cache deep-copy contract.
+package shard
+
+// Result mirrors the shape that caused the real bug: a flat struct
+// carrying a nested slice (Dists) that a shallow copy leaves aliased.
+type Result struct {
+	Traj  int
+	Score float64
+	Dists []float64
+}
+
+// copyResults is the sanctioned deep-copy helper.
+func copyResults(res []Result) []Result {
+	cp := append([]Result(nil), res...)
+	for i := range cp {
+		cp[i].Dists = append([]float64(nil), cp[i].Dists...)
+	}
+	return cp
+}
+
+type resultCache struct {
+	byKey map[string][]Result
+	list  *pushList
+}
+
+type pushList struct{}
+
+func (l *pushList) PushFront(v any) {}
+
+// put stores the caller's slice raw: the canonical aliasing bug.
+func (c *resultCache) put(key string, res []Result) {
+	c.byKey[key] = res // want `cache stores caller-owned res without a deep copy`
+}
+
+// putAliased launders through a trivial alias, which copies nothing.
+func (c *resultCache) putAliased(key string, res []Result) {
+	stored := res
+	c.byKey[key] = stored // want `cache stores caller-owned stored without a deep copy`
+}
+
+// putShallow clones the outer slice only; every Dists backing array is
+// still shared with the caller.
+func (c *resultCache) putShallow(key string, res []Result) {
+	c.byKey[key] = append([]Result(nil), res...) // want `shallow clone: append copies only the outer slice`
+}
+
+// putContainer hands the raw parameter to an owned container.
+func (c *resultCache) putContainer(key string, res []Result) {
+	c.list.PushFront(res) // want `cache stores caller-owned res without a deep copy`
+}
+
+// putDeep is the contract-conforming shape.
+func (c *resultCache) putDeep(key string, res []Result) {
+	c.byKey[key] = copyResults(res)
+}
+
+// putOwned documents a deliberate ownership transfer.
+//
+//uots:allow cachealias -- ownership transfer: the batch planner hands the slice over and never touches it again
+func (c *resultCache) putOwned(key string, res []Result) {
+	c.byKey[key] = res
+}
+
+// putBare shows that a directive without a reason does not suppress.
+func (c *resultCache) putBare(key string, res []Result) {
+	//uots:allow cachealias
+	c.byKey[key] = res // want `cache stores caller-owned res without a deep copy`
+}
+
+// get returns internal storage raw: later callers see the first
+// caller's mutations.
+func (c *resultCache) get(key string) ([]Result, bool) {
+	r, ok := c.byKey[key]
+	return r, ok // want `cache getter returns internal storage without a deep copy`
+}
+
+// getDeep is the contract-conforming read.
+func (c *resultCache) getDeep(key string) ([]Result, bool) {
+	r, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	return copyResults(r), true
+}
+
+// distCache holds flat slices: an append clone is a full copy there.
+type distCache struct {
+	byKey map[string][]float64
+}
+
+func (c *distCache) put(key string, d []float64) {
+	c.byKey[key] = append([]float64(nil), d...)
+}
+
+func (c *distCache) get(key string) []float64 {
+	return append([]float64(nil), c.byKey[key]...)
+}
+
+// scoreCache stores value types: nothing aliases, nothing to flag.
+type scoreCache struct {
+	byKey map[string]float64
+}
+
+func (c *scoreCache) put(key string, v float64) { c.byKey[key] = v }
+func (c *scoreCache) get(key string) float64    { return c.byKey[key] }
+
+// planner is not a cache type: raw stores are some other contract's
+// business.
+type planner struct {
+	byKey map[string][]Result
+}
+
+func (p *planner) put(key string, res []Result) {
+	p.byKey[key] = res
+}

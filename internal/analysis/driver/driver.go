@@ -54,11 +54,45 @@ func Main(analyzers []*analysis.Analyzer) {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runUnitchecker(args[0], analyzers))
 	}
-	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: %s [package pattern ...] | go vet -vettool=%s ./...\n", progname, progname)
+	// Standalone-only flags, accepted anywhere before or between the
+	// package patterns (cmd/go never passes them).
+	var opts standaloneOptions
+	var patterns []string
+	for _, arg := range args {
+		switch arg {
+		case "-json":
+			opts.jsonOut = true
+		case "-unused-allows":
+			opts.auditAllows = true
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+	if len(patterns) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] [-unused-allows] [package pattern ...] | go vet -vettool=%s ./...\n", progname, progname)
 		os.Exit(1)
 	}
-	os.Exit(runStandalone(args, analyzers))
+	os.Exit(runStandalone(patterns, analyzers, opts))
+}
+
+// standaloneOptions are the flags of the standalone (non-vettool) mode.
+type standaloneOptions struct {
+	// jsonOut additionally prints the findings as a JSON array on
+	// stdout (file/line/col/analyzer/message), for CI artifacts.
+	jsonOut bool
+	// auditAllows reports //uots:allow directives that suppressed no
+	// diagnostic over the analyzed packages - stale escape hatches that
+	// should be pruned.
+	auditAllows bool
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func printHelp(progname string, analyzers []*analysis.Analyzer) {
@@ -149,7 +183,7 @@ func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "uotsvet: typechecking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	diags, err := runAnalyzers(analyzers, fset, files, pkg, info)
+	diags, _, err := runAnalyzers(analyzers, fset, files, pkg, info)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -173,7 +207,7 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts standaloneOptions) int {
 	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,ImportMap,Export,DepOnly,Error"}, patterns...)...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
@@ -223,6 +257,9 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 	}
 
 	exit := 0
+	findings := []finding{} // non-nil: -json prints [] when clean
+	var stale []string
+	totalAllows, usedAllows := 0, 0
 	for _, p := range targets {
 		if p.Error != nil {
 			fmt.Fprintf(os.Stderr, "uotsvet: %s: %s\n", p.ImportPath, p.Error.Err)
@@ -249,7 +286,7 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 			exit = 1
 			continue
 		}
-		diags, err := runAnalyzers(analyzers, fset, files, pkg, info)
+		diags, used, err := runAnalyzers(analyzers, fset, files, pkg, info)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit = 1
@@ -259,8 +296,61 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 		if len(diags) > 0 {
 			exit = 1
 		}
+		if opts.jsonOut {
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				findings = append(findings, finding{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message,
+				})
+			}
+		}
+		if opts.auditAllows {
+			s, total, inUse := auditAllows(fset, files, used)
+			stale = append(stale, s...)
+			totalAllows += total
+			usedAllows += inUse
+		}
+	}
+	if opts.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+	}
+	if opts.auditAllows {
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "uotsvet: unused allow: %s\n", s)
+		}
+		fmt.Fprintf(os.Stderr, "uotsvet: allow audit: %d directive names, %d in use, %d stale\n",
+			totalAllows, usedAllows, len(stale))
+		if len(stale) > 0 {
+			exit = 1
+		}
 	}
 	return exit
+}
+
+// auditAllows compares the package's allow directives against the
+// suppressions the analyzers actually performed. Each stale entry is
+// one (directive, analyzer name) pair that silenced nothing - either
+// the code it excused was fixed, or the directive never matched.
+func auditAllows(fset *token.FileSet, files []*ast.File, used map[analysis.AllowKey]bool) (stale []string, total, inUse int) {
+	for _, d := range analysis.CollectAllows(files) {
+		for _, name := range d.Names {
+			total++
+			if used[analysis.AllowKey{Pos: d.Pos, Name: name}] {
+				inUse++
+				continue
+			}
+			stale = append(stale,
+				fmt.Sprintf("%s: //uots:allow %s suppresses nothing; prune it (reason was: %s)",
+					fset.Position(d.Pos), name, d.Reason))
+		}
+	}
+	return stale, total, inUse
 }
 
 func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
@@ -317,16 +407,20 @@ func typecheck(fset *token.FileSet, importPath, compiler, goVersion string, file
 	return pkg, info, nil
 }
 
-func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, map[analysis.AllowKey]bool, error) {
 	var diags []analysis.Diagnostic
+	used := make(map[analysis.AllowKey]bool)
 	for _, a := range analyzers {
 		pass := analysis.NewPass(a, fset, files, pkg, info)
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("uotsvet: analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+			return nil, nil, fmt.Errorf("uotsvet: analyzer %s on %s: %w", a.Name, pkg.Path(), err)
 		}
 		diags = append(diags, pass.Diagnostics()...)
+		for _, k := range pass.UsedAllows() {
+			used[k] = true
+		}
 	}
-	return diags, nil
+	return diags, used, nil
 }
 
 func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {

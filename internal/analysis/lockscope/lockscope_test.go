@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"uots/internal/analysis/analysistest"
+	"uots/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, "testdata", lockscope.Analyzer, "shard", "util")
+}

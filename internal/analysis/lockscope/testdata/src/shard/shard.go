@@ -1,0 +1,174 @@
+// Package shard is a fixture of the lock scope contract.
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+}
+
+// deferGood is the canonical shape: defer pairs the release with every
+// return path.
+func (s *store) deferGood(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// returnWhileHeld leaks the lock on the early return.
+func (s *store) returnWhileHeld(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.items[k]
+	if !ok {
+		return 0, false // want `mutex s\.mu \(acquired with Lock\) is still held on this return path`
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// handoffNoRelease acquires and never releases: held at function exit.
+func (s *store) handoffNoRelease() {
+	s.mu.Lock() // want `mutex s\.mu may remain held at function exit`
+	s.items["pinned"]++
+}
+
+// branchRelease is the diskstore load() shape: unlock-then-return on
+// the hit path, fall-through releases before the slow path.
+func (s *store) branchRelease(k string) int {
+	s.mu.Lock()
+	if v, ok := s.items[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return -1
+}
+
+// inlineLoop is the Status shape: acquire and release inside each
+// iteration.
+func (s *store) inlineLoop(keys []string) int {
+	total := 0
+	for range keys {
+		s.mu.Lock()
+		total += len(s.items)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// recvWhileHeld blocks on a channel receive with the lock held.
+func (s *store) recvWhileHeld(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items["v"] = <-ch // want `mutex s\.mu is held across a blocking operation \(channel receive\)`
+}
+
+// sendWhileHeld blocks on a channel send with the lock held.
+func (s *store) sendWhileHeld(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- len(s.items) // want `mutex s\.mu is held across a blocking operation \(channel send\)`
+}
+
+// selectWhileHeld parks in a select with no default.
+func (s *store) selectWhileHeld(a, b chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `mutex s\.mu is held across a blocking operation \(select without a default case\)`
+	case v := <-a:
+		s.items["a"] = v
+	case v := <-b:
+		s.items["b"] = v
+	}
+}
+
+// pollWhileHeld uses a default case: non-blocking, no diagnostic for
+// the select itself.
+func (s *store) pollWhileHeld(a chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-a:
+		s.items["a"] = v
+	default:
+	}
+}
+
+// sleepWhileHeld parks the goroutine with the lock held.
+func (s *store) sleepWhileHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(10) // want `mutex s\.mu is held across a blocking operation \(time\.Sleep\)`
+}
+
+// waitWhileHeld joins a WaitGroup with the lock held.
+func (s *store) waitWhileHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `mutex s\.mu is held across a blocking operation \(WaitGroup\.Wait\)`
+}
+
+// readGood pairs RLock with a deferred RUnlock.
+func (s *store) readGood(k string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.items[k]
+}
+
+// doubleChecked is the engine executor shape: read-check under RLock,
+// then upgrade with a deferred write unlock.
+func (s *store) doubleChecked(k string) int {
+	s.rw.RLock()
+	v, ok := s.items[k]
+	s.rw.RUnlock()
+	if ok {
+		return v
+	}
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	s.items[k] = 1
+	return 1
+}
+
+// mismatch releases a read lock with the write-side Unlock.
+func (s *store) mismatch(k string) int {
+	s.rw.RLock()
+	v := s.items[k]
+	s.rw.Unlock() // want `mutex s\.rw acquired with RLock but released with Unlock`
+	return v
+}
+
+// deferredClosure releases through a deferred closure body.
+func (s *store) deferredClosure(k string) int {
+	s.mu.Lock()
+	defer func() {
+		s.items["seen"]++
+		s.mu.Unlock()
+	}()
+	return s.items[k]
+}
+
+// beginQuery is the RemoteExecutor handoff shape: the read lock is
+// deliberately transferred to the caller as a release func.
+//
+//uots:allow lockscope -- lock handoff: the query-lifetime read lock is returned to the caller, which releases it via the returned func
+func (s *store) beginQuery() (func(), bool) {
+	s.rw.RLock()
+	if s.items == nil {
+		s.rw.RUnlock()
+		return nil, false
+	}
+	return s.rw.RUnlock, true
+}
+
+// bareDirective shows that a reasonless directive does not suppress.
+func (s *store) bareDirective() {
+	//uots:allow lockscope
+	s.mu.Lock() // want `mutex s\.mu may remain held at function exit`
+	s.items["pinned"]++
+}

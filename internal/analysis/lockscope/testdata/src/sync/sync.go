@@ -1,0 +1,35 @@
+// Package sync stubs the standard library sync package for analyzer
+// fixtures: spawnjoin and lockscope match by package path and type
+// name, so only the declarations under test are needed.
+package sync
+
+// WaitGroup mirrors sync.WaitGroup.
+type WaitGroup struct{ n int }
+
+func (w *WaitGroup) Add(delta int) { w.n += delta }
+func (w *WaitGroup) Done()         { w.n-- }
+func (w *WaitGroup) Wait()         {}
+
+// Mutex mirrors sync.Mutex.
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock()   { m.locked = true }
+func (m *Mutex) Unlock() { m.locked = false }
+
+// RWMutex mirrors sync.RWMutex.
+type RWMutex struct{ locked bool }
+
+func (m *RWMutex) Lock()    { m.locked = true }
+func (m *RWMutex) Unlock()  { m.locked = false }
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+// Once mirrors sync.Once.
+type Once struct{ done bool }
+
+func (o *Once) Do(f func()) {
+	if !o.done {
+		o.done = true
+		f()
+	}
+}

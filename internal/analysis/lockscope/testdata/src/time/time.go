@@ -1,0 +1,9 @@
+// Package time stubs the standard library time package for the
+// lockscope fixtures: only Sleep and Duration are matched.
+package time
+
+// Duration mirrors time.Duration.
+type Duration int64
+
+// Sleep mirrors time.Sleep.
+func Sleep(d Duration) { _ = d }

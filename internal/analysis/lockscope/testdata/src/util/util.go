@@ -1,0 +1,15 @@
+// Package util is outside the lockscope scope: identical leaks, no
+// diagnostics.
+package util
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) leak() {
+	b.mu.Lock()
+	b.n++
+}

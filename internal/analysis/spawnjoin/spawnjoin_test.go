@@ -1,0 +1,12 @@
+package spawnjoin_test
+
+import (
+	"testing"
+
+	"uots/internal/analysis/analysistest"
+	"uots/internal/analysis/spawnjoin"
+)
+
+func TestSpawnJoin(t *testing.T) {
+	analysistest.Run(t, "testdata", spawnjoin.Analyzer, "shard", "util")
+}

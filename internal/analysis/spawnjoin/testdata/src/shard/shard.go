@@ -1,0 +1,90 @@
+// Package shard is a fixture of the goroutine join contract.
+package shard
+
+import "sync"
+
+// fireAndForget spawns an unprovable function value: nothing joins it.
+func fireAndForget(f func()) {
+	go f() // want `goroutine has no provable join path`
+}
+
+// leakySpin is the classic leak: no WaitGroup, no channel, no lifetime.
+func leakySpin(n *int) {
+	go func() { // want `goroutine has no provable join path`
+		for {
+			*n++
+		}
+	}()
+}
+
+// joinedByWaitGroup is the canonical worker shape.
+func joinedByWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// joinedByChannel delivers its result; the spawner receives it.
+func joinedByChannel() int {
+	res := make(chan int, 1)
+	go func() { res <- 42 }()
+	return <-res
+}
+
+// pool is the worker-pool shape: the spawn site calls a same-package
+// method whose body both pairs the WaitGroup and selects on quit.
+type pool struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.work()
+}
+
+func (p *pool) work() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// rangeOverChannel terminates when the owner closes the jobs channel.
+func rangeOverChannel(jobs chan int, out []int) {
+	go func() {
+		for j := range jobs {
+			out[j]++
+		}
+	}()
+}
+
+// lifetimeScoped blocks on the owner's stop channel.
+func lifetimeScoped(stop chan struct{}, cleanup func()) {
+	go func() {
+		<-stop
+		cleanup()
+	}()
+}
+
+// monitor documents a process-lifetime goroutine the analyzer cannot
+// prove.
+//
+//uots:allow spawnjoin -- process-lifetime monitor: dies with the process, there is deliberately nothing to join
+func monitor(tick func()) {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}
+
+// bareDirective shows that a reasonless directive does not suppress.
+func bareDirective(f func()) {
+	//uots:allow spawnjoin
+	go f() // want `goroutine has no provable join path`
+}

@@ -1,0 +1,7 @@
+// Package util is outside the spawnjoin scope: identical spawns, no
+// diagnostics.
+package util
+
+func fireAndForget(f func()) {
+	go f()
+}

@@ -5,20 +5,28 @@ package uotsvet
 
 import (
 	"uots/internal/analysis"
+	"uots/internal/analysis/cachealias"
 	"uots/internal/analysis/ctxflow"
 	"uots/internal/analysis/errcode"
+	"uots/internal/analysis/lockscope"
 	"uots/internal/analysis/looppoll"
 	"uots/internal/analysis/nodrift"
+	"uots/internal/analysis/spawnjoin"
 	"uots/internal/analysis/storefault"
+	"uots/internal/analysis/wirecompat"
 )
 
 // Analyzers returns the full suite, in stable (alphabetical) order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		cachealias.Analyzer,
 		ctxflow.Analyzer,
 		errcode.Analyzer,
+		lockscope.Analyzer,
 		looppoll.Analyzer,
 		nodrift.Analyzer,
+		spawnjoin.Analyzer,
 		storefault.Analyzer,
+		wirecompat.Analyzer,
 	}
 }

@@ -1,6 +1,8 @@
 package uotsvet_test
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -8,18 +10,28 @@ import (
 )
 
 // TestRegistry pins the analyzer suite: exactly these analyzers, each
-// documented and runnable. Adding or removing an analyzer must be a
-// conscious act that updates this table (and CONTRIBUTING.md).
+// documented, runnable, covered by a fixture suite, and described in
+// CONTRIBUTING.md. Adding or removing an analyzer must be a conscious
+// act that updates this table (and CONTRIBUTING.md).
 func TestRegistry(t *testing.T) {
 	want := []struct {
 		name       string
 		docKeyword string // a phrase the Doc must contain
 	}{
+		{"cachealias", "deep-copy"},
 		{"ctxflow", "context"},
 		{"errcode", "writeError"},
+		{"lockscope", "blocking"},
 		{"looppoll", "cancellation"},
 		{"nodrift", "deterministic"},
+		{"spawnjoin", "join path"},
 		{"storefault", "StoreError"},
+		{"wirecompat", "gob"},
+	}
+
+	contributing, err := os.ReadFile(filepath.Join("..", "..", "..", "CONTRIBUTING.md"))
+	if err != nil {
+		t.Fatalf("reading CONTRIBUTING.md: %v", err)
 	}
 
 	got := uotsvet.Analyzers()
@@ -50,6 +62,29 @@ func TestRegistry(t *testing.T) {
 		}
 		if a.Run == nil {
 			t.Errorf("analyzer %q has a nil Run", a.Name)
+		}
+
+		// Every analyzer ships a fixture suite: at least one package
+		// under <analyzer>/testdata/src exercising its diagnostics.
+		fixtures := filepath.Join("..", a.Name, "testdata", "src")
+		entries, err := os.ReadDir(fixtures)
+		if err != nil {
+			t.Errorf("analyzer %q has no fixture tree at %s: %v", a.Name, fixtures, err)
+		} else {
+			dirs := 0
+			for _, e := range entries {
+				if e.IsDir() {
+					dirs++
+				}
+			}
+			if dirs == 0 {
+				t.Errorf("analyzer %q has an empty fixture tree at %s", a.Name, fixtures)
+			}
+		}
+
+		// Every analyzer is documented for contributors.
+		if !strings.Contains(string(contributing), "`"+a.Name+"`") {
+			t.Errorf("analyzer %q is not described in CONTRIBUTING.md", a.Name)
 		}
 	}
 }

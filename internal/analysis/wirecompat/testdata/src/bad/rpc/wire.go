@@ -1,0 +1,7 @@
+package rpc // want `wire schema \(sha256 [0-9a-f]+\) does not match wire_schema\.golden`
+
+// Msg grew a field without the golden being regenerated.
+type Msg struct {
+	A int
+	B string
+}

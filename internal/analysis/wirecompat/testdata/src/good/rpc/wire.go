@@ -1,0 +1,22 @@
+// Package rpc is a fixture wire file whose schema matches its golden.
+package rpc
+
+// Point is reached transitively through PingRequest.From.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// PingRequest is a wire struct; unexported fields stay off the schema.
+type PingRequest struct {
+	Seq     int
+	From    Point
+	Tags    []string
+	private int
+}
+
+// PingResponse is a wire struct.
+type PingResponse struct {
+	Seq     int
+	Elapsed float64
+}

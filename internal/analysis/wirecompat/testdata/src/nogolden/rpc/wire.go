@@ -1,0 +1,6 @@
+package rpc // want `wire schema golden wire_schema\.golden not found`
+
+// Msg is wire-safe, but nothing pins its schema yet.
+type Msg struct {
+	A int
+}

@@ -1,0 +1,32 @@
+// Package rpc is a fixture wire file with gob-unsafe fields. The
+// golden check is skipped while safety diagnostics apply, so this
+// fixture needs no wire_schema.golden.
+package rpc
+
+// Callback carries a func value.
+type Callback struct {
+	Fn func() // want `field Fn of wire struct Callback contains a func`
+}
+
+// Evented carries a channel.
+type Evented struct {
+	C chan int // want `field C of wire struct Evented contains a channel`
+}
+
+// Wrapped is the core.BatchResult.Err shape: an error interface.
+type Wrapped struct {
+	Code string
+	Err  error // want `field Err of wire struct Wrapped contains an interface \(error\)`
+}
+
+// Hooks hides the func one container level down.
+type Hooks struct {
+	OnClose []func() // want `field OnClose of wire struct Hooks contains a func`
+}
+
+// LegacyEnvelope documents a deliberate non-wire field.
+//
+//uots:allow wirecompat -- in-process-only envelope: never serialized, kept in wire.go for field-layout locality
+type LegacyEnvelope struct {
+	Err error
+}

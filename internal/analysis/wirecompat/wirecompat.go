@@ -1,0 +1,294 @@
+// Package wirecompat checks internal/rpc's wire structs: every field
+// must be gob-wire-safe, and the exported field-set schema must match
+// the checked-in golden so wire changes are deliberate.
+package wirecompat
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"uots/internal/analysis"
+)
+
+const name = "wirecompat"
+
+// goldenFile sits next to wire.go and pins the wire schema. Regenerate
+// with make wire-schema after a deliberate wire change.
+const goldenFile = "wire_schema.golden"
+
+// Analyzer checks gob safety and schema stability of the wire structs.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: `wirecompat: structs declared in internal/rpc's wire.go must be
+gob-wire-safe and their schema must match the checked-in golden.
+
+The client and server exchange gob-encoded values of the wire structs,
+and a mixed-version fleet decodes yesterday's bytes with today's types.
+Two failure classes are caught here:
+
+ - a field whose type cannot cross the wire at all: interfaces, funcs
+   and channels make gob encoding fail at runtime, on the first request
+   rather than at build time (core.BatchResult.Err is the canonical
+   example - errors cross as (code, message) string pairs instead);
+ - a silent schema change: adding, renaming or retyping an exported
+   field changes what peers must understand, so the exported field-set
+   of every struct reachable from the wire structs is fingerprinted into
+   wire_schema.golden, and this analyzer fails until the golden is
+   regenerated (make wire-schema) - turning every wire change into a
+   reviewed diff.
+
+A struct that deliberately carries a non-wire field documents it with
+//uots:allow wirecompat -- <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathBase(pass.Pkg.Path()) != "rpc" {
+		return nil
+	}
+	var wireFiles []*ast.File
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "wire.go" {
+			wireFiles = append(wireFiles, file)
+		}
+	}
+	if len(wireFiles) == 0 {
+		return nil
+	}
+	unsafeFound := false
+	var roots []*types.Named
+	for _, file := range wireFiles {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if named := namedFor(pass, ts); named != nil {
+					roots = append(roots, named)
+				}
+				if checkGobSafety(pass, ts.Name.Name, st) {
+					unsafeFound = true
+				}
+			}
+		}
+	}
+	// A schema of gob-unsafe structs is meaningless; restore safety
+	// first, then reconcile the golden.
+	if unsafeFound || len(roots) == 0 {
+		return nil
+	}
+	checkGolden(pass, wireFiles[0], roots)
+	return nil
+}
+
+// namedFor resolves the named type a wire struct declaration defines.
+func namedFor(pass *analysis.Pass, ts *ast.TypeSpec) *types.Named {
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}
+
+// checkGobSafety reports every field of one wire struct whose type
+// cannot be gob-encoded, returning whether any diagnostic (suppressed
+// or not) applied.
+func checkGobSafety(pass *analysis.Pass, structName string, st *ast.StructType) bool {
+	found := false
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		bad := unsafeComponent(tv.Type, make(map[types.Type]bool))
+		if bad == "" {
+			continue
+		}
+		found = true
+		if pass.Allowed(name, field.Pos()) {
+			continue
+		}
+		fieldNames := "embedded field"
+		if len(field.Names) > 0 {
+			var ns []string
+			for _, n := range field.Names {
+				ns = append(ns, n.Name)
+			}
+			fieldNames = "field " + strings.Join(ns, ", ")
+		}
+		pass.Reportf(field.Pos(),
+			"%s of wire struct %s contains %s, which gob cannot encode; carry a coded representation instead (see BatchEntry.ErrCode/ErrMsg), or document with //uots:allow wirecompat -- reason",
+			fieldNames, structName, bad)
+	}
+	return found
+}
+
+// unsafeComponent walks a field type and names the first component gob
+// cannot carry: an interface, function or channel. Strings come back
+// empty for wire-safe types.
+func unsafeComponent(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return "an interface (" + types.TypeString(t, qualifier) + ")"
+	case *types.Signature:
+		return "a func (" + types.TypeString(t, qualifier) + ")"
+	case *types.Chan:
+		return "a channel (" + types.TypeString(t, qualifier) + ")"
+	case *types.Pointer:
+		return unsafeComponent(u.Elem(), seen)
+	case *types.Slice:
+		return unsafeComponent(u.Elem(), seen)
+	case *types.Array:
+		return unsafeComponent(u.Elem(), seen)
+	case *types.Map:
+		if bad := unsafeComponent(u.Key(), seen); bad != "" {
+			return bad
+		}
+		return unsafeComponent(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue // gob skips unexported fields
+			}
+			if bad := unsafeComponent(f.Type(), seen); bad != "" {
+				return bad
+			}
+		}
+	}
+	return ""
+}
+
+// checkGolden renders the wire schema and compares it to the golden
+// file next to wire.go, reporting on the wire file's package clause.
+func checkGolden(pass *analysis.Pass, wireFile *ast.File, roots []*types.Named) {
+	pos := wireFile.Name.Pos()
+	if pass.Allowed(name, pos) {
+		return
+	}
+	schema := Schema(roots)
+	dir := filepath.Dir(pass.Fset.Position(wireFile.Pos()).Filename)
+	goldenPath := filepath.Join(dir, goldenFile)
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		pass.Reportf(pos,
+			"wire schema golden %s not found next to wire.go; generate it with make wire-schema and commit it",
+			goldenFile)
+		return
+	}
+	got := strings.TrimRight(schema, "\n")
+	want := strings.TrimRight(string(golden), "\n")
+	if got != want {
+		pass.Reportf(pos,
+			"wire schema (sha256 %s) does not match %s (sha256 %s); if the wire change is deliberate, regenerate with make wire-schema and coordinate a rolling upgrade",
+			fingerprint(got), goldenFile, fingerprint(want))
+	}
+}
+
+// Schema renders the canonical wire schema: a version header, then one
+// block per named struct reachable from the roots through exported
+// fields, blocks sorted by qualified name and fields sorted by name.
+// The rendering must stay in lockstep with the reflect-based generator
+// in internal/rpc's wire schema test: package-name qualifiers, one
+// "  Name Type" line per exported field.
+func Schema(roots []*types.Named) string {
+	blocks := make(map[string][]string)
+	seen := make(map[string]bool)
+	var visit func(t types.Type)
+	visitNamed := func(n *types.Named) {
+		qname := types.TypeString(n, qualifier)
+		if seen[qname] {
+			return
+		}
+		seen[qname] = true
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			// A named non-struct (e.g. a named slice) may still reach
+			// structs through its underlying type.
+			visit(n.Underlying())
+			return
+		}
+		var lines []string
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			lines = append(lines, "  "+f.Name()+" "+types.TypeString(f.Type(), qualifier))
+			visit(f.Type())
+		}
+		sort.Strings(lines)
+		blocks[qname] = lines
+	}
+	visit = func(t types.Type) {
+		switch tt := t.(type) {
+		case *types.Named:
+			visitNamed(tt)
+		case *types.Pointer:
+			visit(tt.Elem())
+		case *types.Slice:
+			visit(tt.Elem())
+		case *types.Array:
+			visit(tt.Elem())
+		case *types.Map:
+			visit(tt.Key())
+			visit(tt.Elem())
+		case *types.Struct:
+			// Unnamed struct: no block of its own, but its fields may
+			// reach named types.
+			for i := 0; i < tt.NumFields(); i++ {
+				if tt.Field(i).Exported() {
+					visit(tt.Field(i).Type())
+				}
+			}
+		}
+	}
+	for _, r := range roots {
+		visitNamed(r)
+	}
+	names := make([]string, 0, len(blocks))
+	for qname := range blocks {
+		names = append(names, qname)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("wire schema v1\n")
+	for _, qname := range names {
+		b.WriteString("\n")
+		b.WriteString(qname)
+		b.WriteString("\n")
+		for _, line := range blocks[qname] {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func qualifier(p *types.Package) string { return p.Name() }
+
+func fingerprint(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return fmt.Sprintf("%x", sum[:6])
+}

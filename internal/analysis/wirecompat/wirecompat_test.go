@@ -1,0 +1,13 @@
+package wirecompat_test
+
+import (
+	"testing"
+
+	"uots/internal/analysis/analysistest"
+	"uots/internal/analysis/wirecompat"
+)
+
+func TestWireCompat(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecompat.Analyzer,
+		"good/rpc", "bad/rpc", "unsafe/rpc", "nogolden/rpc")
+}

@@ -162,7 +162,6 @@ func recoverBuildFault(err *error) {
 	}
 	se, ok := r.(*trajdb.StoreError)
 	if !ok {
-		//uots:allow storefault -- re-raising a foreign panic payload unchanged; only store faults are converted
 		panic(r)
 	}
 	*err = fmt.Errorf("%w: %w", core.ErrStoreFault, se)
