@@ -44,6 +44,76 @@ func TestRunFlushesMetricsToStdout(t *testing.T) {
 	}
 }
 
+// TestRunEmitsBenchBaseline: a single F10-F12 run with no -metrics-out
+// writes BENCH_<ID>.json into -bench-dir, wrapping the metrics snapshot
+// with the experiment and profile that produced it.
+func TestRunEmitsBenchBaseline(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-exp", "sharding", "-profile", "small", "-bench-dir", dir}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("F10 run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_F10.json"))
+	if err != nil {
+		t.Fatalf("BENCH_F10.json not written: %v", err)
+	}
+	var bench struct {
+		Experiment string `json:"experiment"`
+		Profile    string `json:"profile"`
+		Metrics    []any  `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("BENCH_F10.json is not valid JSON: %v\n%s", err, raw)
+	}
+	if bench.Experiment != "F10" || bench.Profile != "small" {
+		t.Errorf("bench header = %q/%q, want F10/small", bench.Experiment, bench.Profile)
+	}
+	if len(bench.Metrics) == 0 {
+		t.Error("bench metrics snapshot is empty")
+	}
+	if !strings.Contains(stdout.String(), "BENCH_F10.json") {
+		t.Error("stdout does not mention the written baseline")
+	}
+}
+
+// TestRunBenchFlushesOnErrorExit mirrors the -metrics-out guarantee: a
+// failed F10-F12 run still writes its baseline with what it measured.
+func TestRunBenchFlushesOnErrorExit(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-exp", "F12", "-profile", "bogus", "-bench-dir", dir}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unknown profile should exit non-zero")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_F12.json"))
+	if err != nil {
+		t.Fatalf("BENCH_F12.json not written on error exit: %v", err)
+	}
+	var snap any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, raw)
+	}
+}
+
+// TestRunMetricsOutSupersedesBench: an explicit -metrics-out captures
+// the run; no BENCH file appears.
+func TestRunMetricsOutSupersedesBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{"-exp", "F11", "-profile", "bogus", "-bench-dir", dir, "-metrics-out", path}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unknown profile should exit non-zero")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("-metrics-out not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_F11.json")); err == nil {
+		t.Error("BENCH_F11.json written despite -metrics-out")
+	}
+}
+
 func TestRunList(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(t.Context(), []string{"-list"}, &stdout, &stderr); code != 0 {

@@ -6,6 +6,7 @@
 //	uotsserve -data dataset -addr :8080 [-cache 67108864 -disk dataset.dsk]
 //	          [-timeout 10s -max-inflight 64 -max-body 8388608 -drain 10s]
 //	          [-debug-addr 127.0.0.1:6060 -trace-depth 64 -log-requests]
+//	          [-slow-query-ms 250 -slow-query-depth 32]
 //	          [-shards 4 -partition hash -cache-size 1024]
 //	          [-remote-shards 'h1:p,h2:p;h3:p,h4:p' -rpc-timeout 2s -rpc-retries 3
 //	           -hedge-delay 5ms -probe-interval 5s -rpc-partial degrade]
@@ -16,6 +17,7 @@
 //	GET  /stats               dataset shape + serving and search counters
 //	GET  /metrics             Prometheus text exposition
 //	GET  /debug/trace/{id}    replay of a traced request's search events
+//	GET  /debug/slow          slow-query flight recorder (needs -slow-query-ms)
 //	POST /search              {"points":[[x,y],...], "keywords":"...", "lambda":0.5, "k":5}
 //	POST /batch               {"queries":[<search bodies>...], "workers":4}
 //	GET  /trajectory/{id}     full trajectory record
@@ -29,7 +31,16 @@
 // -debug-addr starts a second listener (keep it private) carrying
 // net/http/pprof under /debug/pprof/ and a /metrics mirror, so profiling
 // traffic never competes with the serving listener. Sending "X-Trace: 1"
-// with a search records its expansion events for /debug/trace/{id}.
+// with a search records its expansion events for /debug/trace/{id}; on
+// the remote-shards topology the replay is a cross-node tree — every
+// RPC attempt, retry, and hedge plus each shard server's own span,
+// grouped per partition with wall-clock attribution.
+//
+// -slow-query-ms N > 0 turns on the always-on slow-query flight
+// recorder: every /search and /batch request runs traced (no header
+// needed), and requests taking at least N milliseconds keep their spans
+// in a ring of the most recent -slow-query-depth captures, served by
+// GET /debug/slow.
 //
 // -shards N > 1 serves the default search algorithm from a sharded
 // scatter-gather engine (internal/shard): the store is partitioned N
@@ -88,6 +99,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	debugAddr := flag.String("debug-addr", "", "private listener for /debug/pprof/ and a /metrics mirror (empty = disabled)")
 	traceDepth := flag.Int("trace-depth", 0, "recent traced requests kept for /debug/trace (0 = default)")
+	slowQueryMS := flag.Float64("slow-query-ms", 0, "capture /search and /batch requests at or above this many milliseconds for /debug/slow (0 disables)")
+	slowQueryDepth := flag.Int("slow-query-depth", 0, "slow queries retained by the flight recorder (0 = default)")
 	logRequests := flag.Bool("log-requests", false, "log one line per request, tagged with its request ID")
 	shards := flag.Int("shards", 1, "serve the default search from this many store shards (1 = monolithic)")
 	partition := flag.String("partition", "hash", "shard partitioner: hash or region")
@@ -138,10 +151,12 @@ func main() {
 		fatal(err)
 	}
 	cfg := server.Config{
-		Timeout:      *timeout,
-		MaxInFlight:  *maxInflight,
-		MaxBodyBytes: *maxBody,
-		TraceDepth:   *traceDepth,
+		Timeout:            *timeout,
+		MaxInFlight:        *maxInflight,
+		MaxBodyBytes:       *maxBody,
+		TraceDepth:         *traceDepth,
+		SlowQueryThreshold: time.Duration(*slowQueryMS * float64(time.Millisecond)),
+		SlowQueryDepth:     *slowQueryDepth,
 	}
 	if *logRequests {
 		cfg.Logger = log.Default()

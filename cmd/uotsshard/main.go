@@ -12,10 +12,16 @@
 // uses, which is the topology contract that makes shard-local answers
 // mergeable — and serves that piece's engine over HTTP:
 //
-//	POST /rpc/v1/search   one search, any variant (gob)
-//	POST /rpc/v1/batch    a whole query batch (gob)
-//	GET  /rpc/v1/health   shard identity + liveness (gob)
-//	GET  /metrics         Prometheus text exposition
+//	POST /rpc/v1/search      one search, any variant (gob)
+//	POST /rpc/v1/batch       a whole query batch (gob)
+//	GET  /rpc/v1/health      shard identity + liveness (gob)
+//	GET  /metrics            Prometheus text exposition
+//	GET  /debug/trace/{id}   this shard's span of a sampled request (JSON)
+//
+// A request the router sampled (the client sent "X-Trace: 1") carries
+// its trace ID on the wire; this shard retains its half of the trace
+// under that ID, so the same /debug/trace/{id} key works hop by hop
+// across the fleet.
 //
 // The actual listen address is printed to stdout as
 // "uotsshard: listening on HOST:PORT" — with -addr :0 that line is how
@@ -25,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -88,6 +95,23 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", ss.Handler())
 	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("GET /debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		rec, ok := ss.Traces().Get(id)
+		if !ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "no trace recorded for id " + id})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"id":      id,
+			"shard":   *shardIdx,
+			"events":  rec.Events(),
+			"dropped": rec.Dropped(),
+		})
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -202,7 +202,8 @@ func TestDistributedServing(t *testing.T) {
 	router := startServe("-addr", routerAddr,
 		"-remote-shards", strings.Join(topo, ";"),
 		"-rpc-partial", "degrade", "-rpc-retries", "3", "-rpc-timeout", "30s",
-		"-probe-interval", "200ms")
+		"-probe-interval", "200ms",
+		"-slow-query-ms", "0.0001") // far below any real query: every search is "slow"
 	waitHealthy(monoAddr)
 	waitHealthy(routerAddr)
 	mono := "http://" + monoAddr
@@ -255,6 +256,129 @@ func TestDistributedServing(t *testing.T) {
 				t.Fatalf("batch via %s entry %d: error=%q results=%d", base, i, e.Error, len(e.Results))
 			}
 		}
+	}
+
+	// A sampled query ("X-Trace: 1") must come back as one cross-node
+	// tree: the router's /debug/trace/{id} replays both partitions'
+	// remote child spans inside partition brackets with per-hop
+	// wall-clock attribution, and the shard fleet retains its halves
+	// under the same ID.
+	req, err := http.NewRequest("POST", remote+"/search", strings.NewReader(searchVariants[0].body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("traced search: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced search status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Request-ID")
+	if traceID == "" {
+		t.Fatal("traced search carries no request id")
+	}
+
+	type traceEvent struct {
+		Kind string `json:"kind"`
+		Note string `json:"note"`
+	}
+	var tr struct {
+		Events []traceEvent `json:"events"`
+		Hops   []struct {
+			Partition int      `json:"partition"`
+			Events    int      `json:"events"`
+			Replicas  []string `json:"replicas"`
+		} `json:"hops"`
+	}
+	resp, err = http.Get(remote + "/debug/trace/" + traceID)
+	if err != nil {
+		t.Fatalf("/debug/trace: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/trace decode: %v", err)
+	}
+	if len(tr.Hops) != partitions {
+		t.Fatalf("cross-node trace has %d hops, want %d: %+v", len(tr.Hops), partitions, tr.Hops)
+	}
+	for _, hop := range tr.Hops {
+		if hop.Events == 0 || len(hop.Replicas) == 0 {
+			t.Fatalf("hop %d replayed no remote span: %+v", hop.Partition, hop)
+		}
+	}
+	kinds := map[string]int{}
+	for _, ev := range tr.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["rpc_remote_span"] != partitions || kinds["rpc_attempt"] < partitions {
+		t.Fatalf("trace kinds %v: want %d rpc_remote_span and >= %d rpc_attempt", kinds, partitions, partitions)
+	}
+	if kinds["begin"] < partitions {
+		t.Fatalf("trace kinds %v: want >= %d replayed shard engine spans (begin)", kinds, partitions)
+	}
+	// Each partition's serving replica retained its half of the trace.
+	for p, group := range grid {
+		retained := 0
+		for _, sp := range group {
+			r, err := http.Get("http://" + sp.addr + "/debug/trace/" + traceID)
+			if err != nil {
+				t.Fatalf("shard /debug/trace: %v", err)
+			}
+			if r.StatusCode == http.StatusOK {
+				var shardTr struct {
+					Shard  int          `json:"shard"`
+					Events []traceEvent `json:"events"`
+				}
+				if err := json.NewDecoder(r.Body).Decode(&shardTr); err != nil {
+					t.Fatalf("shard trace decode: %v", err)
+				}
+				if shardTr.Shard != p || len(shardTr.Events) == 0 {
+					t.Fatalf("shard trace for partition %d: shard=%d events=%d", p, shardTr.Shard, len(shardTr.Events))
+				}
+				retained++
+			}
+			r.Body.Close()
+		}
+		if retained == 0 {
+			t.Fatalf("no replica of partition %d retained trace %s", p, traceID)
+		}
+	}
+
+	// The slow-query flight recorder captured the traffic above without
+	// any X-Trace header — the threshold is far below real latency, so
+	// every /search counts as slow.
+	var slow struct {
+		Count   int `json:"count"`
+		Queries []struct {
+			Route  string       `json:"route"`
+			Events []traceEvent `json:"events"`
+		} `json:"queries"`
+	}
+	resp, err = http.Get(remote + "/debug/slow")
+	if err != nil {
+		t.Fatalf("/debug/slow: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&slow)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/slow decode: %v", err)
+	}
+	if slow.Count == 0 {
+		t.Fatal("slow-query flight recorder captured nothing")
+	}
+	slowSearches := 0
+	for _, q := range slow.Queries {
+		if q.Route == "/search" && len(q.Events) > 0 {
+			slowSearches++
+		}
+	}
+	if slowSearches == 0 {
+		t.Fatalf("no /search capture with events in /debug/slow (%d captures)", slow.Count)
 	}
 
 	// SIGKILL one replica of partition 0 mid-run: the group fails over to

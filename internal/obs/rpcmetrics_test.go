@@ -25,6 +25,11 @@ func TestPrometheusEncodingRPCFamily(t *testing.T) {
 
 	const replica = "http://replica-a:9001"
 	reg.CounterVec("uots_rpc_requests_total", "", "replica").With(replica).Add(5)
+	outcomes := reg.CounterVec("uots_rpc_attempt_outcomes_total", "", "replica", "outcome")
+	outcomes.With(replica, "ok").Add(4)
+	outcomes.With(replica, "transport").Inc()
+	outcomes.With(replica, "engine").Add(2)
+	outcomes.With(replica, "canceled").Add(3)
 	reg.CounterVec("uots_rpc_transport_errors_total", "", "replica").With(replica).Inc()
 	reg.Counter("uots_rpc_retries_total", "").Inc()
 	reg.Counter("uots_rpc_hedges_total", "").Add(2)
@@ -40,7 +45,13 @@ func TestPrometheusEncodingRPCFamily(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	want := `# HELP uots_rpc_group_exhausted_total Calls that failed every retry and failover attempt across a whole replica group.
+	want := `# HELP uots_rpc_attempt_outcomes_total RPC attempt outcomes by replica and classification (ok, transport, engine, canceled).
+# TYPE uots_rpc_attempt_outcomes_total counter
+uots_rpc_attempt_outcomes_total{replica="http://replica-a:9001",outcome="canceled"} 3
+uots_rpc_attempt_outcomes_total{replica="http://replica-a:9001",outcome="engine"} 2
+uots_rpc_attempt_outcomes_total{replica="http://replica-a:9001",outcome="ok"} 4
+uots_rpc_attempt_outcomes_total{replica="http://replica-a:9001",outcome="transport"} 1
+# HELP uots_rpc_group_exhausted_total Calls that failed every retry and failover attempt across a whole replica group.
 # TYPE uots_rpc_group_exhausted_total counter
 uots_rpc_group_exhausted_total 1
 # HELP uots_rpc_hedge_wins_total Hedged attempts that answered before the primary.

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSlowQueryDepth caps a SlowRecorder when NewSlowRecorder is
+// given a non-positive depth.
+const DefaultSlowQueryDepth = 32
+
+// A SlowQuery is one flight-recorder entry: the identity and outcome of
+// a request whose latency crossed the recorder's threshold, plus the
+// trace it left behind. Entries exist even when the caller never asked
+// for tracing — the serving layer attaches a recorder to every request
+// while a SlowRecorder is enabled, so the flight recorder always has
+// the span evidence for its stragglers.
+type SlowQuery struct {
+	// ID is the request ID the entry was captured under.
+	ID string `json:"id"`
+	// Route is the bounded route label (e.g. "/search").
+	Route string `json:"route"`
+	// Status is the HTTP status the request finished with.
+	Status int `json:"status"`
+	// ElapsedMS is the request's wall-clock latency in milliseconds.
+	ElapsedMS float64 `json:"elapsedMs"`
+	// Events is the request's span replay (including the synthetic
+	// TraceTruncated marker when the trace overflowed).
+	Events []SpanEvent `json:"events"`
+	// Dropped is the number of span events lost over the trace limit.
+	Dropped int `json:"dropped"`
+}
+
+// A SlowRecorder is an always-on flight recorder: a bounded ring of the
+// most recent queries whose latency met a threshold. It never samples —
+// every Observe over the threshold is admitted, evicting the oldest
+// entry past the depth. Safe for concurrent use. A nil recorder
+// (threshold disabled) ignores every call.
+type SlowRecorder struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	depth     int
+	queries   []SlowQuery // ring, oldest first
+}
+
+// NewSlowRecorder creates a recorder admitting queries at or over
+// threshold, retaining up to depth entries (non-positive depth =
+// DefaultSlowQueryDepth). A non-positive threshold disables the
+// recorder: the return is nil, and every method on a nil recorder is a
+// no-op, so callers need no enablement guard.
+func NewSlowRecorder(threshold time.Duration, depth int) *SlowRecorder {
+	if threshold <= 0 {
+		return nil
+	}
+	if depth <= 0 {
+		depth = DefaultSlowQueryDepth
+	}
+	return &SlowRecorder{threshold: threshold, depth: depth}
+}
+
+// Observe offers one finished request to the flight recorder and
+// reports whether it was admitted (elapsed ≥ threshold). The entry's
+// Events slice is copied on admission, so the caller may reuse its
+// buffer.
+func (r *SlowRecorder) Observe(q SlowQuery, elapsed time.Duration) bool {
+	if r == nil || elapsed < r.threshold {
+		return false
+	}
+	q.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	q.Events = append([]SpanEvent(nil), q.Events...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries = append(r.queries, q)
+	if len(r.queries) > r.depth {
+		// Shift in place rather than reslicing so the backing array
+		// stays bounded at depth entries forever.
+		copy(r.queries, r.queries[1:])
+		r.queries = r.queries[:r.depth]
+	}
+	return true
+}
+
+// Queries returns the retained entries, oldest first. Event slices are
+// copied, so callers may not alias the recorder's buffers.
+func (r *SlowRecorder) Queries() []SlowQuery {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SlowQuery, len(r.queries))
+	copy(out, r.queries)
+	for i := range out {
+		out[i].Events = append([]SpanEvent(nil), out[i].Events...)
+	}
+	return out
+}
+
+// Threshold returns the admission threshold (0 for a nil recorder).
+func (r *SlowRecorder) Threshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.threshold
+}
+
+// Len returns the number of retained entries.
+func (r *SlowRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queries)
+}
+
+// TraceMetrics bundles the uots_trace_* instruments describing the
+// tracing subsystem itself: how many requests were sampled, how much
+// span volume they produced (and lost to recorder limits), and how
+// often the slow-query flight recorder fired. Registered by the serving
+// layer next to its request metrics.
+type TraceMetrics struct {
+	Sampled     *Counter // uots_trace_sampled_total
+	Events      *Counter // uots_trace_events_total
+	Dropped     *Counter // uots_trace_dropped_events_total
+	SlowQueries *Counter // uots_trace_slow_queries_total
+}
+
+// NewTraceMetrics registers the uots_trace_* instruments on reg. A nil
+// registry returns nil, whose methods are no-ops.
+func NewTraceMetrics(reg *Registry) *TraceMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &TraceMetrics{
+		Sampled: reg.Counter("uots_trace_sampled_total",
+			"Requests that ran with a trace recorder attached (X-Trace or slow-query capture)."),
+		Events: reg.Counter("uots_trace_events_total",
+			"Span events buffered by request trace recorders."),
+		Dropped: reg.Counter("uots_trace_dropped_events_total",
+			"Span events dropped over per-request trace recorder limits."),
+		SlowQueries: reg.Counter("uots_trace_slow_queries_total",
+			"Requests admitted to the slow-query flight recorder."),
+	}
+}
+
+// RecordTrace accumulates one sampled request's span volume.
+func (m *TraceMetrics) RecordTrace(events, dropped int) {
+	if m == nil {
+		return
+	}
+	m.Sampled.Inc()
+	m.Events.AddInt(events)
+	m.Dropped.AddInt(dropped)
+}
+
+// RecordSlow counts one flight-recorder admission.
+func (m *TraceMetrics) RecordSlow() {
+	if m == nil {
+		return
+	}
+	m.SlowQueries.Inc()
+}

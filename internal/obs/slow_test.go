@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowRecorderAdmitsOverThreshold(t *testing.T) {
+	rec := NewSlowRecorder(10*time.Millisecond, 4)
+	if rec == nil {
+		t.Fatal("positive threshold must enable the recorder")
+	}
+	if rec.Observe(SlowQuery{ID: "fast"}, 9*time.Millisecond) {
+		t.Error("query under threshold admitted")
+	}
+	if !rec.Observe(SlowQuery{ID: "edge"}, 10*time.Millisecond) {
+		t.Error("query at threshold rejected (admission is inclusive)")
+	}
+	if !rec.Observe(SlowQuery{ID: "slow"}, time.Second) {
+		t.Error("query over threshold rejected")
+	}
+	qs := rec.Queries()
+	if len(qs) != 2 || qs[0].ID != "edge" || qs[1].ID != "slow" {
+		t.Fatalf("queries = %+v, want [edge slow]", qs)
+	}
+	if qs[1].ElapsedMS != 1000 {
+		t.Errorf("ElapsedMS = %v, want 1000", qs[1].ElapsedMS)
+	}
+	if rec.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", rec.Len())
+	}
+	if rec.Threshold() != 10*time.Millisecond {
+		t.Errorf("Threshold() = %v", rec.Threshold())
+	}
+}
+
+func TestSlowRecorderEvictsOldest(t *testing.T) {
+	rec := NewSlowRecorder(time.Millisecond, 2)
+	for i := 0; i < 5; i++ {
+		rec.Observe(SlowQuery{ID: fmt.Sprintf("q-%d", i)}, time.Second)
+	}
+	qs := rec.Queries()
+	if len(qs) != 2 || qs[0].ID != "q-3" || qs[1].ID != "q-4" {
+		t.Fatalf("queries = %+v, want the two newest [q-3 q-4]", qs)
+	}
+}
+
+// TestSlowRecorderCopiesEvents pins the aliasing contract: neither the
+// caller's buffer on admit nor the recorder's buffer on read may be
+// shared.
+func TestSlowRecorderCopiesEvents(t *testing.T) {
+	rec := NewSlowRecorder(time.Millisecond, 2)
+	events := []SpanEvent{{Kind: "begin"}, {Kind: "terminate"}}
+	rec.Observe(SlowQuery{ID: "q", Events: events}, time.Second)
+	events[0].Kind = "mutated"
+	got := rec.Queries()
+	if got[0].Events[0].Kind != "begin" {
+		t.Error("recorder aliased the caller's event buffer on admit")
+	}
+	got[0].Events[1].Kind = "mutated"
+	if rec.Queries()[0].Events[1].Kind != "terminate" {
+		t.Error("Queries() aliased the recorder's event buffer")
+	}
+}
+
+func TestSlowRecorderDisabled(t *testing.T) {
+	rec := NewSlowRecorder(0, 8)
+	if rec != nil {
+		t.Fatal("non-positive threshold must return a nil (disabled) recorder")
+	}
+	// Every method on the nil recorder is a safe no-op.
+	if rec.Observe(SlowQuery{ID: "q"}, time.Hour) {
+		t.Error("nil recorder admitted a query")
+	}
+	if rec.Queries() != nil || rec.Len() != 0 || rec.Threshold() != 0 {
+		t.Error("nil recorder must report empty state")
+	}
+}
+
+// TestSlowRecorderConcurrent hammers the ring from many goroutines;
+// run under -race.
+func TestSlowRecorderConcurrent(t *testing.T) {
+	rec := NewSlowRecorder(time.Millisecond, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rec.Observe(SlowQuery{ID: fmt.Sprintf("g%d-%d", g, i)}, time.Second)
+				rec.Queries()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rec.Len() != 8 {
+		t.Errorf("Len() = %d, want the full depth 8", rec.Len())
+	}
+}
+
+func TestTraceMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewTraceMetrics(reg)
+	m.RecordTrace(10, 2)
+	m.RecordTrace(5, 0)
+	m.RecordSlow()
+	if got := m.Sampled.Value(); got != 2 {
+		t.Errorf("sampled = %d, want 2", got)
+	}
+	if got := m.Events.Value(); got != 15 {
+		t.Errorf("events = %d, want 15", got)
+	}
+	if got := m.Dropped.Value(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+	if got := m.SlowQueries.Value(); got != 1 {
+		t.Errorf("slow queries = %d, want 1", got)
+	}
+	// Nil metrics are no-ops, matching the other uots_* families.
+	var nilM *TraceMetrics
+	nilM.RecordTrace(1, 1)
+	nilM.RecordSlow()
+}

@@ -26,6 +26,11 @@ type SpanEvent struct {
 	Note string `json:"note,omitempty"`
 }
 
+// TraceTruncated is the synthetic event kind appended to a replay when
+// the recorder dropped events over its limit: Value carries the dropped
+// count, so a truncated trace is honest about what is missing.
+const TraceTruncated = "trace_truncated"
+
 // A Tracer receives span events from an instrumented search. A nil
 // Tracer disables tracing; instrumented code guards every emit with a
 // nil check so the disabled path costs one comparison and zero
@@ -69,11 +74,30 @@ func (r *TraceRecorder) Emit(ev SpanEvent) {
 	r.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events in emission order.
+// Events returns a copy of the recorded events in emission order. When
+// the recorder dropped events over its limit, the replay ends with one
+// synthetic TraceTruncated event whose Value is the dropped count — the
+// buffered events themselves are always the oldest ones.
 func (r *TraceRecorder) Events() []SpanEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]SpanEvent(nil), r.events...)
+	out := make([]SpanEvent, len(r.events), len(r.events)+1)
+	copy(out, r.events)
+	if r.dropped > 0 {
+		step := 0
+		if n := len(r.events); n > 0 {
+			step = r.events[n-1].Step
+		}
+		out = append(out, SpanEvent{
+			Step:   step,
+			Kind:   TraceTruncated,
+			Source: -1,
+			Traj:   -1,
+			Value:  float64(r.dropped),
+			Note:   "events dropped over recorder limit",
+		})
+	}
+	return out
 }
 
 // Dropped returns the number of events discarded over the limit.
@@ -164,4 +188,27 @@ func TracerFromContext(ctx context.Context) Tracer {
 	}
 	t, _ := ctx.Value(tracerKey{}).(Tracer)
 	return t
+}
+
+// traceIDKey carries a trace's request ID through a context.
+type traceIDKey struct{}
+
+// ContextWithTraceID attaches the sampled request's trace ID to ctx so
+// downstream hops (the RPC client) can stamp it onto wire requests and
+// remote servers can retain their local spans under the same ID.
+// Attaching an empty ID returns ctx unchanged.
+func ContextWithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFromContext returns the trace ID attached to ctx, or "".
+func TraceIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
 }

@@ -13,19 +13,41 @@ func TestTraceRecorderCapsAndCountsDrops(t *testing.T) {
 		rec.Emit(SpanEvent{Step: i, Kind: "admit"})
 	}
 	events := rec.Events()
-	if len(events) != 3 {
-		t.Fatalf("len(events) = %d, want 3", len(events))
+	// 3 buffered events plus the synthetic truncation marker.
+	if len(events) != 4 {
+		t.Fatalf("len(events) = %d, want 4", len(events))
 	}
-	for i, ev := range events {
+	for i, ev := range events[:3] {
 		if ev.Step != i {
 			t.Errorf("event %d has step %d (oldest events must be kept)", i, ev.Step)
 		}
+	}
+	last := events[3]
+	if last.Kind != TraceTruncated {
+		t.Errorf("last event kind = %q, want %q", last.Kind, TraceTruncated)
+	}
+	if last.Value != 2 {
+		t.Errorf("truncation marker value = %v, want 2 (the dropped count)", last.Value)
+	}
+	if last.Step != 2 {
+		t.Errorf("truncation marker step = %d, want 2 (last buffered step)", last.Step)
 	}
 	if rec.Dropped() != 2 {
 		t.Errorf("dropped = %d, want 2", rec.Dropped())
 	}
 	if rec.Len() != 3 {
 		t.Errorf("Len() = %d, want 3", rec.Len())
+	}
+}
+
+// TestTraceRecorderNoMarkerWithoutDrops pins the common path: a trace
+// that fit in the buffer replays without a synthetic marker.
+func TestTraceRecorderNoMarkerWithoutDrops(t *testing.T) {
+	rec := NewTraceRecorder(4)
+	rec.Emit(SpanEvent{Step: 0, Kind: "admit"})
+	events := rec.Events()
+	if len(events) != 1 || events[0].Kind != "admit" {
+		t.Fatalf("events = %+v, want the single admit event", events)
 	}
 }
 
@@ -88,5 +110,22 @@ func TestTracerContextPlumbing(t *testing.T) {
 	base := context.Background()
 	if got := ContextWithTracer(base, nil); got != base {
 		t.Error("attaching a nil tracer must return the context unchanged")
+	}
+}
+
+func TestTraceIDContextPlumbing(t *testing.T) {
+	if got := TraceIDFromContext(context.Background()); got != "" {
+		t.Errorf("empty context trace ID = %q, want empty", got)
+	}
+	if got := TraceIDFromContext(nil); got != "" { //nolint — nil ctx is part of the contract
+		t.Errorf("nil context trace ID = %q, want empty", got)
+	}
+	ctx := ContextWithTraceID(context.Background(), "req-42")
+	if got := TraceIDFromContext(ctx); got != "req-42" {
+		t.Errorf("trace ID = %q, want req-42", got)
+	}
+	base := context.Background()
+	if got := ContextWithTraceID(base, ""); got != base {
+		t.Error("attaching an empty trace ID must return the context unchanged")
 	}
 }

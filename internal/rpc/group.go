@@ -57,6 +57,12 @@ type GroupConfig struct {
 	// Timer overrides the timer used for hedge delays and backoff waits.
 	// Nil means the real clock.
 	Timer TimerFunc
+	// HealthTrace receives the fleet-health events the background prober
+	// generates (probe failures, ejections, re-admissions) — those happen
+	// outside any request, so they cannot ride a request trace. Nil
+	// disables them. Request-driven health transitions additionally land
+	// in the active request's trace.
+	HealthTrace obs.Tracer
 	// HTTPClient carries the transport shared by the group's replicas.
 	// Nil means a private client with default pooling.
 	HTTPClient *http.Client
@@ -237,28 +243,34 @@ func (g *Group) prober() {
 //
 //uots:allow ctxflow -- probes run on the group's lifetime, not any caller's request; there is no inbound context to thread.
 func (g *Group) ProbeAll() {
+	tr := g.cfg.HealthTrace
 	for _, r := range g.replicas {
 		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
 		_, err := r.client.Health(ctx)
 		cancel()
 		if err != nil {
 			r.counters.probeFailure()
-			g.markFailure(r)
+			emitRPC(tr, TraceProbeFail, r.client.Base(), 0, 0)
+			g.markFailure(tr, r)
 			continue
 		}
-		g.markSuccess(r)
+		g.markSuccess(tr, r)
 	}
 }
 
-func (g *Group) markFailure(r *replica) {
+// markFailure charges one transport-class failure; an ejection lands in
+// tr (the active request's trace, or HealthTrace for probes).
+func (g *Group) markFailure(tr obs.Tracer, r *replica) {
 	if r.noteFailure(g.cfg.FailureThreshold) {
 		r.counters.ejection()
+		emitRPC(tr, TraceEject, r.client.Base(), 0, 0)
 	}
 }
 
-func (g *Group) markSuccess(r *replica) {
+func (g *Group) markSuccess(tr obs.Tracer, r *replica) {
 	if r.noteSuccess() {
 		r.counters.readmission()
+		emitRPC(tr, TraceReadmit, r.client.Base(), 0, 0)
 	}
 }
 
@@ -296,8 +308,9 @@ func (g *Group) delay(attempt int) time.Duration {
 // latency accounting, and failure classification. The caller's own
 // context outcome (cancellation, deadline, a lost hedge) never counts
 // against the replica's health; an attempt-level timeout or transport
-// failure does.
-func callOnce[T any](g *Group, ctx context.Context, r *replica, do func(context.Context, *Client) (T, error)) (T, error) {
+// failure does. The returned duration is the attempt's wall-clock
+// latency, for the per-hop attribution in attempt trace events.
+func callOnce[T any](g *Group, ctx context.Context, r *replica, do func(context.Context, *Client) (T, error)) (T, time.Duration, error) {
 	actx := ctx
 	cancel := func() {}
 	if g.cfg.CallTimeout > 0 {
@@ -307,16 +320,20 @@ func callOnce[T any](g *Group, ctx context.Context, r *replica, do func(context.
 	r.counters.request()
 	sw := obs.Stopwatch()
 	out, err := do(actx, r.client)
-	r.counters.observe(sw().Seconds())
+	elapsed := sw()
+	r.counters.observe(elapsed.Seconds())
+	tr := obs.TracerFromContext(ctx)
 	if err == nil {
-		g.markSuccess(r)
-		return out, nil
+		g.markSuccess(tr, r)
+		r.counters.attempt(OutcomeOK)
+		return out, elapsed, nil
 	}
 	var zero T
 	if cerr := ctx.Err(); cerr != nil {
 		// The caller went away (or a hedge sibling won): the attempt's
 		// fate is the caller's outcome, not the replica's fault.
-		return zero, cerr
+		r.counters.attempt(OutcomeCanceled)
+		return zero, elapsed, cerr
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		// The per-attempt deadline fired while the caller is still
@@ -325,39 +342,80 @@ func callOnce[T any](g *Group, ctx context.Context, r *replica, do func(context.
 	}
 	if IsTransient(err) {
 		r.counters.transportError()
-		g.markFailure(r)
+		g.markFailure(tr, r)
 	}
-	return zero, err
+	r.counters.attempt(classifyOutcome(err))
+	return zero, elapsed, err
+}
+
+// emitOutcome records one finished attempt into the trace: success with
+// its latency, or failure with its outcome classification. Emitted only
+// from single-threaded coordination code so event order stays
+// deterministic (see the Trace* kind docs).
+func emitOutcome(tr obs.Tracer, base string, elapsed time.Duration, err error) {
+	ms := float64(elapsed) / float64(time.Millisecond)
+	if err == nil {
+		emitRPC(tr, TraceAttemptOK, base, 0, ms)
+		return
+	}
+	emitRPC(tr, TraceAttemptErr, base+": "+classifyOutcome(err), 0, ms)
+}
+
+// seqCall runs one un-hedged attempt with its trace bracket: issue
+// event, the call, outcome event.
+func seqCall[T any](g *Group, ctx context.Context, r *replica, attempt int, do func(context.Context, *Client) (T, error)) (T, error) {
+	tr := obs.TracerFromContext(ctx)
+	base := r.client.Base()
+	emitRPC(tr, TraceAttempt, base, float64(attempt), 0)
+	out, elapsed, err := callOnce(g, ctx, r, do)
+	emitOutcome(tr, base, elapsed, err)
+	return out, err
 }
 
 // hedged runs one logical attempt with tail-latency hedging: if the
 // primary has not answered within HedgeDelay, a duplicate fires on a
 // second replica; the first success wins and the loser is cancelled
-// via the shared hedge context.
-func hedged[T any](g *Group, ctx context.Context, primary *replica, do func(context.Context, *Client) (T, error)) (T, error) {
+// via the shared hedge context. attempt is the retry ordinal, carried
+// into trace events. The returned string is the base URL of the replica
+// whose answer won (meaningful only on success) — the identity the
+// remote span gets attributed to.
+//
+// All trace emission happens in this function's select loop, never in
+// the attempt goroutines, so the event sequence is a deterministic
+// function of which outcomes arrive in which order — under injected
+// timers and a parked replica, a test replays the exact sequence.
+func hedged[T any](g *Group, ctx context.Context, primary *replica, attempt int, do func(context.Context, *Client) (T, error)) (T, string, error) {
 	var zero T
+	primaryBase := primary.client.Base()
 	if g.cfg.HedgeDelay <= 0 {
-		return callOnce(g, ctx, primary, do)
+		out, err := seqCall(g, ctx, primary, attempt, do)
+		return out, primaryBase, err
 	}
 	secondary := g.pick(primary)
 	if secondary == nil {
-		return callOnce(g, ctx, primary, do)
+		out, err := seqCall(g, ctx, primary, attempt, do)
+		return out, primaryBase, err
 	}
+	secondaryBase := secondary.client.Base()
+	tr := obs.TracerFromContext(ctx)
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the loser once a winner returns
 
 	type outcome struct {
-		out   T
-		err   error
-		hedge bool
+		out     T
+		err     error
+		hedge   bool
+		replica string
+		elapsed time.Duration
 	}
 	results := make(chan outcome, 2) // buffered: losers never block
 	launch := func(r *replica, isHedge bool) {
 		go func() {
-			out, err := callOnce(g, hctx, r, do)
-			results <- outcome{out: out, err: err, hedge: isHedge}
+			out, elapsed, err := callOnce(g, hctx, r, do)
+			results <- outcome{out: out, err: err, hedge: isHedge, replica: r.client.Base(), elapsed: elapsed}
 		}()
 	}
+	emitRPC(tr, TraceAttempt, primaryBase, float64(attempt), 0)
 	launch(primary, false)
 	timerC, stopTimer := g.timerFn(g.cfg.HedgeDelay)
 	defer stopTimer()
@@ -367,27 +425,38 @@ func hedged[T any](g *Group, ctx context.Context, primary *replica, do func(cont
 		select {
 		case o := <-results:
 			inFlight--
+			emitOutcome(tr, o.replica, o.elapsed, o.err)
 			if o.err == nil {
 				if o.hedge {
 					g.metrics.recordHedgeWin()
+					emitRPC(tr, TraceHedgeWin, o.replica, 0, 0)
 				}
-				return o.out, nil
+				if inFlight > 0 {
+					loser := primaryBase
+					if !o.hedge {
+						loser = secondaryBase
+					}
+					emitRPC(tr, TraceHedgeCancel, loser, 0, 0)
+				}
+				return o.out, o.replica, nil
 			}
 			if cerr := ctx.Err(); cerr != nil {
-				return zero, cerr
+				return zero, "", cerr
 			}
 			if inFlight == 0 {
-				return zero, o.err
+				return zero, "", o.err
 			}
 			// The other attempt is still running; its answer may yet
 			// succeed, so keep waiting.
 		case <-timerC:
 			g.metrics.recordHedge()
+			emitRPC(tr, TraceHedge, secondaryBase, float64(attempt), 0)
+			emitRPC(tr, TraceAttempt, secondaryBase, float64(attempt), 1)
 			launch(secondary, true)
 			inFlight++
 			timerC = nil // fires once
 		case <-ctx.Done():
-			return zero, ctx.Err()
+			return zero, "", ctx.Err()
 		}
 	}
 }
@@ -397,26 +466,29 @@ func hedged[T any](g *Group, ctx context.Context, primary *replica, do func(cont
 // the next replica; definitive answers (engine errors, the caller's own
 // context) return immediately. Exhaustion surfaces as a store fault so
 // the scatter-gather policy layer treats the partition as faulted.
-func callGroup[T any](g *Group, ctx context.Context, do func(context.Context, *Client) (T, error)) (T, error) {
+func callGroup[T any](g *Group, ctx context.Context, do func(context.Context, *Client) (T, error)) (T, string, error) {
 	var zero T
 	if g.closed.Load() {
-		return zero, ErrGroupClosed
+		return zero, "", ErrGroupClosed
 	}
+	tr := obs.TracerFromContext(ctx)
 	var lastErr error
 	var lastTried *replica
 	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
-			return zero, cerr
+			return zero, "", cerr
 		}
 		if attempt > 0 {
 			g.metrics.recordRetry()
-			if d := g.delay(attempt); d > 0 {
+			d := g.delay(attempt)
+			emitRPC(tr, TraceRetry, "", float64(attempt), float64(d)/float64(time.Millisecond))
+			if d > 0 {
 				timerC, stopTimer := g.timerFn(d)
 				select {
 				case <-timerC:
 				case <-ctx.Done():
 					stopTimer()
-					return zero, ctx.Err()
+					return zero, "", ctx.Err()
 				}
 			}
 		}
@@ -427,20 +499,21 @@ func callGroup[T any](g *Group, ctx context.Context, do func(context.Context, *C
 			primary = lastTried
 		}
 		lastTried = primary
-		out, err := hedged(g, ctx, primary, do)
+		out, winner, err := hedged(g, ctx, primary, attempt, do)
 		if err == nil {
-			return out, nil
+			return out, winner, nil
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			return zero, cerr
+			return zero, "", cerr
 		}
 		if !IsTransient(err) {
-			return zero, err
+			return zero, "", err
 		}
 		lastErr = err
 	}
 	g.metrics.recordGroupExhausted()
-	return zero, fmt.Errorf("%w (%w): %w", ErrGroupExhausted, core.ErrStoreFault, lastErr)
+	emitRPC(tr, TraceExhausted, classifyOutcome(lastErr), float64(g.cfg.MaxAttempts), 0)
+	return zero, "", fmt.Errorf("%w (%w): %w", ErrGroupExhausted, core.ErrStoreFault, lastErr)
 }
 
 // Search runs one search against the group with the full retry/hedge/
@@ -449,8 +522,18 @@ func callGroup[T any](g *Group, ctx context.Context, do func(context.Context, *C
 // every attempt, so retries and hedges start from the level the rest of
 // the scatter has already reached) and the response's piggybacked shard
 // threshold is folded back in.
+//
+// When the caller's context carries a tracer, the request asks the
+// shard to record its own span (stamped with the context's trace ID)
+// and the winning response's remote span is replayed into the caller's
+// trace as a child bracket attributed to the serving replica.
 func (g *Group) Search(ctx context.Context, req SearchRequest, bound *core.SharedBound) (SearchResponse, error) {
-	resp, err := callGroup(g, ctx, func(ctx context.Context, c *Client) (SearchResponse, error) {
+	tr := obs.TracerFromContext(ctx)
+	if tr != nil {
+		req.Trace = true
+		req.TraceID = obs.TraceIDFromContext(ctx)
+	}
+	resp, winner, err := callGroup(g, ctx, func(ctx context.Context, c *Client) (SearchResponse, error) {
 		if bound != nil {
 			if v, ok := bound.Load(); ok {
 				req.Bound = v
@@ -464,20 +547,37 @@ func (g *Group) Search(ctx context.Context, req SearchRequest, bound *core.Share
 	if bound != nil && resp.Bound != 0 {
 		bound.Raise(resp.Bound)
 	}
+	if tr != nil {
+		replaySpan(tr, winner, resp.Span, resp.SpanDropped)
+	}
 	return resp, nil
 }
 
-// Batch runs one batch request against the group with the full ladder.
+// Batch runs one batch request against the group with the full ladder,
+// with the same remote-span handling as Search.
 func (g *Group) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
-	return callGroup(g, ctx, func(ctx context.Context, c *Client) (BatchResponse, error) {
+	tr := obs.TracerFromContext(ctx)
+	if tr != nil {
+		req.Trace = true
+		req.TraceID = obs.TraceIDFromContext(ctx)
+	}
+	resp, winner, err := callGroup(g, ctx, func(ctx context.Context, c *Client) (BatchResponse, error) {
 		return c.Batch(ctx, req)
 	})
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	if tr != nil {
+		replaySpan(tr, winner, resp.Span, resp.SpanDropped)
+	}
+	return resp, nil
 }
 
 // Health probes one replica chosen round-robin (the router's own
 // liveness view; per-replica probing is ProbeAll's job).
 func (g *Group) Health(ctx context.Context) (HealthResponse, error) {
-	return callGroup(g, ctx, func(ctx context.Context, c *Client) (HealthResponse, error) {
+	resp, _, err := callGroup(g, ctx, func(ctx context.Context, c *Client) (HealthResponse, error) {
 		return c.Health(ctx)
 	})
+	return resp, err
 }

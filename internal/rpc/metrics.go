@@ -13,6 +13,7 @@ import (
 type Metrics struct {
 	requests        *obs.CounterVec // per replica
 	transportErrors *obs.CounterVec // per replica
+	attemptOutcomes *obs.CounterVec // per replica × outcome
 	retries         *obs.Counter
 	hedges          *obs.Counter
 	hedgeWins       *obs.Counter
@@ -34,6 +35,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"RPC attempts sent, by replica (includes retries and hedges).", "replica"),
 		transportErrors: reg.CounterVec("uots_rpc_transport_errors_total",
 			"RPC attempts that failed in the transport (dial, connection, decode, attempt timeout), by replica.", "replica"),
+		attemptOutcomes: reg.CounterVec("uots_rpc_attempt_outcomes_total",
+			"RPC attempt outcomes by replica and classification (ok, transport, engine, canceled).", "replica", "outcome"),
 		retries: reg.Counter("uots_rpc_retries_total",
 			"RPC calls re-sent after a transient failure."),
 		hedges: reg.Counter("uots_rpc_hedges_total",
@@ -63,6 +66,11 @@ type replicaCounters struct {
 	readmissions    *obs.Counter
 	probeFailures   *obs.Counter
 	latency         *obs.Histogram
+
+	attemptOK        *obs.Counter
+	attemptTransport *obs.Counter
+	attemptEngine    *obs.Counter
+	attemptCanceled  *obs.Counter
 }
 
 func (m *Metrics) forReplica(base string) replicaCounters {
@@ -76,6 +84,29 @@ func (m *Metrics) forReplica(base string) replicaCounters {
 		readmissions:    m.readmissions.With(base),
 		probeFailures:   m.probeFailures.With(base),
 		latency:         m.latency.With(base),
+
+		attemptOK:        m.attemptOutcomes.With(base, OutcomeOK),
+		attemptTransport: m.attemptOutcomes.With(base, OutcomeTransport),
+		attemptEngine:    m.attemptOutcomes.With(base, OutcomeEngine),
+		attemptCanceled:  m.attemptOutcomes.With(base, OutcomeCanceled),
+	}
+}
+
+// attempt counts one attempt under its outcome label.
+func (c replicaCounters) attempt(outcome string) {
+	var ctr *obs.Counter
+	switch outcome {
+	case OutcomeOK:
+		ctr = c.attemptOK
+	case OutcomeTransport:
+		ctr = c.attemptTransport
+	case OutcomeEngine:
+		ctr = c.attemptEngine
+	case OutcomeCanceled:
+		ctr = c.attemptCanceled
+	}
+	if ctr != nil {
+		ctr.Inc()
 	}
 }
 

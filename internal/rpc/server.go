@@ -1,12 +1,14 @@
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net/http"
 
 	"uots/internal/core"
+	"uots/internal/obs"
 	"uots/internal/trajdb"
 )
 
@@ -25,6 +27,7 @@ type ShardServer struct {
 	shard   int
 	shards  int
 	mux     *http.ServeMux
+	traces  *obs.TraceStore // shard-local spans of sampled requests, by trace ID
 }
 
 // ErrBadGlobals rejects a globals mapping that does not cover the
@@ -50,11 +53,33 @@ func NewShardServer(engine *core.Engine, globals []trajdb.TrajID, shardIdx, shar
 		shard:   shardIdx,
 		shards:  shards,
 		mux:     http.NewServeMux(),
+		traces:  obs.NewTraceStore(0),
 	}
 	s.mux.HandleFunc("POST "+PathSearch, s.handleSearch)
 	s.mux.HandleFunc("POST "+PathBatch, s.handleBatch)
 	s.mux.HandleFunc("GET "+PathHealth, s.handleHealth)
 	return s, nil
+}
+
+// Traces exposes the shard's retained spans of sampled requests, keyed
+// by the trace ID the client stamped on the wire. cmd/uotsshard mounts
+// its own GET /debug/trace/{id} over it so a cross-node trace can be
+// inspected hop by hop.
+func (s *ShardServer) Traces() *obs.TraceStore { return s.traces }
+
+// beginTrace attaches a fresh recorder to ctx when the request asked
+// for tracing, retaining it under the request's trace ID (when the
+// client sent one). The returned recorder is nil for unsampled
+// requests.
+func (s *ShardServer) beginTrace(ctx context.Context, trace bool, traceID string) (context.Context, *obs.TraceRecorder) {
+	if !trace {
+		return ctx, nil
+	}
+	rec := obs.NewTraceRecorder(0)
+	if traceID != "" {
+		s.traces.Add(traceID, rec)
+	}
+	return obs.ContextWithTracer(ctx, rec), rec
 }
 
 // Handler returns the server's HTTP handler: the RPC routes wrapped in
@@ -148,7 +173,7 @@ func (s *ShardServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// global already; orderaware: shard-local K' rounds break the
 	// same-K precondition) skip the exchange, mirroring the in-process
 	// executor.
-	ctx := r.Context()
+	ctx, rec := s.beginTrace(r.Context(), req.Trace, req.TraceID)
 	var bound *core.SharedBound
 	switch req.Variant {
 	case VariantSearch, VariantWindowed:
@@ -193,6 +218,10 @@ func (s *ShardServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 			resp.Bound = v
 		}
 	}
+	if rec != nil {
+		resp.Span = rec.Events()
+		resp.SpanDropped = rec.Dropped()
+	}
 	writeGob(w, &resp)
 }
 
@@ -211,7 +240,8 @@ func (s *ShardServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeGob(w, &resp)
 		return
 	}
-	out, bstats, err := s.engine.SearchBatch(r.Context(), req.Queries, req.Opts.Core())
+	ctx, rec := s.beginTrace(r.Context(), req.Trace, req.TraceID)
+	out, bstats, err := s.engine.SearchBatch(ctx, req.Queries, req.Opts.Core())
 	// SearchBatch returns ctx.Err() as the batch-level error while still
 	// filling every slot; a cancelled batch answers with the coded
 	// envelope (the client's own context is authoritative anyway).
@@ -234,6 +264,10 @@ func (s *ShardServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.remap(e.Results)
 		}
 		resp.Entries[i] = e
+	}
+	if rec != nil {
+		resp.Span = rec.Events()
+		resp.SpanDropped = rec.Dropped()
 	}
 	writeGob(w, &resp)
 }

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"uots/internal/core"
+	"uots/internal/obs"
 )
 
 // Transport constants shared by client and server.
@@ -52,6 +53,14 @@ type SearchRequest struct {
 	// rest of the scatter already reached. A pruning hint only: results
 	// are identical with or without it.
 	Bound float64
+	// Trace asks the shard to run this search under a TraceRecorder and
+	// return the recorded span in the response envelope, extending the
+	// caller's trace across the wire. Tracing never changes results.
+	Trace bool
+	// TraceID is the parent trace's request ID. The shard retains its
+	// local span under it (GET /debug/trace/{id} on the shard's debug
+	// mux), so a cross-node trace can be inspected hop by hop.
+	TraceID string
 }
 
 // SearchResponse is the wire form of one shard's answer.
@@ -65,6 +74,14 @@ type SearchResponse struct {
 	// piggybacked update the client folds into its scatter-wide
 	// core.SharedBound.
 	Bound float64
+	// Span is the shard-side trace replay, present only when the request
+	// set Trace. Events carry the shard engine's step ordinals; the
+	// client replays them into the parent trace as a child span.
+	Span []obs.SpanEvent
+	// SpanDropped is the number of shard-side span events lost over the
+	// shard recorder's limit (the replay also ends with a synthetic
+	// obs.TraceTruncated marker when non-zero).
+	SpanDropped int
 }
 
 // BatchOptions is the wire-safe subset of core.BatchOptions. Remote
@@ -92,6 +109,11 @@ func (o BatchOptions) Core() core.BatchOptions {
 type BatchRequest struct {
 	Queries []core.Query
 	Opts    BatchOptions
+	// Trace and TraceID mirror SearchRequest: the shard runs the whole
+	// batch under one TraceRecorder (batch workers share it) and returns
+	// the span in the response envelope.
+	Trace   bool
+	TraceID string
 }
 
 // BatchEntry is one query's outcome within a batch response. Errors
@@ -120,6 +142,11 @@ func (e BatchEntry) Err() error {
 type BatchResponse struct {
 	Entries []BatchEntry
 	Stats   core.BatchStats
+	// Span and SpanDropped mirror SearchResponse (one shared recorder
+	// for the whole batch, so cross-query event order is scheduling-
+	// dependent — per-query order is not).
+	Span        []obs.SpanEvent
+	SpanDropped int
 }
 
 // HealthResponse answers the probe endpoint.

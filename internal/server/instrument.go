@@ -11,6 +11,8 @@ import (
 
 	"uots/internal/core"
 	"uots/internal/obs"
+	"uots/internal/rpc"
+	"uots/internal/shard"
 )
 
 // Request instrumentation: every request through Handler is wrapped by the
@@ -156,7 +158,7 @@ func (m *serverMetrics) recordBatch(st core.BatchStats, shared bool) {
 func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
-	case "/healthz", "/stats", "/metrics", "/search", "/batch":
+	case "/healthz", "/stats", "/metrics", "/search", "/batch", "/debug/slow":
 		return p
 	}
 	switch {
@@ -193,6 +195,17 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument is the outermost middleware: request ID, optional tracer,
 // latency/status metrics, in-flight gauge, and the access log line.
+//
+// Tracing runs in two modes that share one recorder. "X-Trace: 1"
+// samples the request explicitly: its trace is retained for
+// /debug/trace/{id} and its request ID rides the context as the trace
+// ID, so a distributed backend stamps it on the wire and the shard
+// servers retain their half under the same key. The slow-query flight
+// recorder additionally traces every /search and /batch request when
+// Config.SlowQueryThreshold is set — without propagating the trace ID,
+// so the shard fleet is not asked to retain spans for unsampled
+// traffic — and keeps the spans only when the request's wall clock
+// reaches the threshold.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
@@ -200,14 +213,19 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			id = newRequestID()
 		}
 		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		route := routeLabel(r)
+		sampled := r.Header.Get(TraceHeader) == "1"
+		slowEligible := s.slow != nil && (route == "/search" || route == "/batch")
 		var rec *obs.TraceRecorder
-		if r.Header.Get(TraceHeader) == "1" {
+		if sampled || slowEligible {
 			rec = obs.NewTraceRecorder(0)
 			ctx = obs.ContextWithTracer(ctx, rec)
+			if sampled {
+				ctx = obs.ContextWithTraceID(ctx, id)
+			}
 		}
 		w.Header().Set(RequestIDHeader, id)
 		sw := &statusWriter{ResponseWriter: w}
-		route := routeLabel(r)
 		s.metrics.inFlight.Inc()
 		elapsed := obs.Stopwatch()
 		next.ServeHTTP(sw, r.WithContext(ctx))
@@ -220,7 +238,16 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.metrics.reqTotal.With(route, strconv.Itoa(status)).Inc()
 		s.metrics.reqDur.With(route).Observe(d.Seconds())
 		if rec != nil {
-			s.traces.Add(id, rec)
+			if sampled {
+				s.traces.Add(id, rec)
+				s.traceMetrics.RecordTrace(len(rec.Events()), rec.Dropped())
+			}
+			if slowEligible && s.slow.Observe(obs.SlowQuery{
+				ID: id, Route: route, Status: status,
+				Events: rec.Events(), Dropped: rec.Dropped(),
+			}, d) {
+				s.traceMetrics.RecordSlow()
+			}
 		}
 		if s.logger != nil {
 			s.logger.Printf("%s %s %d %s rid=%s", r.Method, r.URL.Path, status,
@@ -229,8 +256,50 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	})
 }
 
+// hopJSON summarizes one remote partition hop of a cross-node trace:
+// the slice of events bracketed by the distributed executor's
+// remote_partition markers, with the hop's wall-clock attribution and
+// the replicas that served it.
+type hopJSON struct {
+	Partition int      `json:"partition"`
+	ElapsedMs float64  `json:"elapsedMs"`
+	Events    int      `json:"events"`
+	Dropped   int      `json:"dropped"`
+	Replicas  []string `json:"replicas,omitempty"`
+}
+
+// remoteHops extracts the per-hop summary from a merged trace. Local
+// (non-distributed) traces have no brackets and yield nil.
+func remoteHops(events []obs.SpanEvent) []hopJSON {
+	var hops []hopJSON
+	open := -1 // index into hops of the bracket being scanned
+	for _, ev := range events {
+		switch ev.Kind {
+		case shard.TracePartition:
+			hops = append(hops, hopJSON{Partition: int(ev.Value), ElapsedMs: ev.Extra})
+			open = len(hops) - 1
+		case shard.TracePartitionDone:
+			if open >= 0 {
+				hops[open].Dropped = int(ev.Extra)
+			}
+			open = -1
+		case rpc.TraceRemoteSpan:
+			if open >= 0 && ev.Note != "" {
+				hops[open].Replicas = append(hops[open].Replicas, ev.Note)
+			}
+		default:
+			if open >= 0 {
+				hops[open].Events++
+			}
+		}
+	}
+	return hops
+}
+
 // handleDebugTrace replays the recorded span events of a traced request
-// (one sent with "X-Trace: 1"), keyed by its request ID.
+// (one sent with "X-Trace: 1"), keyed by its request ID. Distributed
+// traces additionally carry a "hops" summary grouping the replayed
+// remote spans per partition with their wall-clock attribution.
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, ok := s.traces.Get(id)
@@ -243,10 +312,35 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if events == nil {
 		events = []obs.SpanEvent{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"id":      id,
 		"events":  events,
 		"dropped": rec.Dropped(),
+	}
+	if hops := remoteHops(events); hops != nil {
+		resp["hops"] = hops
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDebugSlow serves the slow-query flight recorder: the retained
+// traces of recent requests that reached Config.SlowQueryThreshold,
+// oldest first. 404s when the recorder is disabled, so an operator
+// probing a misconfigured fleet sees the reason, not an empty list.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	if s.slow == nil {
+		writeError(w, r, http.StatusNotFound, codeNotFound,
+			"slow-query recorder disabled; start the server with a slow-query threshold")
+		return
+	}
+	queries := s.slow.Queries()
+	if queries == nil {
+		queries = []obs.SlowQuery{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"thresholdMs": float64(s.slow.Threshold()) / float64(time.Millisecond),
+		"count":       len(queries),
+		"queries":     queries,
 	})
 }
 

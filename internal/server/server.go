@@ -97,6 +97,16 @@ type Config struct {
 	// TraceDepth bounds how many recent request traces /debug/trace
 	// retains (0 = obs.DefaultTraceDepth).
 	TraceDepth int
+	// SlowQueryThreshold enables the always-on slow-query flight
+	// recorder: every /search and /batch request runs traced (no X-Trace
+	// header needed), and requests whose wall clock reaches the
+	// threshold keep their spans in a bounded ring served by
+	// GET /debug/slow. Zero disables the recorder and its hidden
+	// tracing overhead.
+	SlowQueryThreshold time.Duration
+	// SlowQueryDepth bounds how many slow queries the flight recorder
+	// retains, oldest evicted first (0 = obs.DefaultSlowQueryDepth).
+	SlowQueryDepth int
 	// Logger receives one access-log line per request, tagged with the
 	// request ID. nil disables request logging (the default, keeping
 	// handlers quiet under test).
@@ -121,10 +131,12 @@ type Server struct {
 	cfg Config
 	sem *semaphore // nil when MaxInFlight is 0
 
-	registry *obs.Registry
-	metrics  *serverMetrics
-	traces   *obs.TraceStore
-	logger   *log.Logger
+	registry     *obs.Registry
+	metrics      *serverMetrics
+	traceMetrics *obs.TraceMetrics
+	traces       *obs.TraceStore
+	slow         *obs.SlowRecorder // nil when SlowQueryThreshold is 0
+	logger       *log.Logger
 }
 
 // New creates a server over engine with a zero Config. vocab translates
@@ -152,12 +164,15 @@ func NewWithConfig(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.Verte
 		s.registry = obs.NewRegistry()
 	}
 	s.metrics = newServerMetrics(s.registry)
+	s.traceMetrics = obs.NewTraceMetrics(s.registry)
 	s.traces = obs.NewTraceStore(cfg.TraceDepth)
+	s.slow = obs.NewSlowRecorder(cfg.SlowQueryThreshold, cfg.SlowQueryDepth)
 	s.logger = cfg.Logger
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.Handle("GET /metrics", s.registry.Handler())
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
+	s.mux.HandleFunc("GET /debug/slow", s.handleDebugSlow)
 	s.mux.HandleFunc("POST /search", s.guarded(1, s.handleSearch))
 	s.mux.HandleFunc("POST /batch", s.guarded(batchWeight, s.handleBatch))
 	s.mux.HandleFunc("GET /trajectory/{id}", s.guarded(1, s.handleTrajectory))

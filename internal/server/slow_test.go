@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"uots/internal/core"
+	"uots/internal/obs"
+	"uots/internal/rpc"
+	"uots/internal/shard"
+)
+
+// slowJSON mirrors the GET /debug/slow body.
+type slowJSON struct {
+	ThresholdMs float64 `json:"thresholdMs"`
+	Count       int     `json:"count"`
+	Queries     []struct {
+		ID        string  `json:"id"`
+		Route     string  `json:"route"`
+		Status    int     `json:"status"`
+		ElapsedMs float64 `json:"elapsedMs"`
+		Dropped   int     `json:"dropped"`
+		Events    []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	} `json:"queries"`
+}
+
+func getSlow(t *testing.T, h http.Handler) (int, slowJSON) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow", nil))
+	var body slowJSON
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("unparseable /debug/slow body: %v", err)
+		}
+	}
+	return rec.Code, body
+}
+
+// TestSlowQueryFlightRecorder is the always-on capture contract: with a
+// threshold every request clears, a plain /search — no X-Trace header —
+// lands in /debug/slow with its full span, while /debug/trace still
+// 404s for it (unsampled traffic is not retained there) and the
+// uots_trace_slow_queries_total counter ticks.
+func TestSlowQueryFlightRecorder(t *testing.T) {
+	srv := slowServer(t, Config{SlowQueryThreshold: time.Nanosecond}, core.FaultConfig{})
+	h := srv.Handler()
+
+	req := httptest.NewRequest("POST", "/search", searchBody(t))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %s", rec.Code, rec.Body.String())
+	}
+	id := rec.Header().Get(RequestIDHeader)
+
+	code, body := getSlow(t, h)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slow: %d", code)
+	}
+	if body.Count != 1 || len(body.Queries) != 1 {
+		t.Fatalf("slow count = %d (%d queries), want 1", body.Count, len(body.Queries))
+	}
+	q := body.Queries[0]
+	if q.ID != id || q.Route != "/search" || q.Status != http.StatusOK {
+		t.Errorf("slow entry = {id %q route %q status %d}, want {%q /search 200}", q.ID, q.Route, q.Status, id)
+	}
+	if q.ElapsedMs <= 0 {
+		t.Errorf("slow entry elapsedMs = %g, want > 0", q.ElapsedMs)
+	}
+	if len(q.Events) == 0 || q.Events[0].Kind != "begin" {
+		t.Errorf("slow entry span = %v, want engine events starting with begin", q.Events)
+	}
+
+	// The unsampled request must not appear in /debug/trace.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace/"+id, nil))
+	if rr.Code != http.StatusNotFound {
+		t.Errorf("/debug/trace/%s for unsampled slow query: %d, want 404", id, rr.Code)
+	}
+
+	if v := srv.Metrics().Counter("uots_trace_slow_queries_total", "").Value(); v != 1 {
+		t.Errorf("uots_trace_slow_queries_total = %d, want 1", v)
+	}
+}
+
+// TestSlowQueryBelowThresholdNotCaptured: a fast request under a high
+// threshold leaves the flight recorder empty.
+func TestSlowQueryBelowThresholdNotCaptured(t *testing.T) {
+	srv := slowServer(t, Config{SlowQueryThreshold: time.Hour}, core.FaultConfig{})
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/search", searchBody(t)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %s", rec.Code, rec.Body.String())
+	}
+	code, body := getSlow(t, h)
+	if code != http.StatusOK || body.Count != 0 {
+		t.Errorf("/debug/slow = %d count %d, want 200 with 0 captures", code, body.Count)
+	}
+	if body.ThresholdMs != float64(time.Hour)/float64(time.Millisecond) {
+		t.Errorf("thresholdMs = %g", body.ThresholdMs)
+	}
+}
+
+// TestSlowRecorderDisabled404: without a threshold the endpoint explains
+// itself instead of serving an empty list.
+func TestSlowRecorderDisabled404(t *testing.T) {
+	srv, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/debug/slow on disabled recorder: %d, want 404", rec.Code)
+	}
+	var env errorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Code != codeNotFound {
+		t.Errorf("disabled envelope = %s (err %v)", rec.Body.String(), err)
+	}
+}
+
+// TestTraceMetricsRecorded: a sampled request ticks the uots_trace_*
+// family on the server registry.
+func TestTraceMetricsRecorded(t *testing.T) {
+	srv := slowServer(t, Config{}, core.FaultConfig{})
+	h := srv.Handler()
+	req := httptest.NewRequest("POST", "/search", searchBody(t))
+	req.Header.Set(TraceHeader, "1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced search: %d %s", rec.Code, rec.Body.String())
+	}
+	reg := srv.Metrics()
+	if v := reg.Counter("uots_trace_sampled_total", "").Value(); v != 1 {
+		t.Errorf("uots_trace_sampled_total = %d, want 1", v)
+	}
+	if v := reg.Counter("uots_trace_events_total", "").Value(); v == 0 {
+		t.Error("uots_trace_events_total = 0, want > 0")
+	}
+}
+
+// TestRemoteHopsGrouping pins the /debug/trace hop summary over a
+// synthetic merged trace: one bracket per partition, wall-clock and
+// dropped counts lifted off the bracket markers, serving replicas off
+// the remote-span markers, and nil for purely local traces.
+func TestRemoteHopsGrouping(t *testing.T) {
+	events := []obs.SpanEvent{
+		{Kind: shard.TraceScatter, Value: 2},
+		{Kind: shard.TracePartition, Value: 0, Extra: 1.5},
+		{Kind: rpc.TraceAttempt, Note: "http://a"},
+		{Kind: rpc.TraceAttemptOK, Note: "http://a"},
+		{Kind: rpc.TraceRemoteSpan, Note: "http://a", Value: 2},
+		{Kind: "begin"},
+		{Kind: "terminate"},
+		{Kind: rpc.TraceRemoteSpanEnd, Note: "http://a"},
+		{Kind: shard.TracePartitionDone, Value: 0, Extra: 3},
+		{Kind: shard.TracePartition, Value: 1, Extra: 0.5},
+		{Kind: rpc.TraceRemoteSpan, Note: "http://b"},
+		{Kind: rpc.TraceRemoteSpanEnd, Note: "http://b"},
+		{Kind: shard.TracePartitionDone, Value: 1},
+		{Kind: shard.TraceMerge},
+	}
+	hops := remoteHops(events)
+	if len(hops) != 2 {
+		t.Fatalf("got %d hops, want 2: %+v", len(hops), hops)
+	}
+	h0 := hops[0]
+	if h0.Partition != 0 || h0.ElapsedMs != 1.5 || h0.Dropped != 3 || h0.Events != 5 {
+		t.Errorf("hop 0 = %+v, want partition 0, 1.5ms, dropped 3, 5 events", h0)
+	}
+	if len(h0.Replicas) != 1 || h0.Replicas[0] != "http://a" {
+		t.Errorf("hop 0 replicas = %v", h0.Replicas)
+	}
+	h1 := hops[1]
+	if h1.Partition != 1 || h1.ElapsedMs != 0.5 || h1.Dropped != 0 || h1.Events != 1 {
+		t.Errorf("hop 1 = %+v, want partition 1, 0.5ms, dropped 0, 1 event", h1)
+	}
+
+	local := []obs.SpanEvent{{Kind: "begin"}, {Kind: "terminate"}}
+	if got := remoteHops(local); got != nil {
+		t.Errorf("local trace produced hops: %+v", got)
+	}
+}

@@ -34,6 +34,17 @@ const (
 	// TraceCacheHit records a query served from the result cache without
 	// touching any store.
 	TraceCacheHit = "cache_hit"
+	// TracePartition opens one partition's remote replay (RemoteExecutor
+	// only): the events until the matching TracePartitionDone — attempts,
+	// retries, hedges, and the shard server's own span — were buffered by
+	// partition Value's replica-group call and are replayed in partition
+	// index order after the scatter joins. Extra = the partition's
+	// wall-clock milliseconds, the per-hop latency attribution
+	// (run-dependent; mask it to compare traces across runs).
+	TracePartition = "remote_partition"
+	// TracePartitionDone closes a partition replay: Value = partition
+	// index, Extra = events the partition's buffer dropped over its cap.
+	TracePartitionDone = "remote_partition_done"
 )
 
 // shardHandle is one partition: an engine over the shard-local store and

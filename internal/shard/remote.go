@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uots/internal/core"
 	"uots/internal/obs"
@@ -161,6 +162,67 @@ func (re *RemoteExecutor) mapClosed(ctx context.Context, err error) error {
 	return err
 }
 
+// partitionTraces buffers each partition's trace privately while the
+// scatter is in flight. The partition goroutines run concurrently, so
+// letting them emit into the caller's tracer directly would interleave
+// events nondeterministically; instead each partition records into its
+// own bounded buffer and merge replays the buffers into the parent in
+// partition index order after the scatter joins, each inside a
+// TracePartition / TracePartitionDone bracket carrying the partition's
+// wall-clock. A nil *partitionTraces (untraced query) is a no-op.
+type partitionTraces struct {
+	parent  obs.Tracer
+	bufs    []*obs.TraceRecorder
+	elapsed []time.Duration
+}
+
+// newPartitionTraces returns the buffer set for a traced scatter, or
+// nil when the caller's context carries no tracer.
+func (re *RemoteExecutor) newPartitionTraces(ctx context.Context) *partitionTraces {
+	parent := obs.TracerFromContext(ctx)
+	if parent == nil {
+		return nil
+	}
+	pt := &partitionTraces{
+		parent:  parent,
+		bufs:    make([]*obs.TraceRecorder, len(re.groups)),
+		elapsed: make([]time.Duration, len(re.groups)),
+	}
+	for i := range pt.bufs {
+		pt.bufs[i] = obs.NewTraceRecorder(0)
+	}
+	return pt
+}
+
+// wrap attaches partition i's private buffer to ctx and starts its
+// wall-clock; the returned func stops the clock. The trace ID stays on
+// the context, so the rpc group still stamps it on the wire.
+func (pt *partitionTraces) wrap(ctx context.Context, i int) (context.Context, func()) {
+	if pt == nil {
+		return ctx, func() {}
+	}
+	sw := obs.Stopwatch()
+	return obs.ContextWithTracer(ctx, pt.bufs[i]), func() { pt.elapsed[i] = sw() }
+}
+
+// merge replays the buffers into the parent trace in partition index
+// order. Called after the scatter's WaitGroup joins, so the buffers are
+// quiescent.
+func (pt *partitionTraces) merge() {
+	if pt == nil {
+		return
+	}
+	for i, buf := range pt.bufs {
+		pt.parent.Emit(obs.SpanEvent{Kind: TracePartition, Source: -1, Traj: -1,
+			Value: float64(i), Extra: float64(pt.elapsed[i]) / float64(time.Millisecond)})
+		for _, ev := range buf.Events() {
+			pt.parent.Emit(ev)
+		}
+		pt.parent.Emit(obs.SpanEvent{Kind: TracePartitionDone, Source: -1, Traj: -1,
+			Value: float64(i), Extra: float64(buf.Dropped())})
+	}
+}
+
 // scatter fans fn out over every partition's replica group. Network
 // calls park on the wire, so each partition gets a goroutine — no
 // worker pool. Under PartialFail the first partition error cancels the
@@ -171,13 +233,16 @@ func (re *RemoteExecutor) scatter(ctx context.Context, fn func(ctx context.Conte
 	stop := context.AfterFunc(re.closeCtx, cancel)
 	defer stop()
 
+	pt := re.newPartitionTraces(ctx)
 	out := make([]shardOut, len(re.groups))
 	var wg sync.WaitGroup
 	for i := range re.groups {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, stats, err := fn(sctx, re.groups[i], i)
+			pctx, done := pt.wrap(sctx, i)
+			res, stats, err := fn(pctx, re.groups[i], i)
+			done()
 			o := &out[i]
 			o.results, o.stats, o.err, o.ran = res, stats, err, true
 			re.counters[i].record(stats, err)
@@ -187,6 +252,7 @@ func (re *RemoteExecutor) scatter(ctx context.Context, fn func(ctx context.Conte
 		}()
 	}
 	wg.Wait()
+	pt.merge()
 	return out
 }
 
@@ -306,15 +372,18 @@ func (re *RemoteExecutor) scatterBatch(ctx context.Context, queries []core.Query
 	stop := context.AfterFunc(re.closeCtx, cancel)
 	defer stop()
 
+	pt := re.newPartitionTraces(ctx)
 	out := make([]shardBatchOut, len(re.groups))
 	var wg sync.WaitGroup
 	for i := range re.groups {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pctx, done := pt.wrap(sctx, i)
+			defer done()
 			o := &out[i]
 			wopts := rpc.BatchOptions{Workers: opts.Workers, SharedExpansion: opts.SharedExpansion}
-			resp, err := re.groups[i].Batch(sctx, rpc.BatchRequest{Queries: queries, Opts: wopts})
+			resp, err := re.groups[i].Batch(pctx, rpc.BatchRequest{Queries: queries, Opts: wopts})
 			if err != nil {
 				o.err, o.ran = err, true
 				re.counters[i].record(core.SearchStats{}, err)
@@ -329,6 +398,7 @@ func (re *RemoteExecutor) scatterBatch(ctx context.Context, queries []core.Query
 		}()
 	}
 	wg.Wait()
+	pt.merge()
 	return out
 }
 
