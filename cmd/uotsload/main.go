@@ -1,0 +1,562 @@
+// Command uotsload drives a running uotsserve with a deterministic,
+// seeded open-loop workload and reports the latency distribution the
+// server actually delivered.
+//
+// Usage:
+//
+//	uotsload -target http://127.0.0.1:8080 [-qps 50 -duration 10s -seed 1]
+//	         [-mix 'search=70,batch=10,ingest=20' -zipf 1.2 -k 5]
+//	         [-timeout 5s -out BENCH_LOAD.json]
+//
+// The driver is open-loop: requests launch on a fixed schedule derived
+// from -qps regardless of how fast earlier ones complete, so a slow
+// server accumulates in-flight work and its queueing delay shows up in
+// the measured percentiles instead of silently throttling the offered
+// load. Query vertices are drawn zipf-hot (-zipf is the skew exponent,
+// > 1) so a small set of sources dominates, the way real trip queries
+// concentrate on popular places.
+//
+// -mix weights the operations: "search" (POST /search), "batch"
+// (POST /batch of three queries), and "ingest" (POST /trajectories,
+// requiring a server started with -ingest; the weight is dropped with a
+// warning when the target has no write path). Everything — operation
+// choice, query shape, ingested trajectories — derives from -seed, so
+// two runs against equivalent servers issue byte-identical request
+// streams.
+//
+// On exit (including failure or interruption) the run's metrics land in
+// -out as BENCH_LOAD.json: a {"harness", "seed", "config", "summary",
+// "metrics"} wrapper whose summary carries achieved QPS, error rate,
+// per-operation p50/p95/p99 milliseconds, and the server's ingest lag
+// (accepted minus committed trajectories plus queue depth) sampled at
+// the end of the run. The metrics field is the uots_load_* registry
+// snapshot in the same format uotsbench writes.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"uots/internal/experiments"
+	"uots/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// opNames fixes the operation order everywhere: mix parsing, weighted
+// sampling, and the summary table.
+var opNames = []string{"search", "batch", "ingest"}
+
+// loadQuerySecondsBuckets span in-memory hits to badly queued tails.
+var loadQuerySecondsBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// summary is the digest embedded in BENCH_LOAD.json next to the raw
+// registry snapshot. Filled progressively so an interrupted run still
+// records what it measured.
+type summary struct {
+	Sent          uint64             `json:"sent"`
+	Completed     uint64             `json:"completed"`
+	Errors        uint64             `json:"errors"`
+	ErrorRate     float64            `json:"error_rate"`
+	AchievedQPS   float64            `json:"achieved_qps"`
+	ElapsedSec    float64            `json:"elapsed_sec"`
+	PerOp         map[string]opStats `json:"per_op"`
+	IngestLag     int64              `json:"ingest_lag_trajectories"`
+	IngestQueue   int64              `json:"ingest_queue_depth"`
+	IngestSampled bool               `json:"ingest_lag_sampled"`
+}
+
+type opStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+}
+
+// run is main minus process globals, so tests can drive every exit
+// path. The named return lets the deferred BENCH_LOAD.json flush both
+// see the outcome and fail the process itself.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("uotsload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "http://127.0.0.1:8080", "base URL of the uotsserve under load")
+	qps := fs.Float64("qps", 50, "offered load in requests per second (open loop)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to offer load")
+	seed := fs.Int64("seed", 1, "PRNG seed; equal seeds issue identical request streams")
+	mix := fs.String("mix", "search=70,batch=10,ingest=20", "operation weights: search,batch,ingest")
+	zipfS := fs.Float64("zipf", 1.2, "zipf skew for query source vertices (> 1; larger = hotter)")
+	k := fs.Int("k", 5, "results requested per search")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request client timeout")
+	out := fs.String("out", "BENCH_LOAD.json", "metrics file written on every exit path ('' disables)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *qps <= 0 || *duration <= 0 {
+		fmt.Fprintln(stderr, "uotsload: -qps and -duration must be positive")
+		return 2
+	}
+	if *zipfS <= 1 {
+		fmt.Fprintln(stderr, "uotsload: -zipf must be > 1")
+		return 2
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(stderr, "uotsload:", err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	requests := reg.CounterVec("uots_load_requests_total",
+		"Requests completed, by operation and outcome.", "op", "outcome")
+	latency := reg.HistogramVec("uots_load_request_seconds",
+		"Request wall time in seconds, by operation.", loadQuerySecondsBuckets, "op")
+	sent := reg.Counter("uots_load_sent_total", "Requests launched by the scheduler.")
+	lagGauge := reg.Gauge("uots_load_ingest_lag_trajectories",
+		"Server-side accepted minus committed trajectories at run end.")
+	queueGauge := reg.Gauge("uots_load_ingest_queue_depth",
+		"Server-side ingest queue depth at run end.")
+
+	sum := &summary{PerOp: map[string]opStats{}}
+	if *out != "" {
+		defer func() {
+			if err := writeLoadFile(*out, *seed, *qps, *duration, *mix, sum, reg); err != nil {
+				fmt.Fprintln(stderr, "uotsload:", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			fmt.Fprintf(stdout, "\nwrote %s\n", *out)
+		}()
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*target, "/")
+	shape, err := fetchStats(ctx, client, base)
+	if err != nil {
+		fmt.Fprintln(stderr, "uotsload:", err)
+		return 1
+	}
+	if weights["ingest"] > 0 && !shape.liveIngest {
+		fmt.Fprintln(stderr, "uotsload: target has no write path (-ingest); dropping ingest from the mix")
+		weights["ingest"] = 0
+		if weights["search"]+weights["batch"] == 0 {
+			fmt.Fprintln(stderr, "uotsload: nothing left to send")
+			return 2
+		}
+	}
+	fmt.Fprintf(stdout, "uotsload: %s — %d vertices, %d trajectories, liveIngest=%v\n",
+		base, shape.vertices, shape.trajectories, shape.liveIngest)
+	fmt.Fprintf(stdout, "uotsload: offering %.4g req/s for %s (seed %d, mix %s, zipf %.4g)\n",
+		*qps, *duration, *seed, *mix, *zipfS)
+
+	// All randomness flows from this single-goroutine source: the
+	// scheduler draws the operation and fully renders its body before
+	// dispatch, so the request stream is a pure function of the seed.
+	rng := rand.New(rand.NewSource(*seed))
+	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(shape.vertices-1))
+	gen := &payloadGen{rng: rng, zipf: zipf, vertices: shape.vertices, k: *k}
+
+	rec := &recorder{samples: map[string][]float64{}}
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / *qps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(*duration)
+	defer deadline.Stop()
+	start := time.Now()
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			op := pickOp(rng, weights)
+			path, body := gen.render(op)
+			sent.Inc()
+			sum.Sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				outcome := send(ctx, client, base+path, body)
+				d := time.Since(t0).Seconds()
+				latency.With(op).Observe(d)
+				requests.With(op, outcome).Inc()
+				rec.record(op, d, outcome == "ok")
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Digest: per-op percentiles from the recorded samples, overall
+	// throughput and error rate, then the server's own ingest lag.
+	sum.ElapsedSec = elapsed.Seconds()
+	rec.mu.Lock()
+	for _, op := range opNames {
+		s := rec.samples[op]
+		if len(s) == 0 {
+			continue
+		}
+		sort.Float64s(s)
+		sum.PerOp[op] = opStats{
+			Count:  uint64(len(s)),
+			Errors: rec.errors[op],
+			P50ms:  quantile(s, 0.50) * 1000,
+			P95ms:  quantile(s, 0.95) * 1000,
+			P99ms:  quantile(s, 0.99) * 1000,
+		}
+		sum.Completed += uint64(len(s))
+		sum.Errors += rec.errors[op]
+	}
+	rec.mu.Unlock()
+	if sum.Completed > 0 {
+		sum.ErrorRate = float64(sum.Errors) / float64(sum.Completed)
+	}
+	if sum.ElapsedSec > 0 {
+		sum.AchievedQPS = float64(sum.Completed) / sum.ElapsedSec
+	}
+	if shape.liveIngest {
+		if lag, depth, err := fetchIngestLag(ctx, client, base); err == nil {
+			sum.IngestLag, sum.IngestQueue, sum.IngestSampled = lag, depth, true
+			lagGauge.Set(lag)
+			queueGauge.Set(depth)
+		} else if ctx.Err() == nil {
+			fmt.Fprintln(stderr, "uotsload: ingest lag sample:", err)
+		}
+	}
+
+	fmt.Fprintf(stdout, "\n%-8s %8s %8s %10s %10s %10s\n", "op", "count", "errors", "p50 ms", "p95 ms", "p99 ms")
+	for _, op := range opNames {
+		st, ok := sum.PerOp[op]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(stdout, "%-8s %8d %8d %10.2f %10.2f %10.2f\n",
+			op, st.Count, st.Errors, st.P50ms, st.P95ms, st.P99ms)
+	}
+	fmt.Fprintf(stdout, "\nsent %d, completed %d in %.2fs: %.2f req/s achieved, error rate %.2f%%\n",
+		sum.Sent, sum.Completed, sum.ElapsedSec, sum.AchievedQPS, 100*sum.ErrorRate)
+	if sum.IngestSampled {
+		fmt.Fprintf(stdout, "ingest lag at run end: %d trajectories (queue depth %d)\n",
+			sum.IngestLag, sum.IngestQueue)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(stdout, "uotsload: interrupted; partial run recorded")
+	}
+	if sum.Completed == 0 {
+		fmt.Fprintln(stderr, "uotsload: no requests completed")
+		return 1
+	}
+	return 0
+}
+
+// recorder accumulates raw per-op latencies for exact percentiles; the
+// registry histograms carry the same data in fixed buckets for the
+// snapshot file.
+type recorder struct {
+	mu      sync.Mutex
+	samples map[string][]float64
+	errors  map[string]uint64
+}
+
+func (r *recorder) record(op string, seconds float64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples[op] = append(r.samples[op], seconds)
+	if !ok {
+		if r.errors == nil {
+			r.errors = map[string]uint64{}
+		}
+		r.errors[op]++
+	}
+}
+
+// quantile reads q from sorted s by nearest rank.
+func quantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// parseMix parses "search=70,batch=10,ingest=20" into weights.
+func parseMix(s string) (map[string]int, error) {
+	w := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want op=weight)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", part)
+		}
+		name = strings.TrimSpace(name)
+		known := false
+		for _, op := range opNames {
+			if op == name {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown -mix op %q (want search, batch, or ingest)", name)
+		}
+		w[name] = n
+	}
+	total := 0
+	for _, n := range w {
+		total += n
+	}
+	if total == 0 {
+		return nil, errors.New("-mix has zero total weight")
+	}
+	return w, nil
+}
+
+// pickOp draws one operation by weight, in the fixed opNames order so
+// the draw depends only on the rng state.
+func pickOp(rng *rand.Rand, weights map[string]int) string {
+	total := 0
+	for _, op := range opNames {
+		total += weights[op]
+	}
+	n := rng.Intn(total)
+	for _, op := range opNames {
+		n -= weights[op]
+		if n < 0 {
+			return op
+		}
+	}
+	return opNames[0]
+}
+
+// loadWords is the keyword pool shared by ingested trajectories and
+// textual queries, so queries actually hit what the run writes.
+var loadWords = []string{
+	"museum", "park", "harbor", "jazz", "garden", "market",
+	"castle", "beach", "gallery", "bistro",
+}
+
+// payloadGen renders request bodies. Only the scheduler goroutine
+// touches it, keeping the stream deterministic.
+type payloadGen struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	vertices int
+	k        int
+	clock    float64 // monotone ingest timestamp, seconds of day
+}
+
+func (g *payloadGen) render(op string) (path string, body []byte) {
+	switch op {
+	case "batch":
+		qs := make([]json.RawMessage, 3)
+		for i := range qs {
+			qs[i] = g.searchBody()
+		}
+		raw, _ := json.Marshal(map[string]any{"queries": qs, "workers": 2})
+		return "/batch", raw
+	case "ingest":
+		return "/trajectories", g.ingestBody()
+	default:
+		return "/search", g.searchBody()
+	}
+}
+
+// searchBody draws one to two zipf-hot source vertices and sometimes a
+// keyword phrase.
+func (g *payloadGen) searchBody() []byte {
+	verts := make([]int, 1+g.rng.Intn(2))
+	for i := range verts {
+		verts[i] = g.hotVertex()
+	}
+	q := map[string]any{"vertexIds": verts, "k": g.k, "lambda": 0.5}
+	if g.rng.Intn(2) == 0 {
+		q["keywords"] = g.phrase(1 + g.rng.Intn(2))
+	}
+	raw, _ := json.Marshal(q)
+	return raw
+}
+
+// ingestBody renders one to three short trajectories walking outward
+// from hot vertices with strictly advancing times.
+func (g *payloadGen) ingestBody() []byte {
+	type sample struct {
+		Vertex int     `json:"vertex"`
+		T      float64 `json:"t"`
+	}
+	type traj struct {
+		Samples  []sample `json:"samples"`
+		Keywords string   `json:"keywords"`
+	}
+	trajs := make([]traj, 1+g.rng.Intn(3))
+	for i := range trajs {
+		n := 2 + g.rng.Intn(4)
+		tr := traj{Keywords: g.phrase(1 + g.rng.Intn(3))}
+		for j := 0; j < n; j++ {
+			g.clock += 1 + g.rng.Float64()*5
+			if g.clock >= 86000 { // stay inside the store's seconds-of-day range
+				g.clock = g.rng.Float64() * 100
+				tr.Samples = nil
+				j = -1
+				continue
+			}
+			tr.Samples = append(tr.Samples, sample{Vertex: g.hotVertex(), T: g.clock})
+		}
+		trajs[i] = tr
+	}
+	raw, _ := json.Marshal(map[string]any{"trajectories": trajs})
+	return raw
+}
+
+func (g *payloadGen) hotVertex() int {
+	if g.vertices <= 1 {
+		return 0
+	}
+	return int(g.zipf.Uint64())
+}
+
+func (g *payloadGen) phrase(n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = loadWords[g.rng.Intn(len(loadWords))]
+	}
+	return strings.Join(words, " ")
+}
+
+// send posts body and classifies the outcome: "ok", "http_<code>", or
+// "transport". Bodies are drained so connections get reused.
+func send(ctx context.Context, client *http.Client, url string, body []byte) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return "transport"
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "transport"
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return "ok"
+	}
+	return "http_" + strconv.Itoa(resp.StatusCode)
+}
+
+// serverShape is the target description read from GET /stats.
+type serverShape struct {
+	vertices     int
+	trajectories int
+	liveIngest   bool
+}
+
+func fetchStats(ctx context.Context, client *http.Client, base string) (serverShape, error) {
+	var out struct {
+		Vertices     int  `json:"vertices"`
+		Trajectories int  `json:"trajectories"`
+		LiveIngest   bool `json:"liveIngest"`
+	}
+	if err := getJSON(ctx, client, base+"/stats", &out); err != nil {
+		return serverShape{}, fmt.Errorf("probing %s/stats: %w", base, err)
+	}
+	if out.Vertices <= 0 {
+		return serverShape{}, fmt.Errorf("%s/stats reports %d vertices", base, out.Vertices)
+	}
+	return serverShape{vertices: out.Vertices, trajectories: out.Trajectories, liveIngest: out.LiveIngest}, nil
+}
+
+// fetchIngestLag samples the server's write-path backlog: trajectories
+// accepted but not yet committed, plus the queue depth.
+func fetchIngestLag(ctx context.Context, client *http.Client, base string) (lag, depth int64, err error) {
+	var out struct {
+		Accepted   int64 `json:"accepted"`
+		Committed  int64 `json:"committed"`
+		QueueDepth int64 `json:"queue_depth"`
+	}
+	if err := getJSON(ctx, client, base+"/ingest/stats", &out); err != nil {
+		return 0, 0, err
+	}
+	return out.Accepted - out.Committed, out.QueueDepth, nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s answered %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// writeLoadFile writes the BENCH_LOAD.json wrapper: run identity, the
+// human-level summary, and the raw registry snapshot.
+func writeLoadFile(path string, seed int64, qps float64, duration time.Duration, mix string, sum *summary, reg *obs.Registry) error {
+	var snap bytes.Buffer
+	if err := experiments.WriteSnapshot(&snap, reg); err != nil {
+		return err
+	}
+	sumRaw, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	cfgRaw, err := json.Marshal(map[string]any{
+		"qps": qps, "duration": duration.String(), "mix": mix,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(map[string]json.RawMessage{
+		"harness": json.RawMessage(`"uotsload"`),
+		"seed":    json.RawMessage(strconv.FormatInt(seed, 10)),
+		"config":  json.RawMessage(cfgRaw),
+		"summary": json.RawMessage(sumRaw),
+		"metrics": json.RawMessage(bytes.TrimSpace(snap.Bytes())),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uots/internal/ingest"
+	"uots/internal/roadnet"
+	"uots/internal/server"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// liveTarget boots a real live-ingest server on a loopback listener.
+func liveTarget(t *testing.T) string {
+	t.Helper()
+	g, err := roadnet.GenerateCity(roadnet.CityOptions{
+		Rows: 8, Cols: 8, Style: roadnet.StyleDense, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := textual.NewVocab()
+	store := trajdb.NewDynamic(g, vocab)
+	svc, err := ingest.Open(store, ingest.Config{
+		WALPath: filepath.Join(t.TempDir(), "ingest.wal"),
+		Fsync:   ingest.FsyncNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := server.NewWithConfig(nil, vocab, nil, server.Config{Live: svc})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	url := liveTarget(t)
+	path := filepath.Join(t.TempDir(), "BENCH_LOAD.json")
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{
+		"-target", url, "-qps", "200", "-duration", "500ms",
+		"-seed", "7", "-out", path,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("BENCH_LOAD.json not written: %v", err)
+	}
+	var wrapper struct {
+		Harness string  `json:"harness"`
+		Seed    int64   `json:"seed"`
+		Summary summary `json:"summary"`
+		Metrics any     `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &wrapper); err != nil {
+		t.Fatalf("BENCH_LOAD.json is not valid JSON: %v\n%s", err, raw)
+	}
+	if wrapper.Harness != "uotsload" || wrapper.Seed != 7 {
+		t.Fatalf("wrapper identity = %q seed %d", wrapper.Harness, wrapper.Seed)
+	}
+	if wrapper.Summary.Completed == 0 || wrapper.Summary.AchievedQPS <= 0 {
+		t.Fatalf("summary reports no work: %+v", wrapper.Summary)
+	}
+	if wrapper.Metrics == nil {
+		t.Fatal("wrapper has no metrics snapshot")
+	}
+	if _, ok := wrapper.Summary.PerOp["ingest"]; !ok {
+		t.Fatalf("mix issued no ingest ops: %+v", wrapper.Summary.PerOp)
+	}
+	if !strings.Contains(stdout.String(), "achieved") {
+		t.Fatalf("stdout has no summary line: %s", stdout.String())
+	}
+}
+
+// TestRunFlushesOnProbeFailure: an unreachable target still writes the
+// (empty) snapshot file — the flush shares uotsbench's every-exit-path
+// guarantee.
+func TestRunFlushesOnProbeFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_LOAD.json")
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{
+		"-target", "http://127.0.0.1:1", "-qps", "10", "-duration", "100ms",
+		"-timeout", "200ms", "-out", path,
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unreachable target should exit non-zero")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot not written on probe failure: %v", err)
+	}
+	var wrapper map[string]any
+	if err := json.Unmarshal(raw, &wrapper); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, raw)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-qps", "0"},
+		{"-duration", "0s"},
+		{"-zipf", "1"},
+		{"-mix", "search=0,batch=0,ingest=0"},
+		{"-mix", "teleport=5"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(t.Context(), append(args, "-out", ""), &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr %q)", args, code, stderr.String())
+		}
+	}
+}
+
+// TestPayloadDeterminism: equal seeds render byte-identical request
+// streams — the property that makes two load runs comparable.
+func TestPayloadDeterminism(t *testing.T) {
+	render := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		zipf := rand.NewZipf(rng, 1.2, 1, 63)
+		g := &payloadGen{rng: rng, zipf: zipf, vertices: 64, k: 5}
+		weights := map[string]int{"search": 70, "batch": 10, "ingest": 20}
+		var out []string
+		for i := 0; i < 200; i++ {
+			op := pickOp(rng, weights)
+			path, body := g.render(op)
+			out = append(out, path+" "+string(body))
+		}
+		return out
+	}
+	a, b := render(42), render(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverged:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	c := render(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds rendered identical streams")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("search=1, ingest=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["search"] != 1 || w["ingest"] != 3 || w["batch"] != 0 {
+		t.Fatalf("weights = %v", w)
+	}
+	if _, err := parseMix("search"); err == nil {
+		t.Error("missing weight accepted")
+	}
+	if _, err := parseMix("search=-1"); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

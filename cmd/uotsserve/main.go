@@ -10,6 +10,7 @@
 //	          [-shards 4 -partition hash -cache-size 1024]
 //	          [-remote-shards 'h1:p,h2:p;h3:p,h4:p' -rpc-timeout 2s -rpc-retries 3
 //	           -hedge-delay 5ms -probe-interval 5s -rpc-partial degrade]
+//	          [-ingest -wal-dir walblocks -fsync always]
 //
 // Endpoints:
 //
@@ -21,6 +22,8 @@
 //	POST /search              {"points":[[x,y],...], "keywords":"...", "lambda":0.5, "k":5}
 //	POST /batch               {"queries":[<search bodies>...], "workers":4}
 //	GET  /trajectory/{id}     full trajectory record
+//	POST /trajectories        live write path (needs -ingest)
+//	GET  /ingest/stats        write-path counters (needs -ingest)
 //
 // Search requests run under the -timeout deadline (503 on expiry),
 // concurrency beyond -max-inflight is shed with 429, and bodies beyond
@@ -63,6 +66,17 @@
 // survivors ("degrade"), flagged in traces and uots_shard_* metrics.
 // uots_rpc_* series on /metrics account the transport. Mutually
 // exclusive with -shards.
+//
+// -ingest turns on the live write path: the dataset becomes the boot
+// snapshot of a mutable store, POST /trajectories appends through a
+// write-ahead log in -wal-dir (replayed on boot, so a crash loses
+// nothing that was acknowledged), and every read pins an immutable MVCC
+// snapshot so ingest never blocks or tears a search. -fsync picks the
+// durability point: "always" (fsync every group commit, the default),
+// "interval" (time-based), or "none" (page cache only). On shutdown the
+// commit queue is drained and the WAL synced after the HTTP listener
+// stops. Mutually exclusive with -disk, -shards, and -remote-shards;
+// uots_ingest_* series on /metrics account the write path.
 package main
 
 import (
@@ -75,6 +89,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -82,10 +97,12 @@ import (
 	"uots"
 	"uots/internal/core"
 	"uots/internal/diskstore"
+	"uots/internal/ingest"
 	"uots/internal/obs"
 	"uots/internal/rpc"
 	"uots/internal/server"
 	"uots/internal/shard"
+	"uots/internal/trajdb"
 )
 
 func main() {
@@ -111,7 +128,19 @@ func main() {
 	hedgeDelay := flag.Duration("hedge-delay", 0, "duplicate a remote call on a second replica after this tail-latency delay (0 disables)")
 	probeInterval := flag.Duration("probe-interval", 5*time.Second, "background health-probe period for remote replicas (0 disables)")
 	rpcPartial := flag.String("rpc-partial", "fail", "dead remote partition policy: fail (query errors) or degrade (serve survivors)")
+	ingestMode := flag.Bool("ingest", false, "enable the live write path (POST /trajectories) backed by a write-ahead log")
+	walDir := flag.String("wal-dir", "", "directory holding the ingest WAL (required with -ingest; replayed on boot)")
+	fsyncPolicy := flag.String("fsync", "always", "ingest WAL durability point: always, interval, or none")
 	flag.Parse()
+
+	if *ingestMode {
+		if *disk != "" || *shards > 1 || *remoteShards != "" {
+			fatal(errors.New("-ingest is mutually exclusive with -disk, -shards, and -remote-shards"))
+		}
+		if *walDir == "" {
+			fatal(errors.New("-ingest requires -wal-dir"))
+		}
+	}
 
 	gf, err := os.Open(*data + ".graph")
 	if err != nil {
@@ -125,6 +154,7 @@ func main() {
 
 	var store core.TrajStore
 	var vocab *uots.Vocab
+	var memStore *trajdb.Store // in-memory dataset, the ingest boot snapshot
 	if *disk != "" {
 		ds, err := diskstore.Open(*disk, g, *cache)
 		if err != nil {
@@ -144,11 +174,17 @@ func main() {
 			fatal(err)
 		}
 		store, vocab = db, db.Vocab()
+		memStore = db
 	}
 
-	engine, err := core.NewEngine(store, core.Options{})
-	if err != nil {
-		fatal(err)
+	// In live-ingest mode engines are resolved per request from the
+	// service's MVCC snapshot cache; the fixed boot engine stays nil.
+	var engine *core.Engine
+	if !*ingestMode {
+		engine, err = core.NewEngine(store, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	cfg := server.Config{
 		Timeout:            *timeout,
@@ -238,6 +274,33 @@ func main() {
 		log.Printf("uotsserve: sharded search over %d shards (%s partitioning, cache %d entries)",
 			sharded.NumShards(), part, *cacheSize)
 	}
+	var live *ingest.Service
+	if *ingestMode {
+		pol, err := ingest.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fatal(err)
+		}
+		walPath := filepath.Join(*walDir, "ingest.wal")
+		reg := obs.NewRegistry()
+		dyn := trajdb.NewDynamicFromStore(memStore)
+		svc, err := ingest.Open(dyn, ingest.Config{
+			WALPath: walPath,
+			Fsync:   pol,
+			Metrics: obs.NewIngestMetrics(reg),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		live = svc
+		cfg.Metrics = reg
+		cfg.Live = svc
+		rec := svc.Recovery()
+		log.Printf("uotsserve: live ingest (wal=%s fsync=%s): replayed %d records / %d trajectories (%d truncated tail bytes), %d live",
+			walPath, pol, rec.Records, rec.Trajs, rec.TruncatedBytes, dyn.Len())
+	}
 	srv := server.NewWithConfig(engine, vocab, nil, cfg)
 	log.Printf("uotsserve: %d vertices, %d trajectories, listening on %s (timeout=%s max-inflight=%d)",
 		g.NumVertices(), store.NumTrajectories(), *addr, *timeout, *maxInflight)
@@ -250,6 +313,15 @@ func main() {
 	}
 	if err := srv.Serve(ctx, *addr, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	if live != nil {
+		// The HTTP listener is down; drain queued commits and sync the
+		// WAL so nothing acknowledged rides only in memory.
+		if err := live.Close(); err != nil {
+			log.Printf("uotsserve: ingest close: %v", err)
+		} else {
+			log.Printf("uotsserve: ingest drained, WAL synced")
+		}
 	}
 	log.Printf("uotsserve: shut down cleanly")
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestCtxflow(t *testing.T) {
-	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a", "rpc", "mainpkg")
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a", "rpc", "ingest", "mainpkg")
 }

@@ -1,0 +1,32 @@
+// Package ingest is a fixture of the context-threading contract on the
+// write path: the submit/enqueue chain must carry the request context.
+package ingest
+
+import "context"
+
+// enqueue stands in for the batcher's context-aware admission.
+func enqueue(ctx context.Context, req int) error { return nil }
+
+// submitDetached mints a fresh context, severing the client's
+// disconnect from the queued wait.
+func submitDetached(ctx context.Context, req int) error {
+	return enqueue(context.Background(), req) // want `context\.Background\(\) drops the caller's context`
+}
+
+// submitNil passes an explicit nil.
+func submitNil(req int) error {
+	return enqueue(nil, req) // want `nil context passed`
+}
+
+// submit threads the request context and is clean.
+func submit(ctx context.Context, req int) error {
+	return enqueue(ctx, req)
+}
+
+// replay is a documented boot-time root: WAL recovery runs before any
+// request exists.
+//
+//uots:allow ctxflow -- boot-time WAL replay has no caller context
+func replay(req int) error {
+	return enqueue(context.Background(), req)
+}

@@ -16,13 +16,16 @@ const name = "lockscope"
 // scopePkgs cover every package that guards shared state with a mutex
 // on the query path: the batch planner's shared frontier, the shard
 // result cache and engine, the RPC replica groups, the server's
-// admission semaphore, and the disk store's buffer.
+// admission semaphore, the disk store's buffer, and the ingest WAL and
+// commit queue (whose mutexes sit directly on the write path's group
+// committer).
 var scopePkgs = map[string]bool{
 	"core":      true,
 	"shard":     true,
 	"rpc":       true,
 	"server":    true,
 	"diskstore": true,
+	"ingest":    true,
 }
 
 // Analyzer flags locks that escape their scope or are held across

@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockScope(t *testing.T) {
-	analysistest.Run(t, "testdata", lockscope.Analyzer, "shard", "util")
+	analysistest.Run(t, "testdata", lockscope.Analyzer, "shard", "ingest", "util")
 }

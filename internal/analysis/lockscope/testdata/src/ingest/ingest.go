@@ -1,0 +1,70 @@
+// Package ingest is a fixture of the lock contract on the write path:
+// the WAL's append mutex and the batcher's admission lock.
+package ingest
+
+import "sync"
+
+type wal struct {
+	mu  sync.Mutex
+	off int64
+}
+
+// appendGood is the WAL shape: one deferred unlock covers every error
+// return in the encode/write/sync sequence.
+func (w *wal) appendGood(n int64) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.off += n
+	return w.off
+}
+
+// appendLeaky forgets the error path.
+func (w *wal) appendLeaky(n int64, fail bool) int64 {
+	w.mu.Lock()
+	if fail {
+		return -1 // want `mutex w\.mu \(acquired with Lock\) is still held on this return path`
+	}
+	w.off += n
+	w.mu.Unlock()
+	return w.off
+}
+
+type batcher struct {
+	mu     sync.RWMutex
+	closed bool
+	queue  chan int
+}
+
+// tryEnqueueGood is the real admission shape: the closed check and the
+// non-blocking send share one read lock, and the select's default
+// keeps the send from ever parking while it is held.
+func (b *batcher) tryEnqueueGood(req int) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return false
+	}
+	select {
+	case b.queue <- req:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitUnderLock parks on the acknowledgement channel while holding the
+// admission lock: close() needs the write lock, so a wedged committer
+// deadlocks shutdown.
+func (b *batcher) waitUnderLock(ack chan int) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return <-ack // want `mutex b\.mu is held across a blocking operation \(channel receive\)`
+}
+
+// mismatchedRelease pairs RLock with Unlock.
+func (b *batcher) mismatchedRelease() bool {
+	b.mu.RLock()
+	v := b.closed
+	b.mu.Unlock() // want `mutex b\.mu acquired with RLock but released with Unlock`
+	return v
+}

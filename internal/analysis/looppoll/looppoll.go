@@ -15,12 +15,14 @@ const name = "looppoll"
 // worker drain loops must stay cancellable so one stuck shard cannot
 // pin a pool slot forever), and the RPC transport (whose retry/hedge/
 // probe loops must keep honouring caller cancellation between network
-// attempts).
+// attempts), and the ingest pipeline (whose queue-drain loops must stay
+// scoped to the committer's quit channel).
 var scopePkgs = map[string]bool{
 	"core":    true,
 	"roadnet": true,
 	"shard":   true,
 	"rpc":     true,
+	"ingest":  true,
 }
 
 // drainNames are the methods that advance a frontier; a loop built
@@ -44,8 +46,8 @@ var pollNames = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: name,
 	Doc: `looppoll: unbounded heap/queue drain loops in internal/core,
-internal/roadnet, internal/shard and internal/rpc must poll for
-cancellation.
+internal/roadnet, internal/shard, internal/rpc and internal/ingest must
+poll for cancellation.
 
 A "for { ... heap.Pop() ... }" (or "for cond { ... }") expansion loop
 runs for as long as the frontier lasts — on a metropolitan road network

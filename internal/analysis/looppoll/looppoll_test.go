@@ -8,5 +8,5 @@ import (
 )
 
 func TestLooppoll(t *testing.T) {
-	analysistest.Run(t, "testdata", looppoll.Analyzer, "roadnet", "shard", "rpc", "util")
+	analysistest.Run(t, "testdata", looppoll.Analyzer, "roadnet", "shard", "rpc", "ingest", "util")
 }

@@ -1,0 +1,51 @@
+// Package ingest is a fixture of the cancellation contract on the
+// write path's drain loops.
+package ingest
+
+type walIterator struct{ n int }
+
+func (it *walIterator) Next() (int, bool) { it.n--; return it.n, it.n >= 0 }
+
+// replayNoPoll drains the recovered log with no way to stop: a huge WAL
+// pins the boot goroutine even after shutdown is requested.
+func replayNoPoll(it *walIterator) int {
+	applied := 0
+	for { // want `unbounded drain loop never polls for cancellation`
+		rec, ok := it.Next()
+		if !ok {
+			return applied
+		}
+		applied += rec
+	}
+}
+
+// gatherScoped is the committer's greedy-drain shape: every iteration
+// selects against the quit channel before advancing.
+func gatherScoped(it *walIterator, quit <-chan struct{}) int {
+	applied := 0
+	for {
+		select {
+		case <-quit:
+			return applied
+		default:
+		}
+		rec, ok := it.Next()
+		if !ok {
+			return applied
+		}
+		applied += rec
+	}
+}
+
+// replayBounded is a counting loop and terminates by construction.
+func replayBounded(it *walIterator, n int) int {
+	applied := 0
+	for i := 0; i < n; i++ {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		applied += rec
+	}
+	return applied
+}

@@ -14,20 +14,23 @@ const name = "spawnjoin"
 
 // scopePkgs hold the request-scoped concurrency: the engine's batch
 // workers, the scatter-gather executor, the RPC transport's hedges and
-// probers, and the serving layer. A goroutine leaked there outlives its
-// request, pins memory and pool slots, and races teardown.
+// probers, the serving layer, and the ingest pipeline's group
+// committer. A goroutine leaked there outlives its request, pins
+// memory and pool slots, and races teardown.
 var scopePkgs = map[string]bool{
 	"core":   true,
 	"shard":  true,
 	"rpc":    true,
 	"server": true,
+	"ingest": true,
 }
 
 // Analyzer flags go statements with no provable join path.
 var Analyzer = &analysis.Analyzer{
 	Name: name,
 	Doc: `spawnjoin: every go statement in internal/core, internal/shard,
-internal/rpc and internal/server must have a provable join path.
+internal/rpc, internal/server and internal/ingest must have a provable
+join path.
 
 A fire-and-forget goroutine outlives the request that spawned it: it
 pins its captured memory, keeps running after cancellation, and races

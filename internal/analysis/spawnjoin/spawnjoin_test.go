@@ -8,5 +8,5 @@ import (
 )
 
 func TestSpawnJoin(t *testing.T) {
-	analysistest.Run(t, "testdata", spawnjoin.Analyzer, "shard", "util")
+	analysistest.Run(t, "testdata", spawnjoin.Analyzer, "shard", "ingest", "util")
 }

@@ -1,0 +1,64 @@
+// Package ingest is a fixture of the join contract on the write path:
+// the group committer's shapes, good and bad.
+package ingest
+
+import "sync"
+
+type batcher struct {
+	wg    sync.WaitGroup
+	queue chan int
+	quit  chan struct{}
+}
+
+// startCommitter is the real committer shape: Add at the spawn site,
+// defer Done first, the loop scoped to the quit channel.
+func (b *batcher) startCommitter() {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			select {
+			case <-b.quit:
+				return
+			case req := <-b.queue:
+				_ = req
+			}
+		}
+	}()
+}
+
+// asyncFsync is the tempting mistake: pushing the sync off the commit
+// path with nothing joining it. The goroutine races Close's file
+// teardown and leaks if the device wedges.
+func asyncFsync(syncFn func()) {
+	go func() { // want `goroutine has no provable join path`
+		syncFn()
+	}()
+}
+
+// ackForever spawns an unbounded retry pump nothing ever stops.
+func ackForever(b *batcher, n *int) {
+	go func() { // want `goroutine has no provable join path`
+		for {
+			*n++
+		}
+	}()
+}
+
+// ackByChannel delivers the commit acknowledgement; the waiter's
+// receive joins it.
+func ackByChannel() int {
+	done := make(chan int, 1)
+	go func() { done <- 1 }()
+	return <-done
+}
+
+// drainScoped ranges over the queue; close(queue) in the owner bounds
+// its lifetime.
+func (b *batcher) drainScoped() {
+	go func() {
+		for req := range b.queue {
+			_ = req
+		}
+	}()
+}

@@ -1,0 +1,493 @@
+// Package ingest is the live write path of the serving stack: a durable
+// write-ahead log, a group-commit batcher applying batches to a
+// trajdb.DynamicStore, and an MVCC engine provider that pins every query
+// to an immutable snapshot generation so ingest never blocks or tears a
+// search.
+//
+// Durability contract: a trajectory is acknowledged only after its batch
+// has been appended to the WAL (and fsynced, under the default "always"
+// policy) and applied to the in-memory store. On restart the WAL is
+// replayed before serving; a torn tail (the record being written when
+// the process died) is truncated and reported, while a corrupt record
+// body (CRC mismatch) is a refuse-to-serve error — torn tails are the
+// expected crash artifact, silent bit rot is not.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uots/internal/roadnet"
+	"uots/internal/trajdb"
+)
+
+// walMagic identifies the ingest write-ahead-log format, version 1. The
+// record layout after the magic is documented in CONTRIBUTING.md (WAL
+// record-format contract): each record is
+//
+//	u32 payloadLen | u32 crc32-IEEE(payload) | payload
+//
+// and the payload is
+//
+//	u32 trajCount
+//	per trajectory:
+//	  u32 sampleCount, then per sample: u32 vertex | u64 float64bits(t)
+//	  u32 keywordCount, then per keyword: u32 len | bytes
+//
+// all little-endian. Keywords are stored as strings, not TermIDs, so a
+// replay re-interns them against whatever vocabulary the process booted
+// with — term IDs are process-local, the WAL is not.
+const walMagic = "UOTSWAL1"
+
+const (
+	walHeaderLen = 8       // payload length + CRC
+	maxCount     = 1 << 20 // plausibility cap on any decoded count
+	maxRecordLen = 1 << 26 // 64 MiB cap on a single record payload
+)
+
+// ErrCorrupt tags WAL corruption that truncation cannot repair: a record
+// whose CRC does not match its payload, or a payload that does not
+// decode. Test with errors.Is; inspect with errors.As into *CorruptError.
+var ErrCorrupt = errors.New("ingest: wal corrupt")
+
+// CorruptError reports an unrecoverable corruption in the WAL. It wraps
+// ErrCorrupt. Unlike a torn tail (which OpenWAL silently truncates and
+// reports in RecoveryInfo), corruption in the body of the log means
+// acknowledged writes cannot be trusted, so OpenWAL refuses to serve.
+type CorruptError struct {
+	Path   string // the WAL file
+	Offset int64  // byte offset of the corrupt record's header
+	Reason string // what failed ("crc mismatch", "implausible count", ...)
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("ingest: wal %s corrupt at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Unwrap exposes ErrCorrupt to errors.Is.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// FsyncPolicy selects when the WAL fsyncs after an append.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every record: an acknowledged batch
+	// survives power loss. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs when at least SyncInterval has elapsed since
+	// the previous sync: bounded data loss, much higher throughput on
+	// slow devices.
+	FsyncInterval
+	// FsyncNone never syncs on the append path (the OS flushes on its
+	// own schedule; Close still syncs). For benchmarks and tests.
+	FsyncNone
+)
+
+// String returns the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses the -fsync flag spelling.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown fsync policy %q (want always, interval or none)", s)
+}
+
+// Hooks injects faults into the WAL's I/O paths for tests, mirroring the
+// FaultStore convention on the read side: a hook returning an error
+// makes the corresponding syscall site fail without touching the file.
+type Hooks struct {
+	BeforeWrite func() error // before the record write
+	BeforeSync  func() error // before each fsync
+}
+
+// TrajRecord is one trajectory as carried by the WAL and the ingest API:
+// raw samples plus keyword strings (interned on apply).
+type TrajRecord struct {
+	Samples  []trajdb.Sample
+	Keywords []string
+}
+
+// Record is one WAL entry: the trajectories of one group commit.
+type Record struct {
+	Trajs []TrajRecord
+}
+
+// RecoveryInfo describes what OpenWAL found on disk.
+type RecoveryInfo struct {
+	Created        bool  // no log existed; a fresh one was started
+	Records        int   // records replayed
+	Trajs          int   // trajectories replayed
+	TruncatedBytes int64 // torn tail dropped (0 for a clean log)
+}
+
+// WALOptions configures a WAL.
+type WALOptions struct {
+	Fsync        FsyncPolicy
+	SyncInterval time.Duration // FsyncInterval spacing; defaults to 50ms
+	Hooks        Hooks
+}
+
+// WAL is an append-only, CRC-framed log of ingest batches. Appends are
+// serialized by an internal mutex; the group-commit batcher is its only
+// writer in production, the mutex makes misuse safe rather than racy.
+type WAL struct {
+	path string
+	opts WALOptions
+
+	mu       sync.Mutex
+	f        *os.File
+	off      atomic.Int64 // end of the last good record; the append position
+	lastSync time.Time
+	closed   bool
+}
+
+// OpenWAL opens (creating if needed) the log at path, replays every
+// intact record through apply in append order, truncates a torn tail,
+// and returns the WAL positioned for appends. A nil apply discards the
+// replayed records (used by tests that only exercise the codec). Errors:
+// a *CorruptError (wrapping ErrCorrupt) for CRC/decode failures, the
+// apply error verbatim if applying a record fails, otherwise wrapped I/O
+// errors.
+func OpenWAL(path string, opts WALOptions, apply func(Record) error) (*WAL, RecoveryInfo, error) {
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 50 * time.Millisecond
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("ingest: opening wal: %w", err)
+	}
+	w := &WAL{path: path, opts: opts, f: f, lastSync: time.Now()}
+	info, err := w.recover(apply)
+	if err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	return w, info, nil
+}
+
+// recover replays the log and leaves the file positioned at the end of
+// the last good record.
+func (w *WAL) recover(apply func(Record) error) (RecoveryInfo, error) {
+	var info RecoveryInfo
+	size, err := w.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return info, fmt.Errorf("ingest: sizing wal: %w", err)
+	}
+	if size == 0 {
+		info.Created = true
+		if _, err := w.f.WriteString(walMagic); err != nil {
+			return info, fmt.Errorf("ingest: writing wal magic: %w", err)
+		}
+		if err := w.syncLocked(); err != nil {
+			return info, err
+		}
+		w.off.Store(int64(len(walMagic)))
+		return info, nil
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return info, fmt.Errorf("ingest: seeking wal: %w", err)
+	}
+	br := bufio.NewReader(w.f)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		// Shorter than the magic: the process died while creating the
+		// log, before any record could have been acknowledged. Start over.
+		return info, w.truncateTail(0, size, &info)
+	}
+	if string(magic) != walMagic {
+		return info, &CorruptError{Path: w.path, Offset: 0, Reason: fmt.Sprintf("bad magic %q", magic)}
+	}
+	w.off.Store(int64(len(walMagic)))
+	header := make([]byte, walHeaderLen)
+	for {
+		if _, err := io.ReadFull(br, header); err != nil {
+			if err == io.EOF {
+				return info, nil // clean end of log
+			}
+			return info, w.truncateTail(w.off.Load(), size, &info) // torn header
+		}
+		payloadLen := binary.LittleEndian.Uint32(header[0:4])
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		if payloadLen > maxRecordLen {
+			return info, &CorruptError{Path: w.path, Offset: w.off.Load(),
+				Reason: fmt.Sprintf("implausible record length %d", payloadLen)}
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return info, w.truncateTail(w.off.Load(), size, &info) // torn payload
+		}
+		if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+			return info, &CorruptError{Path: w.path, Offset: w.off.Load(),
+				Reason: fmt.Sprintf("crc mismatch (stored %08x, computed %08x)", wantCRC, got)}
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return info, &CorruptError{Path: w.path, Offset: w.off.Load(), Reason: err.Error()}
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				return info, fmt.Errorf("ingest: replaying wal record %d: %w", info.Records, err)
+			}
+		}
+		w.off.Add(walHeaderLen + int64(payloadLen))
+		info.Records++
+		info.Trajs += len(rec.Trajs)
+	}
+}
+
+// truncateTail drops the torn bytes past the last good record and
+// positions the file for appends there.
+func (w *WAL) truncateTail(off, size int64, info *RecoveryInfo) error {
+	info.TruncatedBytes = size - off
+	if err := w.f.Truncate(off); err != nil {
+		return fmt.Errorf("ingest: truncating torn wal tail: %w", err)
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("ingest: seeking wal: %w", err)
+	}
+	if off == 0 {
+		if _, err := w.f.WriteString(walMagic); err != nil {
+			return fmt.Errorf("ingest: writing wal magic: %w", err)
+		}
+		off = int64(len(walMagic))
+	}
+	w.off.Store(off)
+	return w.syncLocked()
+}
+
+// Append encodes rec, writes it as one framed record and fsyncs per the
+// policy. It returns the bytes appended and whether this append synced.
+// On failure the file is rewound to the end of the last good record and
+// the error wraps *trajdb.StoreError — the storage-fault convention the
+// serving stack already maps to 5xx.
+func (w *WAL) Append(rec Record) (n int, synced bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, false, ErrClosed
+	}
+	payload := encodeRecord(rec)
+	frame := make([]byte, walHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[walHeaderLen:], payload)
+
+	if h := w.opts.Hooks.BeforeWrite; h != nil {
+		if herr := h(); herr != nil {
+			return 0, false, fmt.Errorf("ingest: %w",
+				&trajdb.StoreError{Op: "wal.append", ID: -1, Err: herr})
+		}
+	}
+	if _, werr := w.f.Write(frame); werr != nil {
+		// The write may have landed partially; restore the invariant
+		// that the file ends at the last good record.
+		w.f.Truncate(w.off.Load())
+		w.f.Seek(w.off.Load(), io.SeekStart)
+		return 0, false, fmt.Errorf("ingest: %w",
+			&trajdb.StoreError{Op: "wal.append", ID: -1, Err: werr})
+	}
+	w.off.Add(int64(len(frame)))
+	switch w.opts.Fsync {
+	case FsyncAlways:
+		synced = true
+	case FsyncInterval:
+		synced = time.Since(w.lastSync) >= w.opts.SyncInterval
+	}
+	if synced {
+		if serr := w.syncLocked(); serr != nil {
+			// The record is written but not durably: report failure (the
+			// caller must not ack) knowing the record may still replay
+			// after a restart — at-least-once, never silent loss.
+			return len(frame), false, serr
+		}
+	}
+	return len(frame), synced, nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.syncLocked()
+}
+
+// syncLocked runs the sync hook and fsyncs. Callers hold w.mu (or are
+// still single-threaded in OpenWAL).
+func (w *WAL) syncLocked() error {
+	if h := w.opts.Hooks.BeforeSync; h != nil {
+		if herr := h(); herr != nil {
+			return fmt.Errorf("ingest: %w", &trajdb.StoreError{Op: "wal.sync", ID: -1, Err: herr})
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: %w", &trajdb.StoreError{Op: "wal.sync", ID: -1, Err: err})
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Size returns the current length of the log in bytes. Lock-free so
+// stats surfaces stay responsive while an append is blocked in the
+// device (or a test hook).
+func (w *WAL) Size() int64 {
+	return w.off.Load()
+}
+
+// Close syncs and closes the log. Further appends return ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	serr := w.syncLocked()
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// encodeRecord serializes rec's payload (the frame header is added by
+// Append, which needs the CRC over exactly these bytes).
+func encodeRecord(rec Record) []byte {
+	var b bytes.Buffer
+	putU32(&b, uint32(len(rec.Trajs)))
+	for _, t := range rec.Trajs {
+		putU32(&b, uint32(len(t.Samples)))
+		for _, s := range t.Samples {
+			putU32(&b, uint32(s.V))
+			putU64(&b, math.Float64bits(s.T))
+		}
+		putU32(&b, uint32(len(t.Keywords)))
+		for _, k := range t.Keywords {
+			putU32(&b, uint32(len(k)))
+			b.WriteString(k)
+		}
+	}
+	return b.Bytes()
+}
+
+// decodeRecord parses a payload produced by encodeRecord. Errors are
+// wrapped into *CorruptError by the caller, which knows the file offset.
+func decodeRecord(payload []byte) (Record, error) {
+	r := walReader{buf: payload}
+	nt := r.u32()
+	if nt > maxCount {
+		return Record{}, fmt.Errorf("implausible trajectory count %d", nt)
+	}
+	rec := Record{Trajs: make([]TrajRecord, 0, nt)}
+	for i := uint32(0); i < nt; i++ {
+		ns := r.u32()
+		if ns > maxCount {
+			return Record{}, fmt.Errorf("trajectory %d: implausible sample count %d", i, ns)
+		}
+		t := TrajRecord{Samples: make([]trajdb.Sample, ns)}
+		for j := range t.Samples {
+			v := r.u32()
+			bits := r.u64()
+			t.Samples[j] = trajdb.Sample{V: roadnet.VertexID(v), T: math.Float64frombits(bits)}
+		}
+		nk := r.u32()
+		if nk > maxCount {
+			return Record{}, fmt.Errorf("trajectory %d: implausible keyword count %d", i, nk)
+		}
+		t.Keywords = make([]string, nk)
+		for j := range t.Keywords {
+			kl := r.u32()
+			if kl > maxCount {
+				return Record{}, fmt.Errorf("trajectory %d: implausible keyword length %d", i, kl)
+			}
+			t.Keywords[j] = string(r.bytes(int(kl)))
+		}
+		rec.Trajs = append(rec.Trajs, t)
+	}
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	if r.pos != len(r.buf) {
+		return Record{}, fmt.Errorf("%d trailing bytes after last trajectory", len(r.buf)-r.pos)
+	}
+	return rec, nil
+}
+
+// walReader walks a payload with sticky short-read errors, so decode
+// code reads linearly and checks once.
+type walReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *walReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *walReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *walReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("payload truncated at byte %d", r.pos)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.Write(buf[:])
+}
+
+func putU64(b *bytes.Buffer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.Write(buf[:])
+}

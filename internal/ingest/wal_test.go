@@ -1,0 +1,410 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uots/internal/trajdb"
+)
+
+// testRecords is a small fixture with varied shapes: multi-traj record,
+// single-traj record, keywordless and sampleful trajectories.
+func testRecords() []Record {
+	return []Record{
+		{Trajs: []TrajRecord{
+			{
+				Samples:  []trajdb.Sample{{V: 0, T: 100}, {V: 1, T: 200.5}},
+				Keywords: []string{"museum", "café"},
+			},
+			{
+				Samples:  []trajdb.Sample{{V: 2, T: 0}},
+				Keywords: nil,
+			},
+		}},
+		{Trajs: []TrajRecord{
+			{
+				Samples:  []trajdb.Sample{{V: 3, T: 1}, {V: 4, T: 2}, {V: 5, T: 3}},
+				Keywords: []string{"park"},
+			},
+		}},
+	}
+}
+
+func appendAll(t *testing.T, w *WAL, recs []Record) {
+	t.Helper()
+	for i, rec := range recs {
+		if _, _, err := w.Append(rec); err != nil {
+			t.Fatalf("Append record %d: %v", i, err)
+		}
+	}
+}
+
+// replayAll reopens the log collecting every replayed record.
+func replayAll(t *testing.T, path string) ([]Record, RecoveryInfo, error) {
+	t.Helper()
+	var got []Record
+	w, info, err := OpenWAL(path, WALOptions{Fsync: FsyncNone}, func(rec Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	if cerr := w.Close(); cerr != nil {
+		t.Fatalf("Close after replay: %v", cerr)
+	}
+	return got, info, nil
+}
+
+func requireRecordsEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i].Trajs) != len(want[i].Trajs) {
+			t.Fatalf("record %d: %d trajs, want %d", i, len(got[i].Trajs), len(want[i].Trajs))
+		}
+		for j := range want[i].Trajs {
+			g, w := got[i].Trajs[j], want[i].Trajs[j]
+			if len(g.Samples) != len(w.Samples) {
+				t.Fatalf("record %d traj %d: %d samples, want %d", i, j, len(g.Samples), len(w.Samples))
+			}
+			for k := range w.Samples {
+				if g.Samples[k] != w.Samples[k] {
+					t.Errorf("record %d traj %d sample %d = %+v, want %+v", i, j, k, g.Samples[k], w.Samples[k])
+				}
+			}
+			if len(g.Keywords) != len(w.Keywords) {
+				t.Fatalf("record %d traj %d: %d keywords, want %d", i, j, len(g.Keywords), len(w.Keywords))
+			}
+			for k := range w.Keywords {
+				if g.Keywords[k] != w.Keywords[k] {
+					t.Errorf("record %d traj %d keyword %d = %q, want %q", i, j, k, g.Keywords[k], w.Keywords[k])
+				}
+			}
+		}
+	}
+}
+
+func TestWALRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	w, info, err := OpenWAL(path, WALOptions{Fsync: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Created {
+		t.Error("fresh log: Created = false")
+	}
+	recs := testRecords()
+	appendAll(t, w, recs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := replayAll(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Created || info.TruncatedBytes != 0 {
+		t.Errorf("clean reopen: info = %+v", info)
+	}
+	if info.Records != len(recs) || info.Trajs != 3 {
+		t.Errorf("info = %+v, want 2 records, 3 trajs", info)
+	}
+	requireRecordsEqual(t, got, recs)
+}
+
+func TestWALAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	w, _, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Append(testRecords()[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestWALTruncatedTail simulates a crash mid-append: the file is cut at
+// every interesting boundary inside the last record, and replay must
+// keep everything before it, truncate the tear, and leave the log
+// appendable.
+func TestWALTruncatedTail(t *testing.T) {
+	recs := testRecords()
+	// Build a clean log once to learn the record boundaries.
+	ref := filepath.Join(t.TempDir(), "ref.wal")
+	w, _, err := OpenWAL(ref, WALOptions{Fsync: FsyncNone}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int64 // file size after each record
+	for i, rec := range recs {
+		if _, _, err := w.Append(rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		sizes = append(sizes, w.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sizes[len(sizes)-2] // end of the second-to-last record
+	cuts := []struct {
+		name string
+		at   int64
+	}{
+		{"mid magic", int64(len(walMagic)) - 3},
+		{"mid header", last + 3},
+		{"header only", last + walHeaderLen},
+		{"mid payload", last + walHeaderLen + 5},
+		{"one byte short", sizes[len(sizes)-1] - 1},
+	}
+	for _, cut := range cuts {
+		t.Run(cut.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "torn.wal")
+			if err := os.WriteFile(path, clean[:cut.at], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, info, err := replayAll(t, path)
+			if err != nil {
+				t.Fatalf("replay of torn log: %v", err)
+			}
+			wantRecs := 0
+			for _, s := range sizes {
+				if s <= cut.at {
+					wantRecs++
+				}
+			}
+			if info.Records != wantRecs {
+				t.Errorf("replayed %d records, want %d", info.Records, wantRecs)
+			}
+			requireRecordsEqual(t, got, recs[:wantRecs])
+			if info.TruncatedBytes == 0 {
+				t.Error("TruncatedBytes = 0, want > 0")
+			}
+			// The torn bytes must be gone from disk so the next append
+			// starts at a record boundary.
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSize := int64(len(walMagic))
+			if wantRecs > 0 {
+				wantSize = sizes[wantRecs-1]
+			}
+			if st.Size() != wantSize {
+				t.Errorf("post-truncate size = %d, want %d", st.Size(), wantSize)
+			}
+			// And the log must accept appends and replay them cleanly.
+			w2, _, err := OpenWAL(path, WALOptions{Fsync: FsyncNone}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, w2, recs[len(recs)-1:])
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got2, _, err := replayAll(t, path)
+			if err != nil {
+				t.Fatalf("replay after repair: %v", err)
+			}
+			requireRecordsEqual(t, got2, append(append([]Record{}, recs[:wantRecs]...), recs[len(recs)-1]))
+		})
+	}
+}
+
+// TestWALCorrupt covers damage truncation cannot repair: every case must
+// refuse to serve with a *CorruptError wrapping ErrCorrupt.
+func TestWALCorrupt(t *testing.T) {
+	recs := testRecords()
+	build := func(t *testing.T) (string, []byte) {
+		path := filepath.Join(t.TempDir(), "ingest.wal")
+		w, _, err := OpenWAL(path, WALOptions{Fsync: FsyncNone}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, w, recs)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path, raw
+	}
+	const rec0 = int64(len(walMagic)) // offset of the first record header
+	cases := []struct {
+		name       string
+		corrupt    func(raw []byte)
+		wantOffset int64
+	}{
+		{
+			name:       "payload bit flip",
+			corrupt:    func(raw []byte) { raw[rec0+walHeaderLen+2] ^= 0x40 },
+			wantOffset: rec0,
+		},
+		{
+			name:       "stored crc flip",
+			corrupt:    func(raw []byte) { raw[rec0+5] ^= 0x01 },
+			wantOffset: rec0,
+		},
+		{
+			name: "implausible record length",
+			corrupt: func(raw []byte) {
+				binary.LittleEndian.PutUint32(raw[rec0:rec0+4], maxRecordLen+1)
+			},
+			wantOffset: rec0,
+		},
+		{
+			name:       "bad magic",
+			corrupt:    func(raw []byte) { raw[0] = 'X' },
+			wantOffset: 0,
+		},
+		{
+			name: "implausible traj count",
+			corrupt: func(raw []byte) {
+				// Rewrite the first record's payload count and fix up the
+				// CRC so only the decoder can object.
+				payloadLen := binary.LittleEndian.Uint32(raw[rec0 : rec0+4])
+				payload := raw[rec0+walHeaderLen : rec0+walHeaderLen+int64(payloadLen)]
+				binary.LittleEndian.PutUint32(payload[0:4], maxCount+1)
+				binary.LittleEndian.PutUint32(raw[rec0+4:rec0+8], crc32ChecksumIEEE(payload))
+			},
+			wantOffset: rec0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path, raw := build(t)
+			tc.corrupt(raw)
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := replayAll(t, path)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err %v is not a *CorruptError", err)
+			}
+			if ce.Offset != tc.wantOffset {
+				t.Errorf("Offset = %d, want %d", ce.Offset, tc.wantOffset)
+			}
+			if ce.Path != path {
+				t.Errorf("Path = %q, want %q", ce.Path, path)
+			}
+		})
+	}
+}
+
+// TestWALFaultInjection drives the Hooks seams: a failed write must
+// leave the log intact at the last good record and surface the
+// *trajdb.StoreError convention; a failed fsync must fail the append.
+func TestWALFaultInjection(t *testing.T) {
+	boom := fmt.Errorf("injected device loss")
+	t.Run("write fault", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "ingest.wal")
+		var fail bool
+		hooks := Hooks{BeforeWrite: func() error {
+			if fail {
+				return boom
+			}
+			return nil
+		}}
+		w, _, err := OpenWAL(path, WALOptions{Fsync: FsyncNone, Hooks: hooks}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := testRecords()
+		appendAll(t, w, recs[:1])
+		before := w.Size()
+		fail = true
+		_, _, err = w.Append(recs[1])
+		var se *trajdb.StoreError
+		if !errors.As(err, &se) || se.Op != "wal.append" {
+			t.Fatalf("err = %v, want *trajdb.StoreError{Op: wal.append}", err)
+		}
+		fail = false
+		if w.Size() != before {
+			t.Errorf("size moved across failed append: %d != %d", w.Size(), before)
+		}
+		appendAll(t, w, recs[1:])
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := replayAll(t, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireRecordsEqual(t, got, recs)
+	})
+	t.Run("sync fault", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "ingest.wal")
+		armed := false
+		hooks := Hooks{BeforeSync: func() error {
+			if armed {
+				return boom
+			}
+			return nil
+		}}
+		w, _, err := OpenWAL(path, WALOptions{Fsync: FsyncAlways, Hooks: hooks}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		armed = true
+		_, _, err = w.Append(testRecords()[0])
+		var se *trajdb.StoreError
+		if !errors.As(err, &se) || se.Op != "wal.sync" {
+			t.Fatalf("err = %v, want *trajdb.StoreError{Op: wal.sync}", err)
+		}
+		armed = false
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"none", FsyncNone, true},
+		{"", 0, false},
+		{"Always", 0, false},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseFsyncPolicy(%q) = (%v, %v), want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseFsyncPolicy(%q) succeeded, want error", tc.in)
+		}
+		if tc.ok && got.String() != tc.in {
+			t.Errorf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+}
+
+func crc32ChecksumIEEE(b []byte) uint32 {
+	return crc32.ChecksumIEEE(b)
+}

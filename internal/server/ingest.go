@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"uots/internal/ingest"
+	"uots/internal/obs"
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// maxIngestBatch bounds one POST /trajectories request. Larger loads
+// should be split client-side; the group committer re-batches anyway.
+const maxIngestBatch = 1024
+
+// IngestSample is one trajectory sample in the write API: a network
+// vertex and a time in seconds-of-day.
+type IngestSample struct {
+	Vertex int32   `json:"vertex"`
+	T      float64 `json:"t"`
+}
+
+// IngestTrajectory is one trajectory to ingest. Keywords is free text,
+// tokenized and interned server-side exactly like query keywords.
+type IngestTrajectory struct {
+	Samples  []IngestSample `json:"samples"`
+	Keywords string         `json:"keywords,omitempty"`
+}
+
+// IngestRequest is the POST /trajectories body.
+type IngestRequest struct {
+	Trajectories []IngestTrajectory `json:"trajectories"`
+}
+
+// IngestResponse acknowledges a durable commit: the batch is in the WAL
+// (fsynced per the server's policy) and queryable at Generation.
+type IngestResponse struct {
+	IDs        []int64 `json:"ids"`
+	Generation uint64  `json:"generation"`
+}
+
+// handleIngest is the write endpoint. It shares the admission semaphore
+// with the read path (weight 1) and adds the ingest queue's own
+// backpressure behind it: a full commit queue answers 429 with the same
+// "overloaded" code the load shedder uses, a draining server 503
+// "draining", a validation failure 400, and a storage failure on the
+// WAL path 500 "store_failure".
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if status, code, err := decodeJSON(r, &req); err != nil {
+		writeError(w, r, status, code, err.Error())
+		return
+	}
+	if len(req.Trajectories) == 0 {
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "request needs at least one trajectory")
+		return
+	}
+	if len(req.Trajectories) > maxIngestBatch {
+		writeError(w, r, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-trajectory limit", len(req.Trajectories), maxIngestBatch))
+		return
+	}
+	recs := make([]ingest.TrajRecord, len(req.Trajectories))
+	for i, t := range req.Trajectories {
+		samples := make([]trajdb.Sample, len(t.Samples))
+		for j, smp := range t.Samples {
+			samples[j] = trajdb.Sample{V: roadnet.VertexID(smp.Vertex), T: smp.T}
+		}
+		recs[i] = ingest.TrajRecord{Samples: samples, Keywords: textual.Tokenize(t.Keywords)}
+	}
+	ctx := r.Context()
+	tracer := obs.TracerFromContext(ctx)
+	if tracer != nil {
+		tracer.Emit(obs.SpanEvent{Kind: obs.TraceIngestBegin, Source: -1, Traj: -1,
+			Value: float64(len(recs))})
+	}
+	ids, gen, err := s.live.Ingest(ctx, recs)
+	if err != nil {
+		if tracer != nil {
+			tracer.Emit(obs.SpanEvent{Kind: obs.TraceIngestReject, Source: -1, Traj: -1,
+				Note: err.Error()})
+		}
+		s.writeIngestError(w, r, err)
+		return
+	}
+	if tracer != nil {
+		tracer.Emit(obs.SpanEvent{Kind: obs.TraceIngestCommit, Source: -1, Traj: -1,
+			Value: float64(len(ids)), Extra: float64(gen)})
+	}
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{IDs: out, Generation: gen})
+}
+
+// writeIngestError maps write-path failures onto the error contract.
+func (s *Server) writeIngestError(w http.ResponseWriter, r *http.Request, err error) {
+	var se *trajdb.StoreError
+	switch {
+	case errors.Is(err, ingest.ErrInvalid):
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, err.Error())
+	case errors.Is(err, ingest.ErrBacklog):
+		writeError(w, r, http.StatusTooManyRequests, codeOverloaded,
+			"ingest queue full; retry with backoff")
+	case errors.Is(err, ingest.ErrClosed):
+		writeError(w, r, http.StatusServiceUnavailable, codeDraining,
+			"server is draining; ingest is closed")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.expired.Inc()
+		writeError(w, r, http.StatusServiceUnavailable, codeDeadline,
+			fmt.Sprintf("ingest deadline (%s) exceeded", s.cfg.Timeout))
+	case errors.Is(err, context.Canceled):
+		writeError(w, r, statusClientClosedRequest, codeCanceled, "client closed request")
+	case errors.As(err, &se):
+		writeError(w, r, http.StatusInternalServerError, codeStoreFailure, err.Error())
+	default:
+		writeError(w, r, http.StatusInternalServerError, codeInternal, err.Error())
+	}
+}
+
+// handleIngestStats serves the write path's counters. Ungated (like
+// /stats and /metrics) so the pipeline stays observable under overload.
+func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.live.Stats())
+}

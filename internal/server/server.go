@@ -27,6 +27,7 @@ import (
 
 	"uots/internal/core"
 	"uots/internal/geo"
+	"uots/internal/ingest"
 	"uots/internal/obs"
 	"uots/internal/roadnet"
 	"uots/internal/textual"
@@ -56,6 +57,8 @@ const (
 	codeBodyTooLarge = "body_too_large"
 	codeStoreFailure = "store_failure"
 	codeInternal     = "internal_error"
+	codeUnavailable  = "unavailable"
+	codeDraining     = "draining"
 )
 
 // SearchBackend runs the default (expansion) search variants a /search
@@ -114,15 +117,25 @@ type Config struct {
 	// Searcher, when non-nil, serves the default-algorithm /search
 	// variants instead of the engine itself (e.g. a shard.Engine). The
 	// engine still backs /trajectory, /stats, /batch and the explicit
-	// baseline algorithms.
+	// baseline algorithms. Mutually exclusive with Live.
 	Searcher SearchBackend
+	// Live, when non-nil, turns on the write path: POST /trajectories
+	// and GET /ingest/stats are mounted, and every read request resolves
+	// its engine from the ingest service's MVCC snapshot cache instead
+	// of the fixed boot engine — a request pins one immutable snapshot
+	// generation for its whole lifetime, so concurrent ingest never
+	// blocks or tears it. The engine argument to NewWithConfig may be
+	// nil in this mode (an empty store answers reads with 503
+	// "unavailable" until the first commit).
+	Live *ingest.Service
 }
 
 // Server serves search requests over one engine. Create with New or
 // NewWithConfig and mount via Handler.
 type Server struct {
 	engine  *core.Engine
-	backend SearchBackend // serves the default-algorithm /search variants
+	backend SearchBackend   // serves the default-algorithm /search variants
+	live    *ingest.Service // non-nil in live-ingest mode (engine resolved per request)
 	graph   *roadnet.Graph
 	vocab   *textual.Vocab
 	index   *roadnet.VertexIndex
@@ -147,12 +160,19 @@ func New(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.VertexIndex) *S
 }
 
 // NewWithConfig creates a server with explicit hardening configuration.
+// engine may be nil only when cfg.Live is set (the live store may still
+// be empty at boot; engines are then resolved per request).
 func NewWithConfig(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.VertexIndex, cfg Config) *Server {
-	g := engine.Store().Graph()
+	var g *roadnet.Graph
+	if cfg.Live != nil {
+		g = cfg.Live.Store().Graph()
+	} else {
+		g = engine.Store().Graph()
+	}
 	if idx == nil {
 		idx = roadnet.NewVertexIndex(g, 0)
 	}
-	s := &Server{engine: engine, backend: cfg.Searcher, graph: g, vocab: vocab, index: idx, mux: http.NewServeMux(), cfg: cfg}
+	s := &Server{engine: engine, backend: cfg.Searcher, live: cfg.Live, graph: g, vocab: vocab, index: idx, mux: http.NewServeMux(), cfg: cfg}
 	if s.backend == nil {
 		s.backend = engine
 	}
@@ -176,7 +196,39 @@ func NewWithConfig(engine *core.Engine, vocab *textual.Vocab, idx *roadnet.Verte
 	s.mux.HandleFunc("POST /search", s.guarded(1, s.handleSearch))
 	s.mux.HandleFunc("POST /batch", s.guarded(batchWeight, s.handleBatch))
 	s.mux.HandleFunc("GET /trajectory/{id}", s.guarded(1, s.handleTrajectory))
+	if s.live != nil {
+		s.mux.HandleFunc("POST /trajectories", s.guarded(1, s.handleIngest))
+		s.mux.HandleFunc("GET /ingest/stats", s.handleIngestStats)
+	}
 	return s
+}
+
+// resolve pins the request to one engine and search backend. In live
+// mode the engine comes from the ingest service's generation-keyed
+// cache: the snapshot under it is immutable, so everything the request
+// reads through it — results, trajectory payloads, keyword names — is
+// one consistent point-in-time view no matter how much is ingested
+// meanwhile. Without Live it returns the fixed boot engine/backend.
+func (s *Server) resolve() (*core.Engine, SearchBackend, error) {
+	if s.live == nil {
+		return s.engine, s.backend, nil
+	}
+	eng, _, err := s.live.Engine()
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, eng, nil
+}
+
+// writeResolveError answers a request whose engine could not be built —
+// in practice an empty live store before the first commit.
+func writeResolveError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, core.ErrEmptyStore) {
+		writeError(w, r, http.StatusServiceUnavailable, codeUnavailable,
+			"no trajectories ingested yet; retry after the first commit")
+		return
+	}
+	writeError(w, r, http.StatusInternalServerError, codeInternal, err.Error())
 }
 
 // Handler returns the server's HTTP handler: the route mux wrapped in the
@@ -316,7 +368,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.engine.Store()
+	// In live mode the count comes straight from the dynamic store —
+	// no snapshot build, so /stats stays cheap and accurate mid-burst.
+	var numTrajs int
+	if s.live != nil {
+		numTrajs = s.live.Store().Len()
+	} else {
+		numTrajs = s.engine.Store().NumTrajectories()
+	}
 	var inFlight int64
 	if s.sem != nil {
 		inFlight = s.sem.inFlight()
@@ -325,7 +384,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"vertices":     s.graph.NumVertices(),
 		"edges":        s.graph.NumEdges(),
-		"trajectories": st.NumTrajectories(),
+		"trajectories": numTrajs,
 		"serving": map[string]any{
 			"inFlight":             inFlight,
 			"maxInFlight":          s.cfg.MaxInFlight,
@@ -349,6 +408,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if v := s.vocab; v != nil {
 		resp["vocabulary"] = v.Size()
 	}
+	if s.live != nil {
+		resp["liveIngest"] = true
+		resp["generation"] = s.live.Store().Generation()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -360,7 +423,12 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := int32(id64)
-	st := s.engine.Store()
+	eng, _, rerr := s.resolve()
+	if rerr != nil {
+		writeResolveError(w, r, rerr)
+		return
+	}
+	st := eng.Store()
 	if id < 0 || int(id) >= st.NumTrajectories() {
 		writeError(w, r, http.StatusNotFound, codeNotFound, "trajectory not found")
 		return
@@ -383,7 +451,7 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":       id,
 		"samples":  samples,
-		"keywords": s.keywordNames(trajdb.TrajID(id)),
+		"keywords": s.keywordNames(st, trajdb.TrajID(id)),
 	})
 }
 
@@ -430,6 +498,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, status, codeBadRequest, err.Error())
 		return
 	}
+	eng, backend, rerr := s.resolve()
+	if rerr != nil {
+		writeResolveError(w, r, rerr)
+		return
+	}
 
 	ctx := r.Context()
 	var results []core.Result
@@ -438,24 +511,24 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case "", "expansion":
 		switch {
 		case req.OrderAware:
-			results, stats, err = s.backend.OrderAwareSearchCtx(ctx, q)
+			results, stats, err = backend.OrderAwareSearchCtx(ctx, q)
 		case req.Window != "":
 			var win core.TimeWindow
 			win, err = parseWindow(req.Window)
 			if err == nil {
-				results, stats, err = s.backend.SearchWindowedCtx(ctx, q, win)
+				results, stats, err = backend.SearchWindowedCtx(ctx, q, win)
 			}
 		case req.Theta != nil:
-			results, stats, err = s.backend.SearchThresholdCtx(ctx, q, *req.Theta)
+			results, stats, err = backend.SearchThresholdCtx(ctx, q, *req.Theta)
 		case req.DiversifyMu != nil:
-			results, stats, err = s.backend.DiversifiedSearchCtx(ctx, q, core.DiversifyOptions{Mu: *req.DiversifyMu})
+			results, stats, err = backend.DiversifiedSearchCtx(ctx, q, core.DiversifyOptions{Mu: *req.DiversifyMu})
 		default:
-			results, stats, err = s.backend.SearchCtx(ctx, q)
+			results, stats, err = backend.SearchCtx(ctx, q)
 		}
 	case "exhaustive":
-		results, stats, err = s.engine.ExhaustiveSearchCtx(ctx, q)
+		results, stats, err = eng.ExhaustiveSearchCtx(ctx, q)
 	case "textfirst":
-		results, stats, err = s.engine.TextFirstSearchCtx(ctx, q, core.TextFirstOptions{})
+		results, stats, err = eng.TextFirstSearchCtx(ctx, q, core.TextFirstOptions{})
 	default:
 		err = fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
@@ -469,8 +542,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Results: make([]ResultJSON, len(results)),
 		Stats:   statsJSON(stats),
 	}
+	st := eng.Store()
 	for i, res := range results {
-		resp.Results[i] = s.resultJSON(res)
+		resp.Results[i] = s.resultJSON(st, res)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -484,8 +558,11 @@ func statsJSON(stats core.SearchStats) StatsJSON {
 	}
 }
 
-func (s *Server) resultJSON(res core.Result) ResultJSON {
-	t := s.engine.Store().Traj(res.Traj)
+// resultJSON renders one result against st — the store of the engine
+// the request resolved, so live-mode responses stay consistent with the
+// snapshot that produced the scores.
+func (s *Server) resultJSON(st core.TrajStore, res core.Result) ResultJSON {
+	t := st.Traj(res.Traj)
 	return ResultJSON{
 		Trajectory: int32(res.Traj),
 		Score:      res.Score,
@@ -494,7 +571,7 @@ func (s *Server) resultJSON(res core.Result) ResultJSON {
 		DistsKm:    res.Dists,
 		Departs:    clock(t.Start()),
 		Samples:    t.Len(),
-		Keywords:   s.keywordNames(res.Traj),
+		Keywords:   s.keywordNames(st, res.Traj),
 	}
 }
 
@@ -584,12 +661,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	shared := req.Shared == nil || *req.Shared
 	if len(live) > 0 {
-		out, stats, err := s.backend.SearchBatch(r.Context(), live,
+		eng, backend, rerr := s.resolve()
+		if rerr != nil {
+			writeResolveError(w, r, rerr)
+			return
+		}
+		out, stats, err := backend.SearchBatch(r.Context(), live,
 			core.BatchOptions{Workers: req.Workers, SharedExpansion: shared})
 		if err != nil {
 			s.writeEngineError(w, r, err)
 			return
 		}
+		pinned := eng.Store()
 		s.metrics.recordBatch(stats, shared)
 		resp.SharedExpansion = shared
 		resp.DistinctSources = stats.DistinctSources
@@ -607,7 +690,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			entry.Stats = &st
 			entry.Results = make([]ResultJSON, len(o.Results))
 			for k, res := range o.Results {
-				entry.Results[k] = s.resultJSON(res)
+				entry.Results[k] = s.resultJSON(pinned, res)
 			}
 		}
 		resp.WallClockMs = float64(stats.WallClock.Microseconds()) / 1000
@@ -649,12 +732,12 @@ func (s *Server) buildQuery(req SearchRequest) (core.Query, int, error) {
 	return q, http.StatusOK, nil
 }
 
-func (s *Server) keywordNames(id trajdb.TrajID) []string {
+func (s *Server) keywordNames(st core.TrajStore, id trajdb.TrajID) []string {
 	if s.vocab == nil {
 		return nil
 	}
 	var names []string
-	for _, term := range s.engine.Store().Keywords(id) {
+	for _, term := range st.Keywords(id) {
 		if name, ok := s.vocab.Term(term); ok {
 			names = append(names, name)
 		}

@@ -51,6 +51,48 @@ func (ix *Index) Add(doc DocID, terms TermSet) {
 // Add enforces ascending DocID order.
 func (ix *Index) Freeze() { ix.frozen = true }
 
+// Extend returns a new frozen Index covering ix's documents plus docs
+// appended densely after them, without touching ix: readers holding the
+// old index keep a consistent view while the new one serves the grown
+// corpus — the incremental maintenance path of an add-only snapshot
+// extension. Posting lists of terms absent from docs are shared with ix;
+// touched lists are copied before the new DocIDs are appended, so
+// neither index can observe the other's writes. Extend panics when ix is
+// not frozen (an unfrozen index is still being loaded; extending it
+// indicates a programming error).
+func (ix *Index) Extend(docs []TermSet) *Index {
+	if !ix.frozen {
+		panic("textual: Extend of an unfrozen index")
+	}
+	next := &Index{
+		postings: make(map[TermID][]DocID, len(ix.postings)),
+		docTerms: make([]TermSet, len(ix.docTerms), len(ix.docTerms)+len(docs)),
+		frozen:   true,
+		numDocs:  ix.numDocs,
+	}
+	copy(next.docTerms, ix.docTerms)
+	for t, p := range ix.postings {
+		next.postings[t] = p
+	}
+	copied := make(map[TermID]bool)
+	for _, terms := range docs {
+		doc := DocID(next.numDocs)
+		next.numDocs++
+		next.docTerms = append(next.docTerms, terms)
+		for _, t := range terms {
+			if !copied[t] {
+				// First touch this extension: unshare the list from ix
+				// before appending (the shared backing array must stay
+				// exactly as ix's readers see it).
+				next.postings[t] = append(make([]DocID, 0, len(next.postings[t])+1), next.postings[t]...)
+				copied[t] = true
+			}
+			next.postings[t] = append(next.postings[t], doc)
+		}
+	}
+	return next
+}
+
 // NumDocs returns the number of documents added.
 func (ix *Index) NumDocs() int { return ix.numDocs }
 

@@ -12,6 +12,7 @@ package textual
 import (
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 )
 
@@ -19,9 +20,13 @@ import (
 type TermID int32
 
 // Vocab is a bidirectional mapping between keyword strings and TermIDs.
-// The zero value is an empty, ready-to-use vocabulary. Vocab is not safe
-// for concurrent mutation; freeze it (stop calling Intern) before sharing.
+// The zero value is an empty, ready-to-use vocabulary. Vocab is safe for
+// concurrent use: the live ingest path interns new corpus keywords while
+// query setup interns search terms, so interning takes a write lock and
+// lookups a read lock. Scoring itself runs on interned TermIDs and never
+// touches the vocabulary.
 type Vocab struct {
+	mu     sync.RWMutex
 	byTerm map[string]TermID
 	terms  []string
 }
@@ -32,7 +37,11 @@ func NewVocab() *Vocab {
 }
 
 // Size returns the number of distinct terms interned so far.
-func (v *Vocab) Size() int { return len(v.terms) }
+func (v *Vocab) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.terms)
+}
 
 // Intern normalizes the keyword and returns its TermID, assigning a fresh
 // ID on first sight. Keywords that normalize to the empty string return
@@ -41,6 +50,11 @@ func (v *Vocab) Intern(keyword string) (TermID, bool) {
 	norm := Normalize(keyword)
 	if norm == "" {
 		return -1, false
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.byTerm == nil {
+		v.byTerm = make(map[string]TermID)
 	}
 	if id, ok := v.byTerm[norm]; ok {
 		return id, true
@@ -53,12 +67,17 @@ func (v *Vocab) Intern(keyword string) (TermID, bool) {
 
 // Lookup returns the TermID of an already-interned keyword.
 func (v *Vocab) Lookup(keyword string) (TermID, bool) {
-	id, ok := v.byTerm[Normalize(keyword)]
+	norm := Normalize(keyword)
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.byTerm[norm]
 	return id, ok
 }
 
 // Term returns the normalized string for id; ok is false for unknown IDs.
 func (v *Vocab) Term(id TermID) (string, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	if id < 0 || int(id) >= len(v.terms) {
 		return "", false
 	}

@@ -340,3 +340,61 @@ func TestGenerateVocabPanics(t *testing.T) {
 	}()
 	GenerateVocab(0, 10, 1, 1)
 }
+
+func TestIndexExtend(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(0, NewTermSet([]TermID{1, 2}))
+	ix.Add(1, NewTermSet([]TermID{2, 3}))
+	ix.Freeze()
+
+	ext := ix.Extend([]TermSet{
+		NewTermSet([]TermID{2}),
+		NewTermSet([]TermID{4}),
+		nil,
+	})
+	if ext.NumDocs() != 5 {
+		t.Fatalf("extended NumDocs = %d, want 5", ext.NumDocs())
+	}
+	wantExt := map[TermID][]DocID{1: {0}, 2: {0, 1, 2}, 3: {1}, 4: {3}}
+	for term, want := range wantExt {
+		if got := ext.Postings(term); !reflect.DeepEqual(got, want) {
+			t.Errorf("extended postings[%d] = %v, want %v", term, got, want)
+		}
+	}
+	// The base index is untouched: same doc count, same postings, even
+	// for the term the extension appended to.
+	if ix.NumDocs() != 2 {
+		t.Fatalf("base NumDocs changed to %d", ix.NumDocs())
+	}
+	wantBase := map[TermID][]DocID{1: {0}, 2: {0, 1}, 3: {1}}
+	for term, want := range wantBase {
+		if got := ix.Postings(term); !reflect.DeepEqual(got, want) {
+			t.Errorf("base postings[%d] = %v, want %v (extension leaked)", term, got, want)
+		}
+	}
+	if got := ix.Postings(4); got != nil {
+		t.Errorf("base postings[4] = %v, want nil", got)
+	}
+	// Untouched lists are shared (the whole point of the COW scheme):
+	// term 3 appears in no new document, so the slices alias.
+	if len(ix.Postings(3)) > 0 && len(ext.Postings(3)) > 0 && &ix.Postings(3)[0] != &ext.Postings(3)[0] {
+		t.Error("untouched posting list was copied, not shared")
+	}
+	// Extending twice from the same base must not clobber the sibling.
+	sib := ix.Extend([]TermSet{NewTermSet([]TermID{2, 3})})
+	if got, want := sib.Postings(2), []DocID{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("sibling postings[2] = %v, want %v", got, want)
+	}
+	if got, want := ext.Postings(2), []DocID{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("first extension postings[2] = %v after sibling extension, want %v", got, want)
+	}
+}
+
+func TestIndexExtendUnfrozenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend of an unfrozen index should panic")
+		}
+	}()
+	NewIndex().Extend(nil)
+}

@@ -15,9 +15,13 @@ type ExternalID int64
 
 // DynamicStore is a mutable trajectory collection: trajectories can be
 // added and removed at any time, and queries run against immutable dense
-// snapshots (the engine requires dense IDs and frozen indexes). Snapshot
-// construction is O(live trajectories) and cached until the next
-// mutation, so mutation bursts pay one rebuild per query epoch.
+// snapshots (the engine requires dense IDs and frozen indexes). Snapshots
+// are maintained incrementally for add-only mutation epochs — the common
+// shape of a live ingest stream — by extending the previous snapshot's
+// indexes with just the new trajectories (Store.extendWith), and fall
+// back to the O(live) full rebuild after a removal. Either way a snapshot
+// is built lazily on the first read after a mutation burst and cached
+// until the next mutation.
 //
 // DynamicStore is safe for concurrent use.
 type DynamicStore struct {
@@ -33,6 +37,16 @@ type DynamicStore struct {
 	snap     *Store
 	snapIDs  []ExternalID // dense TrajID → external handle for snap
 	snapKeep map[ExternalID]TrajID
+
+	// Incremental-maintenance state: the most recently built snapshot
+	// stays around as the extension base, with the handles added since it
+	// was built. A removal clears both (full rebuild required).
+	base    *Store
+	baseIDs []ExternalID
+	pending []ExternalID // adds since base, in insertion order
+
+	rebuilds   uint64 // full snapshot rebuilds performed
+	extensions uint64 // incremental snapshot extensions performed
 }
 
 // NewDynamic returns an empty dynamic store over g. vocab may be nil when
@@ -44,6 +58,45 @@ func NewDynamic(g *roadnet.Graph, vocab *textual.Vocab) *DynamicStore {
 		live:  make(map[ExternalID]*Trajectory),
 	}
 }
+
+// NewDynamicFromStore seeds a dynamic store with the live set of an
+// immutable store — the boot path of a serving process that loads a
+// static corpus and then ingests on top of it. The trajectories are
+// trusted (they were validated when s was built or deserialized) and are
+// not copied; s must not be mutated afterwards, which Store's own
+// immutability already guarantees. Handles are assigned in dense-ID
+// order, so the first snapshot assigns every trajectory its original ID.
+func NewDynamicFromStore(s *Store) *DynamicStore {
+	d := NewDynamic(s.g, s.vocab)
+	ids := make([]ExternalID, len(s.trajs))
+	for i := range s.trajs {
+		t := &s.trajs[i]
+		id := d.nextID
+		d.nextID++
+		d.live[id] = &Trajectory{Samples: t.Samples, Keywords: t.Keywords}
+		d.order = append(d.order, id)
+		ids[i] = id
+	}
+	d.gen++ // the seed is a mutation: generation 0 stays "fresh empty store"
+	// s already is the dense snapshot of this live set (handles were
+	// assigned in dense-ID order), so adopt it instead of rebuilding:
+	// the first snapshot read costs nothing and later add-only epochs
+	// extend it incrementally.
+	d.snap, d.snapIDs = s, ids
+	d.base, d.baseIDs = s, ids
+	d.snapKeep = make(map[ExternalID]TrajID, len(ids))
+	for dense, ext := range ids {
+		d.snapKeep[ext] = TrajID(dense)
+	}
+	return d
+}
+
+// Graph returns the road network the store's trajectories live on.
+func (d *DynamicStore) Graph() *roadnet.Graph { return d.g }
+
+// Vocab returns the store's vocabulary (nil when keywords are
+// pre-interned by the caller).
+func (d *DynamicStore) Vocab() *textual.Vocab { return d.vocab }
 
 // Len returns the number of live trajectories.
 func (d *DynamicStore) Len() int {
@@ -68,7 +121,7 @@ func (d *DynamicStore) Add(samples []Sample, keywords textual.TermSet) (External
 		Keywords: keywords,
 	}
 	d.order = append(d.order, id)
-	d.invalidate()
+	d.noteAdd(id)
 	return id, nil
 }
 
@@ -101,13 +154,32 @@ func (d *DynamicStore) Get(id ExternalID) (*Trajectory, bool) {
 	return t, ok
 }
 
-// invalidate drops the cached snapshot and advances the generation;
-// callers hold d.mu.
+// noteAdd records an addition: the cached snapshot is dropped (the next
+// read rebuilds lazily, and DenseID must answer false until it does) but
+// kept as the extension base so that read can extend it with just the
+// pending tail instead of rebuilding from scratch. Callers hold d.mu.
+func (d *DynamicStore) noteAdd(id ExternalID) {
+	d.gen++
+	if d.snap != nil {
+		d.base, d.baseIDs = d.snap, d.snapIDs
+	}
+	d.snap, d.snapIDs, d.snapKeep = nil, nil, nil
+	if d.base != nil {
+		d.pending = append(d.pending, id)
+	}
+}
+
+// invalidate drops the cached snapshot, the extension base, and advances
+// the generation — the removal path, where dense IDs shift and only a
+// full rebuild restores them. Callers hold d.mu.
 func (d *DynamicStore) invalidate() {
 	d.gen++
 	d.snap = nil
 	d.snapIDs = nil
 	d.snapKeep = nil
+	d.base = nil
+	d.baseIDs = nil
+	d.pending = nil
 }
 
 // Generation returns a counter that advances on every mutation (Add or
@@ -140,32 +212,57 @@ func (d *DynamicStore) SnapshotGen() (*Store, []ExternalID, uint64) {
 	if d.snap != nil {
 		return d.snap, d.snapIDs, d.gen
 	}
-	b := NewBuilder(d.g, d.vocab)
-	ids := make([]ExternalID, 0, len(d.live))
-	compact := d.order[:0]
-	for _, id := range d.order {
-		t, ok := d.live[id]
-		if !ok {
-			continue // removed
+	if d.base != nil {
+		// Only additions since the base snapshot: extend it with the
+		// pending tail. Dense IDs are insertion-ordered in both paths, so
+		// the extension is byte-identical to the rebuild it replaces
+		// (property-tested in TestIncrementalSnapshotMatchesRebuild).
+		trajs := make([]*Trajectory, len(d.pending))
+		for i, id := range d.pending {
+			trajs[i] = d.live[id]
 		}
-		compact = append(compact, id)
-		if _, err := b.Add(t.Samples, t.Keywords); err != nil {
-			// Add validated these samples when they entered the store;
-			// failure here means internal corruption. Panic with the
-			// typed payload so engine entry points surface it as
-			// ErrStoreFault instead of crashing the process.
-			panic(&StoreError{Op: "snapshot", ID: TrajID(len(ids)), Err: err})
+		d.snap = d.base.extendWith(trajs)
+		d.snapIDs = append(append(make([]ExternalID, 0, len(d.baseIDs)+len(d.pending)), d.baseIDs...), d.pending...)
+		d.extensions++
+	} else {
+		b := NewBuilder(d.g, d.vocab)
+		ids := make([]ExternalID, 0, len(d.live))
+		compact := d.order[:0]
+		for _, id := range d.order {
+			t, ok := d.live[id]
+			if !ok {
+				continue // removed
+			}
+			compact = append(compact, id)
+			if _, err := b.Add(t.Samples, t.Keywords); err != nil {
+				// Add validated these samples when they entered the store;
+				// failure here means internal corruption. Panic with the
+				// typed payload so engine entry points surface it as
+				// ErrStoreFault instead of crashing the process.
+				panic(&StoreError{Op: "snapshot", ID: TrajID(len(ids)), Err: err})
+			}
+			ids = append(ids, id)
 		}
-		ids = append(ids, id)
+		d.order = compact
+		d.snap = b.Freeze()
+		d.snapIDs = ids
+		d.rebuilds++
 	}
-	d.order = compact
-	d.snap = b.Freeze()
-	d.snapIDs = ids
-	d.snapKeep = make(map[ExternalID]TrajID, len(ids))
-	for dense, ext := range ids {
+	d.base, d.baseIDs, d.pending = d.snap, d.snapIDs, nil
+	d.snapKeep = make(map[ExternalID]TrajID, len(d.snapIDs))
+	for dense, ext := range d.snapIDs {
 		d.snapKeep[ext] = TrajID(dense)
 	}
 	return d.snap, d.snapIDs, d.gen
+}
+
+// SnapshotStats reports how snapshots have been maintained so far: full
+// O(live) rebuilds vs incremental add-only extensions. Exposed for the
+// ingest stats surface and the equivalence tests.
+func (d *DynamicStore) SnapshotStats() (rebuilds, extensions uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rebuilds, d.extensions
 }
 
 // DenseID translates a handle into the dense TrajID of the most recent

@@ -89,28 +89,41 @@ func NewBuilder(g *roadnet.Graph, vocab *textual.Vocab) *Builder {
 // Count returns the number of trajectories added so far.
 func (b *Builder) Count() int { return len(b.trajs) }
 
+// ValidateSamples checks one trajectory's sample sequence against the
+// store invariants: at least one sample, every vertex on the graph,
+// timestamps non-decreasing within [0, SecondsPerDay). It is the exact
+// rule set Builder.Add and DynamicStore.Add enforce, exported so write
+// paths in front of the store (the ingest batcher) can reject bad input
+// before queueing it.
+func ValidateSamples(g *roadnet.Graph, samples []Sample) error {
+	if len(samples) == 0 {
+		return ErrNoSamples
+	}
+	n := roadnet.VertexID(g.NumVertices())
+	prev := -1.0
+	for i, s := range samples {
+		if s.V < 0 || s.V >= n {
+			return fmt.Errorf("%w: sample %d has vertex %d (graph has %d)", ErrVertexRange, i, s.V, n)
+		}
+		if s.T < 0 || s.T >= SecondsPerDay {
+			return fmt.Errorf("%w: sample %d has t=%g", ErrTimeRange, i, s.T)
+		}
+		if s.T < prev {
+			return fmt.Errorf("%w: sample %d has t=%g after %g", ErrTimeOrder, i, s.T, prev)
+		}
+		prev = s.T
+	}
+	return nil
+}
+
 // Add validates and appends a trajectory with an already-interned keyword
 // set, returning its assigned ID.
 func (b *Builder) Add(samples []Sample, keywords textual.TermSet) (TrajID, error) {
 	if b.frozen {
 		return -1, ErrFrozenBuilder
 	}
-	if len(samples) == 0 {
-		return -1, ErrNoSamples
-	}
-	n := roadnet.VertexID(b.g.NumVertices())
-	prev := -1.0
-	for i, s := range samples {
-		if s.V < 0 || s.V >= n {
-			return -1, fmt.Errorf("%w: sample %d has vertex %d (graph has %d)", ErrVertexRange, i, s.V, n)
-		}
-		if s.T < 0 || s.T >= SecondsPerDay {
-			return -1, fmt.Errorf("%w: sample %d has t=%g", ErrTimeRange, i, s.T)
-		}
-		if s.T < prev {
-			return -1, fmt.Errorf("%w: sample %d has t=%g after %g", ErrTimeOrder, i, s.T, prev)
-		}
-		prev = s.T
+	if err := ValidateSamples(b.g, samples); err != nil {
+		return -1, err
 	}
 	id := TrajID(len(b.trajs))
 	b.trajs = append(b.trajs, Trajectory{
@@ -144,23 +157,10 @@ func (b *Builder) Freeze() *Store {
 	}
 	for i := range s.trajs {
 		t := &s.trajs[i]
-		// Sorted unique vertex list per trajectory (membership tests).
-		vs := make([]int32, len(t.Samples))
-		for j, smp := range t.Samples {
-			vs[j] = int32(smp.V)
-		}
-		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
-		uniq := vs[:1]
-		for _, v := range vs[1:] {
-			if v != uniq[len(uniq)-1] {
-				uniq = append(uniq, v)
-			}
-		}
+		uniq, box := trajIndexEntry(b.g, t.Samples)
 		s.vertsOf[i] = uniq
-		box := geo.EmptyRect()
 		for _, v := range uniq {
 			s.vertexIx[v] = append(s.vertexIx[v], TrajID(i))
-			box = box.ExtendPoint(b.g.Point(roadnet.VertexID(v)))
 		}
 		s.bboxes = append(s.bboxes, box)
 		s.textIx.Add(textual.DocID(i), t.Keywords)
@@ -168,6 +168,29 @@ func (b *Builder) Freeze() *Store {
 	}
 	s.textIx.Freeze()
 	return s
+}
+
+// trajIndexEntry derives one trajectory's per-store index data: the
+// sorted unique vertex list (membership tests) and the planar bounding
+// box of its samples. Freeze and the incremental snapshot extension
+// must derive these identically, so the logic lives in one place.
+func trajIndexEntry(g *roadnet.Graph, samples []Sample) ([]int32, geo.Rect) {
+	vs := make([]int32, len(samples))
+	for j, smp := range samples {
+		vs[j] = int32(smp.V)
+	}
+	sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+	uniq := vs[:1]
+	for _, v := range vs[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	box := geo.EmptyRect()
+	for _, v := range uniq {
+		box = box.ExtendPoint(g.Point(roadnet.VertexID(v)))
+	}
+	return uniq, box
 }
 
 // Store is an immutable trajectory database over one road network.
