@@ -138,7 +138,7 @@ func benchExperimentID(exp string) string {
 		return ""
 	}
 	switch e.ID {
-	case "F10", "F11", "F12":
+	case "F10", "F11", "F12", "F13":
 		return e.ID
 	}
 	return ""

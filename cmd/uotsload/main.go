@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -78,6 +79,12 @@ var loadQuerySecondsBuckets = []float64{
 // registry snapshot. Filled progressively so an interrupted run still
 // records what it measured.
 type summary struct {
+	// Aborted is true until the run completes at least one request: a
+	// BENCH_LOAD.json from a probe failure or an immediately cancelled
+	// run carries zero-valued percentiles, and this flag is what tells a
+	// reader (or a CI diff) those zeros are "never measured", not "served
+	// in zero milliseconds".
+	Aborted       bool               `json:"aborted"`
 	Sent          uint64             `json:"sent"`
 	Completed     uint64             `json:"completed"`
 	Errors        uint64             `json:"errors"`
@@ -91,11 +98,18 @@ type summary struct {
 }
 
 type opStats struct {
-	Count  uint64  `json:"count"`
-	Errors uint64  `json:"errors"`
-	P50ms  float64 `json:"p50_ms"`
-	P95ms  float64 `json:"p95_ms"`
-	P99ms  float64 `json:"p99_ms"`
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	// Samples is the number of ok-outcome latencies backing the
+	// percentiles below. Failed requests are excluded from the
+	// distribution — a timeout's ceiling or a refused connection's
+	// instant error is not a service latency — so Samples equals
+	// Count−Errors, and 0 means the percentiles are unmeasured, not
+	// zero.
+	Samples uint64  `json:"ok_samples"`
+	P50ms   float64 `json:"p50_ms"`
+	P95ms   float64 `json:"p95_ms"`
+	P99ms   float64 `json:"p99_ms"`
 }
 
 // run is main minus process globals, so tests can drive every exit
@@ -141,7 +155,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 	queueGauge := reg.Gauge("uots_load_ingest_queue_depth",
 		"Server-side ingest queue depth at run end.")
 
-	sum := &summary{PerOp: map[string]opStats{}}
+	sum := &summary{PerOp: map[string]opStats{}, Aborted: true}
 	if *out != "" {
 		defer func() {
 			if err := writeLoadFile(*out, *seed, *qps, *duration, *mix, sum, reg); err != nil {
@@ -182,7 +196,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(shape.vertices-1))
 	gen := &payloadGen{rng: rng, zipf: zipf, vertices: shape.vertices, k: *k}
 
-	rec := &recorder{samples: map[string][]float64{}}
+	rec := newRecorder()
 	var wg sync.WaitGroup
 	interval := time.Duration(float64(time.Second) / *qps)
 	ticker := time.NewTicker(interval)
@@ -223,22 +237,24 @@ loop:
 	sum.ElapsedSec = elapsed.Seconds()
 	rec.mu.Lock()
 	for _, op := range opNames {
-		s := rec.samples[op]
-		if len(s) == 0 {
+		n := rec.attempts[op]
+		if n == 0 {
 			continue
 		}
+		s := rec.oks[op]
 		sort.Float64s(s)
-		sum.PerOp[op] = opStats{
-			Count:  uint64(len(s)),
-			Errors: rec.errors[op],
-			P50ms:  quantile(s, 0.50) * 1000,
-			P95ms:  quantile(s, 0.95) * 1000,
-			P99ms:  quantile(s, 0.99) * 1000,
+		st := opStats{Count: n, Errors: rec.errors[op], Samples: uint64(len(s))}
+		if len(s) > 0 {
+			st.P50ms = quantile(s, 0.50) * 1000
+			st.P95ms = quantile(s, 0.95) * 1000
+			st.P99ms = quantile(s, 0.99) * 1000
 		}
-		sum.Completed += uint64(len(s))
+		sum.PerOp[op] = st
+		sum.Completed += n
 		sum.Errors += rec.errors[op]
 	}
 	rec.mu.Unlock()
+	sum.Aborted = sum.Completed == 0
 	if sum.Completed > 0 {
 		sum.ErrorRate = float64(sum.Errors) / float64(sum.Completed)
 	}
@@ -282,31 +298,50 @@ loop:
 
 // recorder accumulates raw per-op latencies for exact percentiles; the
 // registry histograms carry the same data in fixed buckets for the
-// snapshot file.
+// snapshot file. Only ok outcomes contribute latency samples — errored
+// requests are counted, never mixed into the distribution.
 type recorder struct {
-	mu      sync.Mutex
-	samples map[string][]float64
-	errors  map[string]uint64
+	mu       sync.Mutex
+	oks      map[string][]float64 // ok-outcome latencies only
+	attempts map[string]uint64
+	errors   map[string]uint64
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		oks:      map[string][]float64{},
+		attempts: map[string]uint64{},
+		errors:   map[string]uint64{},
+	}
 }
 
 func (r *recorder) record(op string, seconds float64, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.samples[op] = append(r.samples[op], seconds)
-	if !ok {
-		if r.errors == nil {
-			r.errors = map[string]uint64{}
-		}
+	r.attempts[op]++
+	if ok {
+		r.oks[op] = append(r.oks[op], seconds)
+	} else {
 		r.errors[op]++
 	}
 }
 
-// quantile reads q from sorted s by nearest rank.
+// quantile reads q from ascending-sorted s by nearest rank:
+// ceil(q·n)−1, clamped. The previous floor-based index underreported
+// upper quantiles on small runs — with two samples it returned the
+// MINIMUM as the p99, so a load run cut short after a handful of
+// requests published a tail it never achieved.
 func quantile(s []float64, q float64) float64 {
 	if len(s) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(s)-1))
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
 	return s[i]
 }
 

@@ -156,6 +156,93 @@ func TestPayloadDeterminism(t *testing.T) {
 	}
 }
 
+// TestQuantileNearestRank: the percentile read is nearest-rank over
+// small synthetic sample sets — the regression here is the floor-based
+// index that reported the minimum of a two-sample run as its p99.
+func TestQuantileNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		s    []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.99, 0},
+		{"single", []float64{7}, 0.5, 7},
+		{"single-p99", []float64{7}, 0.99, 7},
+		{"two-p99-is-max", []float64{1, 9}, 0.99, 9},
+		{"two-p50-is-min", []float64{1, 9}, 0.50, 1},
+		{"three-p50-is-median", []float64{1, 5, 9}, 0.50, 5},
+		{"four-p95-is-max", []float64{1, 2, 3, 10}, 0.95, 10},
+		{"five-p50", []float64{1, 2, 3, 4, 5}, 0.50, 3},
+		{"ten-p90", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.90, 9},
+		{"ten-p99-is-max", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.99, 10},
+		{"q-one-is-max", []float64{1, 2, 3}, 1.0, 3},
+	}
+	for _, tc := range cases {
+		if got := quantile(tc.s, tc.q); got != tc.want {
+			t.Errorf("%s: quantile(%v, %g) = %g, want %g", tc.name, tc.s, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestRecorderExcludesErrorsFromPercentiles: failed requests count as
+// attempts and errors but contribute no latency sample, so a run whose
+// errors all fail instantly cannot drag the published tail toward zero.
+func TestRecorderExcludesErrorsFromPercentiles(t *testing.T) {
+	rec := newRecorder()
+	rec.record("search", 0.010, true)
+	rec.record("search", 0.020, true)
+	rec.record("search", 0.0001, false) // instant connection refusal
+	rec.record("search", 5.0, false)    // timeout ceiling
+	if got := rec.attempts["search"]; got != 4 {
+		t.Errorf("attempts = %d, want 4", got)
+	}
+	if got := rec.errors["search"]; got != 2 {
+		t.Errorf("errors = %d, want 2", got)
+	}
+	if got := len(rec.oks["search"]); got != 2 {
+		t.Fatalf("ok samples = %d, want 2", got)
+	}
+	for _, d := range rec.oks["search"] {
+		if d == 0.0001 || d == 5.0 {
+			t.Errorf("error latency %g leaked into the percentile samples", d)
+		}
+	}
+}
+
+// TestRunAbortedSummary: a probe failure writes BENCH_LOAD.json whose
+// summary is explicitly aborted with no fabricated per-op percentiles.
+func TestRunAbortedSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_LOAD.json")
+	var stdout, stderr bytes.Buffer
+	code := run(t.Context(), []string{
+		"-target", "http://127.0.0.1:1", "-qps", "10", "-duration", "100ms",
+		"-timeout", "200ms", "-out", path,
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unreachable target should exit non-zero")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var wrapper struct {
+		Summary summary `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &wrapper); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, raw)
+	}
+	if !wrapper.Summary.Aborted {
+		t.Errorf("aborted run not flagged: %+v", wrapper.Summary)
+	}
+	if len(wrapper.Summary.PerOp) != 0 {
+		t.Errorf("aborted run fabricated per-op stats: %+v", wrapper.Summary.PerOp)
+	}
+	if wrapper.Summary.AchievedQPS != 0 {
+		t.Errorf("aborted run reports achieved QPS %g", wrapper.Summary.AchievedQPS)
+	}
+}
+
 func TestParseMix(t *testing.T) {
 	w, err := parseMix("search=1, ingest=3")
 	if err != nil {

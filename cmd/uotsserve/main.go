@@ -97,8 +97,10 @@ import (
 	"uots"
 	"uots/internal/core"
 	"uots/internal/diskstore"
+	"uots/internal/index"
 	"uots/internal/ingest"
 	"uots/internal/obs"
+	"uots/internal/roadnet"
 	"uots/internal/rpc"
 	"uots/internal/server"
 	"uots/internal/shard"
@@ -131,6 +133,7 @@ func main() {
 	ingestMode := flag.Bool("ingest", false, "enable the live write path (POST /trajectories) backed by a write-ahead log")
 	walDir := flag.String("wal-dir", "", "directory holding the ingest WAL (required with -ingest; replayed on boot)")
 	fsyncPolicy := flag.String("fsync", "always", "ingest WAL durability point: always, interval, or none")
+	landmarksK := flag.Int("landmarks", 0, "build this many ALT landmarks plus a per-trajectory pruning index for every search engine (0 disables)")
 	flag.Parse()
 
 	if *ingestMode {
@@ -177,11 +180,39 @@ func main() {
 		memStore = db
 	}
 
+	// -landmarks K builds the pruning index once over the boot store and
+	// threads it into every engine (monolithic, per-shard rebuilds, and
+	// the ingest snapshot path, which keeps it extended incrementally).
+	engineOpts := core.Options{}
+	var indexBuildSecs float64
+	if *landmarksK > 0 {
+		start := time.Now()
+		lm := roadnet.NewLandmarks(g, *landmarksK, 0)
+		engineOpts.Index = index.NewTrajBounds(store, lm)
+		indexBuildSecs = time.Since(start).Seconds()
+		log.Printf("uotsserve: pruning index ready (%d landmarks, %d trajectories, %.2fs)",
+			lm.Count(), engineOpts.Index.NumTrajectories(), indexBuildSecs)
+	}
+	// indexObs registers the uots_index_* instruments on the serving
+	// registry and backfills the boot-time events (index build, sidecar
+	// warm start vs rebuild scan).
+	indexObs := func(reg *obs.Registry) *obs.IndexMetrics {
+		m := obs.NewIndexMetrics(reg)
+		if ds, ok := store.(*diskstore.Store); ok {
+			m.RecordOpen(ds.WarmStart())
+		}
+		if engineOpts.Index != nil {
+			m.RecordBuild(engineOpts.Index.Landmarks().Count(),
+				engineOpts.Index.NumTrajectories(), indexBuildSecs)
+		}
+		return m
+	}
+
 	// In live-ingest mode engines are resolved per request from the
 	// service's MVCC snapshot cache; the fixed boot engine stays nil.
 	var engine *core.Engine
 	if !*ingestMode {
-		engine, err = core.NewEngine(store, core.Options{})
+		engine, err = core.NewEngine(store, engineOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -211,6 +242,7 @@ func main() {
 			fatal(fmt.Errorf("unknown -rpc-partial %q (want fail or degrade)", *rpcPartial))
 		}
 		reg := obs.NewRegistry()
+		indexObs(reg)
 		m := rpc.NewMetrics(reg)
 		gcfg := rpc.GroupConfig{
 			CallTimeout:   *rpcTimeout,
@@ -259,7 +291,8 @@ func main() {
 		// One registry feeds both the HTTP instruments and the per-shard
 		// uots_shard_* counters, so /metrics shows the whole picture.
 		reg := obs.NewRegistry()
-		sharded, err := shard.NewEngine(store, core.Options{}, shard.Config{
+		indexObs(reg)
+		sharded, err := shard.NewEngine(store, engineOpts, shard.Config{
 			Shards:      *shards,
 			Partitioner: part,
 			CacheSize:   *cacheSize,
@@ -287,9 +320,11 @@ func main() {
 		reg := obs.NewRegistry()
 		dyn := trajdb.NewDynamicFromStore(memStore)
 		svc, err := ingest.Open(dyn, ingest.Config{
-			WALPath: walPath,
-			Fsync:   pol,
-			Metrics: obs.NewIngestMetrics(reg),
+			WALPath:      walPath,
+			Fsync:        pol,
+			Engine:       engineOpts,
+			Metrics:      obs.NewIngestMetrics(reg),
+			IndexMetrics: indexObs(reg),
 		})
 		if err != nil {
 			fatal(err)
@@ -300,6 +335,13 @@ func main() {
 		rec := svc.Recovery()
 		log.Printf("uotsserve: live ingest (wal=%s fsync=%s): replayed %d records / %d trajectories (%d truncated tail bytes), %d live",
 			walPath, pol, rec.Records, rec.Trajs, rec.TruncatedBytes, dyn.Len())
+	}
+	if cfg.Metrics == nil {
+		// Monolithic path: give the server its registry up front so the
+		// uots_index_* boot events appear on /metrics here too.
+		reg := obs.NewRegistry()
+		indexObs(reg)
+		cfg.Metrics = reg
 	}
 	srv := server.NewWithConfig(engine, vocab, nil, cfg)
 	log.Printf("uotsserve: %d vertices, %d trajectories, listening on %s (timeout=%s max-inflight=%d)",

@@ -10,10 +10,31 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 )
+
+// syncBuffer is a mutex-guarded bytes.Buffer for capturing a live
+// subprocess's output: exec.Cmd copies the pipe from its own goroutine,
+// so reading a plain buffer while the process still runs is a data race.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // TestLiveIngestCrashRecovery drives the write path the way an operator
 // would experience a crash: boot uotsserve in live-ingest mode over a
@@ -50,7 +71,7 @@ func TestLiveIngestCrashRecovery(t *testing.T) {
 		"-ingest", "-wal-dir", walDir, "-fsync", "always"}
 
 	srv := exec.Command(bin("uotsserve"), serveArgs...)
-	var bootLog bytes.Buffer
+	var bootLog syncBuffer
 	srv.Stderr = &bootLog
 	if err := srv.Start(); err != nil {
 		t.Fatalf("uotsserve start: %v", err)
@@ -96,7 +117,7 @@ func TestLiveIngestCrashRecovery(t *testing.T) {
 
 	// Restart on the same WAL directory.
 	srv2 := exec.Command(bin("uotsserve"), serveArgs...)
-	var recoverLog bytes.Buffer
+	var recoverLog syncBuffer
 	srv2.Stderr = &recoverLog
 	if err := srv2.Start(); err != nil {
 		t.Fatalf("uotsserve restart: %v", err)

@@ -14,13 +14,16 @@ const name = "cachealias"
 
 // scopePkgs are the package directory names holding caches and memo
 // tables whose entries outlive the request that created them: the shard
-// result cache, the batch planner's memoized scans, the RPC layer, and
-// the serving layer.
+// result cache, the batch planner's memoized scans, the RPC layer, the
+// serving layer, the disk store's record buffer, and the ingest
+// service's per-generation engine/index cache.
 var scopePkgs = map[string]bool{
-	"core":   true,
-	"shard":  true,
-	"rpc":    true,
-	"server": true,
+	"core":      true,
+	"shard":     true,
+	"rpc":       true,
+	"server":    true,
+	"diskstore": true,
+	"ingest":    true,
 }
 
 // getterNames are the method names treated as cache reads: what they

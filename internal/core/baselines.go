@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
+	"uots/internal/index"
 	"uots/internal/pqueue"
 	"uots/internal/roadnet"
 	"uots/internal/trajdb"
@@ -145,6 +147,11 @@ type TextFirstOptions struct {
 	// Landmarks, when non-nil, provides network-distance lower bounds used
 	// to skip exact spatial evaluations that provably cannot qualify.
 	Landmarks *roadnet.Landmarks
+	// Index, when non-nil, supersedes Landmarks with the precomputed
+	// per-trajectory interval bounds: O(K) per (location, candidate) and
+	// no store access, versus the O(K·|τ|) vertex-set scan (a record
+	// fault per candidate on a disk store) the raw ALT tables need.
+	Index *index.TrajBounds
 }
 
 // TextFirstSearch answers a top-k UOTS query with the one-domain-first
@@ -172,6 +179,10 @@ func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirst
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
+	if opts.Index != nil && opts.Index.NumTrajectories() != e.db.NumTrajectories() {
+		return nil, SearchStats{}, fmt.Errorf("%w: index covers %d trajectories, store has %d",
+			ErrIndexMismatch, opts.Index.NumTrajectories(), e.db.NumTrajectories())
+	}
 	cancel := newCanceller(ctx)
 	topk := pqueue.NewTopK[Result](q.K)
 	sssp := roadnet.NewSSSP(e.g)
@@ -181,14 +192,21 @@ func (e *Engine) TextFirstSearchCtx(ctx context.Context, q Query, opts TextFirst
 		stats.VisitedTrajectories++
 		// Landmark pruning: a lower bound on every query-location distance
 		// upper-bounds the spatial similarity.
-		if bar, ok := topk.Threshold(); ok && opts.Landmarks != nil {
+		if bar, ok := topk.Threshold(); ok && (opts.Index != nil || opts.Landmarks != nil) {
 			ubSpatial := 0.0
-			for _, o := range q.Locations {
-				lb := opts.Landmarks.LowerBoundToSet(o, e.db.UniqueVertices(tid))
-				ubSpatial += e.kernel(lb)
+			if opts.Index != nil {
+				for _, o := range q.Locations {
+					ubSpatial += e.kernel(opts.Index.LowerBound(o, tid))
+				}
+			} else {
+				for _, o := range q.Locations {
+					lb := opts.Landmarks.LowerBoundToSet(o, e.db.UniqueVertices(tid))
+					ubSpatial += e.kernel(lb)
+				}
 			}
 			ubSpatial /= float64(len(q.Locations))
 			if combine(q.Lambda, ubSpatial, text) < bar {
+				stats.LandmarkPrunes++
 				return
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"uots/internal/roadnet"
@@ -32,6 +33,12 @@ func NewEngine(db TrajStore, opts Options) (*Engine, error) {
 	opts, err := opts.normalize()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Index != nil && opts.Index.NumTrajectories() != db.NumTrajectories() {
+		// A stale or foreign index would bound the wrong trajectories —
+		// silently wrong prunes — so a size mismatch is a hard error.
+		return nil, fmt.Errorf("%w: index covers %d trajectories, store has %d",
+			ErrIndexMismatch, opts.Index.NumTrajectories(), db.NumTrajectories())
 	}
 	return &Engine{g: db.Graph(), db: db, opts: opts}, nil
 }

@@ -346,6 +346,22 @@ func (st *expansionState) candFor(tid trajdb.TrajID) *cand {
 	st.active = append(st.active, tid)
 	st.stats.VisitedTrajectories++
 	st.emit(TraceAdmit, -1, int64(tid), c.text, 0, "")
+	// Admission-time landmark prune: with the per-trajectory interval
+	// index the spatial upper bound costs O(K) per location and no store
+	// access, so it is cheap enough to test every admission against the
+	// bar. A strict < prune against the monotonically non-decreasing bar
+	// keeps results byte-identical to the unpruned engine: the pruned
+	// trajectory's exact score can never reach the final k-th score, and
+	// ties at the bar always survive.
+	if !c.complete && st.e.opts.Index != nil {
+		if bar, ok := st.bar(); ok {
+			if ub := combine(st.q.Lambda, st.landmarkSpatialUB(tid), c.text); ub < bar {
+				c.complete = true
+				st.stats.LandmarkPrunes++
+				st.emit(TracePrune, -1, int64(tid), ub, bar, NoteLandmark)
+			}
+		}
+	}
 	return c
 }
 
@@ -468,12 +484,18 @@ func (st *expansionState) rescan() bool {
 				break
 			}
 			_, tid, _ := st.textHeap.Pop()
-			if lm := st.e.opts.Landmarks; lm != nil {
+			if st.hasLandmarkBounds() {
 				if ubS := st.landmarkSpatialUB(tid); combine(lambda, ubS, textTop) < bar {
 					// Provably outside the result: discard with no
-					// Dijkstra work at all.
-					st.candFor(tid).complete = true
-					st.emit(TracePrune, -1, int64(tid), combine(lambda, ubS, textTop), bar, "landmark")
+					// Dijkstra work at all. candFor's admission prune may
+					// have reached the same verdict already (it runs the
+					// identical bound when Options.Index is set), so only
+					// count and emit when this check did the work.
+					if c := st.candFor(tid); !c.complete {
+						c.complete = true
+						st.stats.LandmarkPrunes++
+						st.emit(TracePrune, -1, int64(tid), combine(lambda, ubS, textTop), bar, NoteLandmark)
+					}
 					continue
 				}
 			}
@@ -560,14 +582,30 @@ func (st *expansionState) rescan() bool {
 	return false
 }
 
+// hasLandmarkBounds reports whether some form of landmark lower bound
+// is configured (the per-trajectory interval index or raw ALT tables).
+func (st *expansionState) hasLandmarkBounds() bool {
+	return st.e.opts.Index != nil || st.e.opts.Landmarks != nil
+}
+
 // landmarkSpatialUB upper-bounds a trajectory's spatial similarity from
-// ALT landmark lower bounds on its distance to every query location.
+// landmark lower bounds on its distance to every query location. With
+// Options.Index present the bound is an O(K) interval lookup per
+// location and touches no store state; the Landmarks fallback scans the
+// trajectory's vertex set (O(K·|τ|), faulting the record on a disk
+// store) for a tighter but costlier bound.
 func (st *expansionState) landmarkSpatialUB(tid trajdb.TrajID) float64 {
-	lm := st.e.opts.Landmarks
-	verts := st.e.db.UniqueVertices(tid)
 	var sum float64
-	for _, o := range st.q.Locations {
-		sum += st.e.kernel(lm.LowerBoundToSet(o, verts))
+	if ix := st.e.opts.Index; ix != nil {
+		for _, o := range st.q.Locations {
+			sum += st.e.kernel(ix.LowerBound(o, tid))
+		}
+	} else {
+		lm := st.e.opts.Landmarks
+		verts := st.e.db.UniqueVertices(tid)
+		for _, o := range st.q.Locations {
+			sum += st.e.kernel(lm.LowerBoundToSet(o, verts))
+		}
 	}
 	return sum / float64(len(st.q.Locations))
 }

@@ -27,6 +27,7 @@ import (
 	"math"
 	"time"
 
+	"uots/internal/index"
 	"uots/internal/roadnet"
 	"uots/internal/textual"
 	"uots/internal/trajdb"
@@ -67,6 +68,7 @@ var (
 	ErrBadDistScale      = errors.New("core: DistScale must be positive")
 	ErrBadRelabelEvery   = errors.New("core: RelabelEvery must be positive")
 	ErrUnknownScheduling = errors.New("core: unknown scheduling strategy")
+	ErrIndexMismatch     = errors.New("core: Options.Index does not cover the engine's store")
 	ErrUnknownTextSim    = errors.New("core: unknown text similarity")
 	ErrTrajRange         = errors.New("core: trajectory id outside store")
 )
@@ -193,6 +195,13 @@ type Options struct {
 	// upper-bounds the spatial similarity. Optional; a systems-level
 	// optimization flagged as an extension in DESIGN.md.
 	Landmarks *roadnet.Landmarks
+	// Index, when non-nil, provides precomputed per-trajectory landmark
+	// interval bounds (index.NewTrajBounds) and supersedes Landmarks for
+	// spatial upper-bounding: bounds cost O(K) per (location, trajectory)
+	// with no store access, which additionally enables the admission-time
+	// prune in the expansion scan loop. The index must cover exactly the
+	// engine's store (same dense IDs); NewEngine rejects a size mismatch.
+	Index *index.TrajBounds
 }
 
 func (o Options) normalize() (Options, error) {
@@ -254,6 +263,11 @@ type SearchStats struct {
 	// the work the shard executor's bound exchange saves. Always 0 outside
 	// sharded execution.
 	SharedBoundPrunes int
+	// LandmarkPrunes counts trajectories discarded purely from landmark
+	// lower bounds (Options.Landmarks or Options.Index): their spatial
+	// upper bound fell below the bar before any exact distance was
+	// computed, so no Dijkstra or record access was spent on them.
+	LandmarkPrunes int
 	// EarlyTerminated reports whether the upper bound dropped below the
 	// pruning threshold before the search space was exhausted.
 	EarlyTerminated bool
@@ -272,5 +286,6 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.TextScored += other.TextScored
 	s.Probes += other.Probes
 	s.SharedBoundPrunes += other.SharedBoundPrunes
+	s.LandmarkPrunes += other.LandmarkPrunes
 	s.Elapsed += other.Elapsed
 }

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"uots/internal/geo"
+	"uots/internal/index"
 	"uots/internal/roadnet"
 	"uots/internal/textual"
 	"uots/internal/trajdb"
@@ -36,9 +37,13 @@ const storeMagic = "UOTSDSK1"
 // non-positive budget (64 MiB, mirroring the evaluation's buffer setup).
 const DefaultCacheBytes = 64 << 20
 
-// Create converts an in-memory store into a disk-store file at path.
-// The file carries the vocabulary, per-record offsets, and one record per
-// trajectory; indexes are rebuilt at Open.
+// Create converts an in-memory store into a disk-store file at path plus
+// a persistent-index sidecar at path+".idx". The record file carries the
+// vocabulary, per-record offsets, and one record per trajectory; the
+// sidecar carries the memory-resident index structures so Open can skip
+// the sequential rebuild scan (warm start). The sidecar is an
+// optimization, never a requirement: Open falls back to the scan when it
+// is missing or does not match the record file.
 func Create(path string, src *trajdb.Store) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -48,7 +53,43 @@ func Create(path string, src *trajdb.Store) error {
 		f.Close()
 		return fmt.Errorf("diskstore: writing %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := index.WriteSidecar(index.SidecarPath(path), sidecarFrom(src)); err != nil {
+		return fmt.Errorf("diskstore: writing index sidecar for %s: %w", path, err)
+	}
+	return nil
+}
+
+// sidecarFrom assembles the persistent-index payload of src. All slices
+// are referenced, not copied — WriteSidecar only reads them.
+func sidecarFrom(src *trajdb.Store) *index.Sidecar {
+	n := src.NumTrajectories()
+	g := src.Graph()
+	vocabSize := 0
+	if src.Vocab() != nil {
+		vocabSize = src.Vocab().Size()
+	}
+	sc := &index.Sidecar{
+		NumVertices: g.NumVertices(),
+		VocabSize:   vocabSize,
+		Starts:      make([]float64, n),
+		BBoxes:      make([]geo.Rect, n),
+		VertexIx:    make([][]trajdb.TrajID, g.NumVertices()),
+		DocTerms:    make([]textual.TermSet, n),
+	}
+	for id := 0; id < n; id++ {
+		t := src.Traj(trajdb.TrajID(id))
+		sc.Starts[id] = t.Samples[0].T
+		sc.BBoxes[id] = src.BBox(trajdb.TrajID(id))
+		sc.DocTerms[id] = t.Keywords
+		sc.RecordBytes += uint64(recordSize(t))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		sc.VertexIx[v] = src.TrajsAtVertex(roadnet.VertexID(v))
+	}
+	return sc
 }
 
 func write(f *os.File, src *trajdb.Store) error {
@@ -138,8 +179,11 @@ type Store struct {
 	// Index-resident structures (built once at Open).
 	vertexIx [][]trajdb.TrajID
 	textIx   *textual.Index
+	docTerms []textual.TermSet // by TrajID; the I/O-free Keywords path
 	bboxes   []geo.Rect
 	starts   []float64 // departure time per trajectory (time-window filter)
+
+	warm bool // indexes came from the sidecar; no rebuild scan ran
 
 	mu    sync.Mutex
 	cache map[trajdb.TrajID]*list.Element
@@ -165,15 +209,17 @@ type CacheStats struct {
 	BytesRead int64
 }
 
-// Open maps a disk-store file over g, builds the memory-resident indexes
-// (one sequential scan), and installs an LRU record buffer with the given
-// byte budget (≤0 selects DefaultCacheBytes).
+// Open maps a disk-store file over g, loads the memory-resident indexes
+// — from the persistent sidecar at path+".idx" when it matches the
+// record file (warm start, no record scan), otherwise by one sequential
+// rebuild scan — and installs an LRU record buffer with the given byte
+// budget (≤0 selects DefaultCacheBytes).
 func Open(path string, g *roadnet.Graph, cacheBytes int) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s, err := open(f, g, cacheBytes)
+	s, err := open(f, g, cacheBytes, index.SidecarPath(path))
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("diskstore: opening %s: %w", path, err)
@@ -181,7 +227,7 @@ func Open(path string, g *roadnet.Graph, cacheBytes int) (*Store, error) {
 	return s, nil
 }
 
-func open(f *os.File, g *roadnet.Graph, cacheBytes int) (*Store, error) {
+func open(f *os.File, g *roadnet.Graph, cacheBytes int, sidecarPath string) (*Store, error) {
 	if cacheBytes <= 0 {
 		cacheBytes = DefaultCacheBytes
 	}
@@ -233,6 +279,7 @@ func open(f *os.File, g *roadnet.Graph, cacheBytes int) (*Store, error) {
 		sizes:    make([]uint32, n),
 		vertexIx: make([][]trajdb.TrajID, g.NumVertices()),
 		textIx:   textual.NewIndex(),
+		docTerms: make([]textual.TermSet, n),
 		bboxes:   make([]geo.Rect, n),
 		starts:   make([]float64, n),
 		cache:    make(map[trajdb.TrajID]*list.Element),
@@ -248,9 +295,28 @@ func open(f *os.File, g *roadnet.Graph, cacheBytes int) (*Store, error) {
 		bytesSoFar += 4
 	}
 	off := bytesSoFar
+	var recordBytes uint64
 	for i := 0; i < n; i++ {
 		s.offsets[i] = off
 		off += int64(s.sizes[i])
+		recordBytes += uint64(s.sizes[i])
+	}
+	// Warm start: adopt the sidecar's indexes when its fingerprint
+	// matches this record file, skipping the rebuild scan entirely. A
+	// missing, stale, or malformed sidecar silently falls through to the
+	// scan — the sidecar can cost time, never correctness.
+	if sidecarPath != "" {
+		if sc, err := index.ReadSidecar(sidecarPath); err == nil &&
+			sc.Matches(n, g.NumVertices(), int(vocabSize), recordBytes) &&
+			sc.SortedVertexCheck() == nil {
+			s.vertexIx = sc.VertexIx
+			s.bboxes = sc.BBoxes
+			s.starts = sc.Starts
+			s.docTerms = sc.DocTerms
+			s.textIx = sc.RebuildTextIndex()
+			s.warm = true
+			return s, nil
+		}
 	}
 	// One sequential scan to build the memory-resident indexes.
 	for i := 0; i < n; i++ {
@@ -265,11 +331,16 @@ func open(f *os.File, g *roadnet.Graph, cacheBytes int) (*Store, error) {
 		}
 		s.bboxes[i] = box
 		s.starts[i] = t.Samples[0].T
+		s.docTerms[i] = t.Keywords
 		s.textIx.Add(textual.DocID(i), t.Keywords)
 	}
 	s.textIx.Freeze()
 	return s, nil
 }
+
+// WarmStart reports whether Open adopted the persistent sidecar indexes
+// instead of rebuilding them with a record scan.
+func (s *Store) WarmStart() bool { return s.warm }
 
 // Close releases the underlying file. The store must not be used after.
 func (s *Store) Close() error { return s.f.Close() }
@@ -305,10 +376,14 @@ func (s *Store) BBox(id trajdb.TrajID) geo.Rect { return s.bboxes[id] }
 // StartTime returns trajectory id's departure time without touching disk.
 func (s *Store) StartTime(id trajdb.TrajID) float64 { return s.starts[id] }
 
-// Keywords implements core.TrajStore. The keyword sets also live in the
-// memory-resident text index, so this is I/O free.
+// Keywords implements core.TrajStore: the term sets are memory-resident,
+// so this is I/O free. The store keeps its own per-trajectory slice
+// rather than going through textual.Index.DocTerms — that accessor
+// returns a defensive copy, and this sits in the engines' per-candidate
+// scoring loop. The result follows the TrajStore contract: treat it as
+// immutable.
 func (s *Store) Keywords(id trajdb.TrajID) textual.TermSet {
-	return s.textIx.DocTerms(textual.DocID(id))
+	return s.docTerms[id]
 }
 
 // Traj implements core.TrajStore, faulting the record through the buffer.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 
+	"uots/internal/index"
 	"uots/internal/roadnet"
 	"uots/internal/textual"
 	"uots/internal/trajdb"
@@ -27,6 +28,9 @@ type Dataset struct {
 
 	ixOnce sync.Once
 	ix     *roadnet.VertexIndex
+
+	tbOnce sync.Once
+	tb     *index.TrajBounds
 }
 
 // Landmarks returns (building lazily, once) the ALT landmark set the
@@ -36,6 +40,17 @@ func (d *Dataset) Landmarks() *roadnet.Landmarks {
 		d.lm = roadnet.NewLandmarks(d.Graph, 16, 0)
 	})
 	return d.lm
+}
+
+// Bounds returns (building lazily, once) the per-trajectory landmark
+// interval index over the dataset's corpus, sharing the Landmarks
+// distance tables. Experiments opt into it explicitly (F13); Measure
+// never attaches it, so the committed F1–F12 baselines are unaffected.
+func (d *Dataset) Bounds() *index.TrajBounds {
+	d.tbOnce.Do(func() {
+		d.tb = index.NewTrajBounds(d.Store, d.Landmarks())
+	})
+	return d.tb
 }
 
 // VertexIndex returns (building lazily, once) the nearest-vertex grid

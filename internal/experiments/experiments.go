@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"F10", "sharding", "sharded scatter-gather vs monolithic (shard count N)", Sharding},
 		{"F11", "batchshare", "shared-expansion batch planner vs independent execution (source-overlap rate)", BatchShare},
 		{"F12", "hedging", "hedged requests vs tail latency (distributed path, injected slow replica)", Hedging},
+		{"F13", "indexing", "landmark/TrajBounds pruning index vs unassisted scan (per-query latency, byte-identical results)", Indexing},
 	}
 }
 

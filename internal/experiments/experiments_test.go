@@ -214,7 +214,7 @@ func TestFormatHelpers(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
+	if len(all) != 16 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,156 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// testWorld builds a small city and trajectory corpus for the bound
+// properties.
+func testWorld(t *testing.T, trajs int) (*roadnet.Graph, *trajdb.Store) {
+	t.Helper()
+	g := testGraph(t)
+	vocab := textual.GenerateVocab(4, 20, 1.0, 3)
+	store, err := trajdb.Generate(g, trajdb.GenOptions{
+		Count: trajs, MeanSamples: 12, Vocab: vocab, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, store
+}
+
+// TestLowerBoundNeverExceedsTrueDistance is the soundness property the
+// whole pruning subsystem rests on: for every query vertex u and
+// trajectory τ, LowerBound(u, τ) ≤ min over x ∈ τ of the true network
+// distance d(u, x). Checked against a Dijkstra oracle across landmark
+// counts K ∈ {4, 8, 16}.
+func TestLowerBoundNeverExceedsTrueDistance(t *testing.T) {
+	g, store := testWorld(t, 40)
+	sssp := roadnet.NewSSSP(g)
+	for _, k := range []int{4, 8, 16} {
+		lm := roadnet.NewLandmarks(g, k, 0)
+		b := NewTrajBounds(store, lm)
+		if b.NumTrajectories() != store.NumTrajectories() {
+			t.Fatalf("K=%d: coverage %d, want %d", k, b.NumTrajectories(), store.NumTrajectories())
+		}
+		for u := 0; u < g.NumVertices(); u += 7 {
+			sssp.Run(roadnet.VertexID(u))
+			for id := 0; id < store.NumTrajectories(); id++ {
+				oracle := math.Inf(1)
+				for _, v := range store.UniqueVertices(trajdb.TrajID(id)) {
+					if d := sssp.Dist(v); d != roadnet.Unreachable && d < oracle {
+						oracle = d
+					}
+				}
+				lb := b.LowerBound(roadnet.VertexID(u), trajdb.TrajID(id))
+				if lb < 0 {
+					t.Fatalf("K=%d: LowerBound(%d, %d) = %g < 0", k, u, id, lb)
+				}
+				if lb > oracle+1e-9 {
+					t.Fatalf("K=%d: LowerBound(%d, %d) = %g exceeds true distance %g",
+						k, u, id, lb, oracle)
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundNeverTighterThanPerVertexALT: the interval bound is by
+// construction never tighter than the O(K·|τ|) per-vertex ALT bound it
+// replaces — if it ever were, the two prune paths could disagree.
+func TestLowerBoundNeverTighterThanPerVertexALT(t *testing.T) {
+	g, store := testWorld(t, 30)
+	lm := roadnet.NewLandmarks(g, 8, 0)
+	b := NewTrajBounds(store, lm)
+	for u := 0; u < g.NumVertices(); u += 5 {
+		for id := 0; id < store.NumTrajectories(); id++ {
+			exact := lm.LowerBoundToSet(roadnet.VertexID(u), store.UniqueVertices(trajdb.TrajID(id)))
+			interval := b.LowerBound(roadnet.VertexID(u), trajdb.TrajID(id))
+			if interval > exact+1e-9 {
+				t.Fatalf("interval bound %g tighter than per-vertex ALT bound %g for (u=%d, τ=%d)",
+					interval, exact, u, id)
+			}
+		}
+	}
+}
+
+// sliceSource is a hand-built Source for the Extend tests.
+type sliceSource [][]roadnet.VertexID
+
+func (s sliceSource) NumTrajectories() int { return len(s) }
+func (s sliceSource) UniqueVertices(id trajdb.TrajID) []roadnet.VertexID {
+	return s[id]
+}
+
+func testGraph(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	g, err := roadnet.GenerateCity(roadnet.CityOptions{
+		Rows: 10, Cols: 10, Style: roadnet.StyleDense, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestExtendLeavesReceiverUntouched: Extend is the MVCC maintenance
+// step — the old value must keep answering exactly as before, and the
+// extension must agree with a from-scratch build.
+func TestExtendLeavesReceiverUntouched(t *testing.T) {
+	g := testGraph(t)
+	lm := roadnet.NewLandmarks(g, 4, 0)
+
+	verts := make(sliceSource, 6)
+	for i := range verts {
+		verts[i] = []roadnet.VertexID{
+			roadnet.VertexID(i % g.NumVertices()),
+			roadnet.VertexID((i*13 + 5) % g.NumVertices()),
+		}
+	}
+	base := NewTrajBounds(verts[:3], lm)
+	before := make([]float64, 3)
+	for id := range before {
+		before[id] = base.LowerBound(2, trajdb.TrajID(id))
+	}
+
+	ext := base.Extend(verts)
+	if base.NumTrajectories() != 3 {
+		t.Fatalf("receiver grew to %d trajectories", base.NumTrajectories())
+	}
+	if ext.NumTrajectories() != 6 {
+		t.Fatalf("extension covers %d trajectories, want 6", ext.NumTrajectories())
+	}
+	for id, want := range before {
+		if got := base.LowerBound(2, trajdb.TrajID(id)); got != want {
+			t.Errorf("receiver bound for trajectory %d changed: %g → %g", id, want, got)
+		}
+	}
+	fresh := NewTrajBounds(verts, lm)
+	for u := 0; u < g.NumVertices(); u += 9 {
+		for id := 0; id < 6; id++ {
+			a := ext.LowerBound(roadnet.VertexID(u), trajdb.TrajID(id))
+			b := fresh.LowerBound(roadnet.VertexID(u), trajdb.TrajID(id))
+			if a != b {
+				t.Fatalf("extended and fresh bounds disagree for (u=%d, τ=%d): %g vs %g", u, id, a, b)
+			}
+		}
+	}
+}
+
+func TestExtendShrunkenStorePanics(t *testing.T) {
+	g := testGraph(t)
+	lm := roadnet.NewLandmarks(g, 2, 0)
+	verts := sliceSource{{0, 1}, {2, 3}}
+	b := NewTrajBounds(verts, lm)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend over a shrunken store should panic")
+		}
+	}()
+	b.Extend(verts[:1])
+}

@@ -1,0 +1,322 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"uots/internal/geo"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// sidecarMagic identifies the persistent index sidecar format, version 1.
+// The sidecar lives next to a diskstore record file (<record path>.idx)
+// and carries the memory-resident structures the store would otherwise
+// rebuild with a full sequential record scan at every Open: the
+// per-vertex trajectory posting lists, the per-document keyword term
+// sets (from which the document-frequency-bearing inverted index is
+// re-derived by a cheap in-memory inversion), the per-trajectory
+// bounding boxes, and the departure times.
+//
+// On-disk layout (all integers little-endian):
+//
+//	magic            8 bytes  "UOTSIDX1"
+//	numTrajs         u32
+//	numVertices      u32
+//	vocabSize        u32      ─┐ fingerprint of the record file the
+//	recordBytes      u64      ─┘ sidecar was derived from
+//	starts           numTrajs × f64
+//	bboxes           numTrajs × 4 f64 (minX minY maxX maxY)
+//	vertex postings  numVertices × (u32 len, len × u32 TrajID)
+//	doc terms        numTrajs × (u32 len, len × u32 TermID)
+//
+// A sidecar whose header does not match the opened record file (count,
+// vertex count, vocabulary size, or total record bytes) is ignored and
+// the store falls back to the scan rebuild — a stale sidecar can cost
+// time, never correctness.
+const sidecarMagic = "UOTSIDX1"
+
+// Sidecar is the decoded persistent-index payload exchanged with the
+// disk store.
+type Sidecar struct {
+	NumVertices int
+	VocabSize   int
+	RecordBytes uint64 // total bytes of the record section
+
+	Starts   []float64
+	BBoxes   []geo.Rect
+	VertexIx [][]trajdb.TrajID
+	DocTerms []textual.TermSet
+}
+
+// NumTrajs returns the trajectory count the sidecar covers.
+func (sc *Sidecar) NumTrajs() int { return len(sc.Starts) }
+
+// SidecarPath derives the sidecar file path from a record file path.
+func SidecarPath(recordPath string) string { return recordPath + ".idx" }
+
+// WriteSidecar atomically writes sc to path (tmp file + rename), so a
+// crash mid-write leaves either the old sidecar or none — never a torn
+// one that Open would have to distrust.
+func WriteSidecar(path string, sc *Sidecar) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := encodeSidecar(f, sc); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("index: writing sidecar %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func encodeSidecar(f *os.File, sc *Sidecar) error {
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(sidecarMagic); err != nil {
+		return err
+	}
+	n := sc.NumTrajs()
+	for _, v := range []uint32{uint32(n), uint32(sc.NumVertices), uint32(sc.VocabSize)} {
+		if err := putU32(w, v); err != nil {
+			return err
+		}
+	}
+	if err := putU64(w, sc.RecordBytes); err != nil {
+		return err
+	}
+	for _, t := range sc.Starts {
+		if err := putU64(w, math.Float64bits(t)); err != nil {
+			return err
+		}
+	}
+	for _, b := range sc.BBoxes {
+		for _, c := range [4]float64{b.Min.X, b.Min.Y, b.Max.X, b.Max.Y} {
+			if err := putU64(w, math.Float64bits(c)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, list := range sc.VertexIx {
+		if err := putU32(w, uint32(len(list))); err != nil {
+			return err
+		}
+		for _, id := range list {
+			if err := putU32(w, uint32(id)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, terms := range sc.DocTerms {
+		if err := putU32(w, uint32(len(terms))); err != nil {
+			return err
+		}
+		for _, t := range terms {
+			if err := putU32(w, uint32(t)); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// ReadSidecar decodes the sidecar at path and validates its internal
+// shape (every posting in range, every list length plausible). Matching
+// the sidecar against a specific record file is the caller's job — the
+// header fields exist for exactly that comparison.
+func ReadSidecar(path string) (*Sidecar, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := decodeSidecar(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("index: reading sidecar %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+func decodeSidecar(r io.Reader) (*Sidecar, error) {
+	magic := make([]byte, len(sidecarMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("reading magic: %w", err)
+	}
+	if string(magic) != sidecarMagic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	var hdr [3]uint32
+	for i := range hdr {
+		v, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		hdr[i] = v
+	}
+	recordBytes, err := getU64(r)
+	if err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 30
+	n, numVertices, vocabSize := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	if hdr[0] > maxReasonable || hdr[1] > maxReasonable || hdr[2] > maxReasonable {
+		return nil, fmt.Errorf("implausible header (%d trajs, %d vertices, %d terms)", n, numVertices, vocabSize)
+	}
+	sc := &Sidecar{
+		NumVertices: numVertices,
+		VocabSize:   vocabSize,
+		RecordBytes: recordBytes,
+		Starts:      make([]float64, n),
+		BBoxes:      make([]geo.Rect, n),
+		VertexIx:    make([][]trajdb.TrajID, numVertices),
+		DocTerms:    make([]textual.TermSet, n),
+	}
+	for i := range sc.Starts {
+		bits, err := getU64(r)
+		if err != nil {
+			return nil, err
+		}
+		sc.Starts[i] = math.Float64frombits(bits)
+	}
+	for i := range sc.BBoxes {
+		var c [4]float64
+		for j := range c {
+			bits, err := getU64(r)
+			if err != nil {
+				return nil, err
+			}
+			c[j] = math.Float64frombits(bits)
+		}
+		sc.BBoxes[i] = geo.Rect{Min: geo.Point{X: c[0], Y: c[1]}, Max: geo.Point{X: c[2], Y: c[3]}}
+	}
+	for v := range sc.VertexIx {
+		ln, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if int(ln) > n {
+			return nil, fmt.Errorf("vertex %d posting list longer than corpus (%d > %d)", v, ln, n)
+		}
+		if ln == 0 {
+			continue
+		}
+		list := make([]trajdb.TrajID, ln)
+		for i := range list {
+			id, err := getU32(r)
+			if err != nil {
+				return nil, err
+			}
+			if int(id) >= n {
+				return nil, fmt.Errorf("vertex %d posting %d outside corpus", v, id)
+			}
+			list[i] = trajdb.TrajID(id)
+		}
+		sc.VertexIx[v] = list
+	}
+	for d := range sc.DocTerms {
+		ln, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if int(ln) > vocabSize {
+			return nil, fmt.Errorf("doc %d has more terms than the vocabulary (%d > %d)", d, ln, vocabSize)
+		}
+		if ln == 0 {
+			continue
+		}
+		terms := make(textual.TermSet, ln)
+		for i := range terms {
+			t, err := getU32(r)
+			if err != nil {
+				return nil, err
+			}
+			if int(t) >= vocabSize {
+				return nil, fmt.Errorf("doc %d term %d outside vocabulary", d, t)
+			}
+			terms[i] = textual.TermID(t)
+		}
+		sc.DocTerms[d] = terms
+	}
+	// Reject trailing garbage: a longer file than the format describes
+	// means the writer and reader disagree about the layout.
+	var one [1]byte
+	if _, err := io.ReadFull(r, one[:]); err != io.EOF {
+		return nil, fmt.Errorf("trailing bytes after sidecar payload")
+	}
+	return sc, nil
+}
+
+// Matches reports whether the sidecar fingerprint agrees with a record
+// file holding numTrajs records over numVertices vertices, vocabSize
+// terms, and recordBytes bytes of record payload.
+func (sc *Sidecar) Matches(numTrajs, numVertices, vocabSize int, recordBytes uint64) bool {
+	return sc.NumTrajs() == numTrajs &&
+		sc.NumVertices == numVertices &&
+		sc.VocabSize == vocabSize &&
+		sc.RecordBytes == recordBytes
+}
+
+// RebuildTextIndex inverts the per-document term sets into a frozen
+// keyword inverted index — the in-memory half of the persistent text
+// index. Document frequencies (Index.DocFreq, IDF) fall out of the
+// posting lists, so nothing beyond the term sets needs to persist.
+func (sc *Sidecar) RebuildTextIndex() *textual.Index {
+	ix := textual.NewIndex()
+	for d, terms := range sc.DocTerms {
+		ix.Add(textual.DocID(d), terms)
+	}
+	ix.Freeze()
+	return ix
+}
+
+// SortedVertexCheck verifies ascending order of every posting list —
+// the invariant the expansion scan loop and union merges rely on.
+func (sc *Sidecar) SortedVertexCheck() error {
+	for v, list := range sc.VertexIx {
+		for i := 1; i < len(list); i++ {
+			if list[i] <= list[i-1] {
+				return fmt.Errorf("index: vertex %d posting list not strictly ascending at %d", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+func putU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func putU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func getU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func getU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

@@ -1,0 +1,139 @@
+package index
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"uots/internal/geo"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+func testSidecar() *Sidecar {
+	return &Sidecar{
+		NumVertices: 4,
+		VocabSize:   10,
+		RecordBytes: 1234,
+		Starts:      []float64{0.5, 42, 86399.9},
+		BBoxes: []geo.Rect{
+			{Min: geo.Point{X: -1, Y: -2}, Max: geo.Point{X: 3, Y: 4}},
+			{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 0, Y: 0}},
+			{Min: geo.Point{X: 1.5, Y: 2.5}, Max: geo.Point{X: 1.5, Y: 9}},
+		},
+		VertexIx: [][]trajdb.TrajID{{0, 2}, nil, {1}, {0, 1, 2}},
+		DocTerms: []textual.TermSet{{1, 3, 7}, nil, {9}},
+	}
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.bin.idx")
+	want := testSidecar()
+	if err := WriteSidecar(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if !got.Matches(3, 4, 10, 1234) {
+		t.Error("decoded sidecar does not match its own fingerprint")
+	}
+	for _, mismatch := range [][4]int{{2, 4, 10, 1234}, {3, 5, 10, 1234}, {3, 4, 11, 1234}, {3, 4, 10, 999}} {
+		if got.Matches(mismatch[0], mismatch[1], mismatch[2], uint64(mismatch[3])) {
+			t.Errorf("Matches%v = true, want false", mismatch)
+		}
+	}
+	if err := got.SortedVertexCheck(); err != nil {
+		t.Errorf("SortedVertexCheck: %v", err)
+	}
+	ix := got.RebuildTextIndex()
+	if ix.NumDocs() != 3 || ix.DocFreq(3) != 1 || ix.DocFreq(2) != 0 {
+		t.Errorf("rebuilt text index wrong: docs=%d df(3)=%d df(2)=%d",
+			ix.NumDocs(), ix.DocFreq(3), ix.DocFreq(2))
+	}
+}
+
+// TestSidecarRejectsDamage: every corruption shape is detected at decode
+// time, so a damaged sidecar degrades to the rebuild scan instead of
+// serving wrong indexes.
+func TestSidecarRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "good.idx")
+	if err := WriteSidecar(path, testSidecar()); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b = append([]byte(nil), b...); b[0] ^= 0xff; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"trailing bytes", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xaa) }},
+		{"posting out of range", func(b []byte) []byte {
+			// First posting list entry lives right after header+starts+bboxes
+			// + one u32 length; overwrite it with an ID past the corpus.
+			off := len(sidecarMagic) + 3*4 + 8 + 3*8 + 3*4*8 + 4
+			b = append([]byte(nil), b...)
+			b[off], b[off+1], b[off+2], b[off+3] = 0xff, 0xff, 0, 0
+			return b
+		}},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		p := filepath.Join(dir, tc.name+".idx")
+		if err := os.WriteFile(p, tc.mutate(append([]byte(nil), good...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSidecar(p); err == nil {
+			t.Errorf("%s: damaged sidecar decoded without error", tc.name)
+		}
+	}
+	if _, err := ReadSidecar(filepath.Join(dir, "missing.idx")); err == nil {
+		t.Error("missing sidecar decoded without error")
+	}
+}
+
+func TestSortedVertexCheckCatchesDisorder(t *testing.T) {
+	sc := testSidecar()
+	sc.VertexIx[3] = []trajdb.TrajID{2, 1}
+	if sc.SortedVertexCheck() == nil {
+		t.Error("descending posting list passed SortedVertexCheck")
+	}
+	sc.VertexIx[3] = []trajdb.TrajID{1, 1}
+	if sc.SortedVertexCheck() == nil {
+		t.Error("duplicate posting passed SortedVertexCheck")
+	}
+}
+
+// TestWriteSidecarAtomic: a write failure leaves no temp litter and the
+// destination untouched.
+func TestWriteSidecarOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.idx")
+	if err := WriteSidecar(path, testSidecar()); err != nil {
+		t.Fatal(err)
+	}
+	sc2 := testSidecar()
+	sc2.RecordBytes = 777
+	if err := WriteSidecar(path, sc2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RecordBytes != 777 {
+		t.Errorf("overwrite not visible: RecordBytes = %d", got.RecordBytes)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+package ingest
+
+import (
+	"context"
+	"math/rand/v2"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"uots/internal/core"
+	"uots/internal/index"
+	"uots/internal/obs"
+	"uots/internal/roadnet"
+	"uots/internal/textual"
+	"uots/internal/trajdb"
+)
+
+// openIndexedService boots an ingest service whose engines carry a
+// TrajBounds pruning index, seeded over the (empty) boot snapshot.
+func openIndexedService(t *testing.T) (*Service, *trajdb.DynamicStore, *obs.IndexMetrics) {
+	t.Helper()
+	g := testGraph(t)
+	store := trajdb.NewDynamic(g, textual.NewVocab())
+	lm := roadnet.NewLandmarks(g, 4, 0)
+	boot, _ := store.Snapshot()
+	im := obs.NewIndexMetrics(obs.NewRegistry())
+	svc, err := Open(store, Config{
+		WALPath:      filepath.Join(t.TempDir(), "ingest.wal"),
+		Fsync:        FsyncNone,
+		Engine:       core.Options{Index: index.NewTrajBounds(boot, lm)},
+		IndexMetrics: im,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc, store, im
+}
+
+// TestIndexExtensionTracksIngest: every committed batch grows the
+// pruning index along the MVCC snapshot path, each indexed engine stays
+// byte-identical to an unassisted engine over the same snapshot, and the
+// uots_index_* extension counters account for exactly the appended rows.
+func TestIndexExtensionTracksIngest(t *testing.T) {
+	svc, store, im := openIndexedService(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(3, 0))
+	total := 0
+	for round := 0; round < 5; round++ {
+		batch := make([]TrajRecord, 3)
+		for i := range batch {
+			batch[i] = mkTraj(rng, store.Graph(), 4)
+		}
+		if _, _, err := svc.Ingest(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		total += len(batch)
+
+		eng, _, err := svc.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := eng.Store().NumTrajectories(); n != total {
+			t.Fatalf("round %d: engine snapshot has %d trajectories, want %d", round, n, total)
+		}
+		svc.emu.Lock()
+		covered := svc.index.NumTrajectories()
+		svc.emu.Unlock()
+		if covered != total {
+			t.Fatalf("round %d: index covers %d trajectories, want %d", round, covered, total)
+		}
+
+		// The indexed engine must answer exactly like a plain engine over
+		// the same immutable snapshot.
+		plain, err := core.NewEngine(eng.Store(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := core.Query{
+			Locations: []roadnet.VertexID{batch[0].Samples[0].V, batch[len(batch)-1].Samples[0].V},
+			Lambda:    1, K: 5,
+		}
+		want, _, err := plain.SearchCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := eng.SearchCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: indexed engine diverges from plain engine\ngot  %+v\nwant %+v", round, got, want)
+		}
+	}
+	if got := im.Extensions.Value(); got == 0 {
+		t.Error("no incremental index extensions recorded across 5 committed rounds")
+	}
+	if got := im.ExtendedRows.Value(); got != uint64(total) {
+		t.Errorf("extended rows counter = %d, want %d", got, total)
+	}
+	if got := im.Trajectories.Value(); got != int64(total) {
+		t.Errorf("index coverage gauge = %d, want %d", got, total)
+	}
+}
+
+// TestConcurrentIngestAndIndexExtension races writers committing batches
+// against readers pulling indexed engines and querying them — the
+// go test -race target for the index maintenance path. Every engine a
+// reader observes must agree byte for byte with an unassisted engine
+// over its own pinned snapshot, no matter how ingest interleaves.
+func TestConcurrentIngestAndIndexExtension(t *testing.T) {
+	svc, store, _ := openIndexedService(t)
+	ctx := context.Background()
+
+	// One committed batch so early readers have a non-empty corpus.
+	seedRng := rand.New(rand.NewPCG(8, 0))
+	if _, _, err := svc.Ingest(ctx, []TrajRecord{mkTraj(seedRng, store.Graph(), 4)}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, batches = 2, 2, 8
+	var writerWG, readerWG sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	done := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed uint64) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewPCG(seed, 1))
+			for b := 0; b < batches; b++ {
+				batch := []TrajRecord{mkTraj(rng, store.Graph(), 3), mkTraj(rng, store.Graph(), 5)}
+				if _, _, err := svc.Ingest(ctx, batch); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(uint64(w + 100))
+	}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(seed uint64) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewPCG(seed, 2))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				eng, _, err := svc.Engine()
+				if err != nil {
+					errc <- err
+					return
+				}
+				snap := eng.Store()
+				plain, err := core.NewEngine(snap, core.Options{})
+				if err != nil {
+					errc <- err
+					return
+				}
+				q := core.Query{
+					Locations: []roadnet.VertexID{
+						roadnet.VertexID(rng.IntN(store.Graph().NumVertices())),
+					},
+					Lambda: 1, K: 3,
+				}
+				want, _, err := plain.SearchCtx(ctx, q)
+				if err != nil {
+					errc <- err
+					return
+				}
+				got, _, err := eng.SearchCtx(ctx, q)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("indexed engine diverges from plain engine over the same snapshot")
+					return
+				}
+			}
+		}(uint64(r + 200))
+	}
+
+	writerWG.Wait()
+	close(done)
+	readerWG.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := store.Len(), 1+writers*batches*2; got != want {
+		t.Fatalf("store has %d trajectories after soak, want %d", got, want)
+	}
+	// The index may lag the store by whatever committed after the last
+	// Engine() call; one more read brings it current.
+	if _, _, err := svc.Engine(); err != nil {
+		t.Fatal(err)
+	}
+	svc.emu.Lock()
+	covered := svc.index.NumTrajectories()
+	svc.emu.Unlock()
+	if covered != store.Len() {
+		t.Fatalf("index covers %d trajectories after final read, want %d", covered, store.Len())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"uots/internal/core"
+	"uots/internal/index"
 	"uots/internal/textual"
 	"uots/internal/trajdb"
 )
@@ -22,6 +23,20 @@ func buildSubStore(db core.TrajStore, ids []trajdb.TrajID, shardIdx int) (core.T
 		}
 	}
 	return b.Freeze(), nil
+}
+
+// subOptions derives one shard engine's options from the global ones. A
+// global TrajBounds index is keyed by global dense IDs, so each shard
+// rebuilds its own over the shard-local store; the landmark distance
+// tables depend only on the graph and are shared, making the rebuild
+// O(shard trajectories · K). The wire protocol is untouched: bounds are
+// consulted locally per shard, and only the SharedBound scalar — already
+// wire-safe by the strict-< prune contract — crosses shard boundaries.
+func subOptions(opts core.Options, sub core.TrajStore) core.Options {
+	if opts.Index != nil {
+		opts.Index = index.NewTrajBounds(sub, opts.Index.Landmarks())
+	}
+	return opts
 }
 
 // BuildShardEngine partitions db with part into shards pieces and builds
@@ -62,7 +77,7 @@ func BuildShardEngine(db core.TrajStore, opts core.Options, part Partitioner, sh
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, err = core.NewEngine(sub, opts)
+	eng, err = core.NewEngine(sub, subOptions(opts, sub))
 	if err != nil {
 		return nil, nil, fmt.Errorf("shard: engine for shard %d: %w", index, err)
 	}

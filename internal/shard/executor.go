@@ -150,10 +150,15 @@ func newExecutor(db core.TrajStore, opts core.Options, cfg Config, pool *workerP
 		if err != nil {
 			return nil, err
 		}
+		// Derive the shard-local options (per-shard TrajBounds rebuild)
+		// from the clean sub-store before any fault-injection wrapper: the
+		// index build is part of construction, not of the query paths the
+		// wrapper is meant to perturb.
+		subOpts := subOptions(opts, sub)
 		if cfg.WrapStore != nil {
 			sub = cfg.WrapStore(s, sub)
 		}
-		engine, err := core.NewEngine(sub, opts)
+		engine, err := core.NewEngine(sub, subOpts)
 		if err != nil {
 			return nil, fmt.Errorf("shard: engine for shard %d: %w", s, err)
 		}

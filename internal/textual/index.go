@@ -78,7 +78,11 @@ func (ix *Index) Extend(docs []TermSet) *Index {
 	for _, terms := range docs {
 		doc := DocID(next.numDocs)
 		next.numDocs++
-		next.docTerms = append(next.docTerms, terms)
+		// Deep-copy the incoming set: the caller may be reusing a decode
+		// buffer (WAL replay) or handing in a set it later sorts, and this
+		// index must stay immutable for as long as any snapshot reader
+		// holds it.
+		next.docTerms = append(next.docTerms, append(TermSet(nil), terms...))
 		for _, t := range terms {
 			if !copied[t] {
 				// First touch this extension: unshare the list from ix
@@ -96,12 +100,25 @@ func (ix *Index) Extend(docs []TermSet) *Index {
 // NumDocs returns the number of documents added.
 func (ix *Index) NumDocs() int { return ix.numDocs }
 
-// DocTerms returns the term set of doc. The result must not be modified.
-func (ix *Index) DocTerms(doc DocID) TermSet { return ix.docTerms[doc] }
+// DocTerms returns a copy of the term set of doc. Returning a copy costs
+// one allocation on a path no search loop touches (the engines score
+// through ScoreAll/CosineIDF, which read the internal sets directly) and
+// removes a whole bug class: a caller that sorts or edits the result in
+// place can no longer corrupt this index — or, worse, every MVCC
+// generation sharing the set through Extend.
+func (ix *Index) DocTerms(doc DocID) TermSet {
+	return append(TermSet(nil), ix.docTerms[doc]...)
+}
 
-// Postings returns the ascending document list for term (nil if the term
-// occurs nowhere). The result must not be modified.
-func (ix *Index) Postings(term TermID) []DocID { return ix.postings[term] }
+// Postings returns a copy of the ascending document list for term (nil
+// if the term occurs nowhere). As with DocTerms, the copy makes
+// caller-side mutation harmless: posting lists may be shared with other
+// generations of this index (Extend) and with the disk-store sidecar
+// loader, so handing out the internal slice would let one caller's edit
+// silently poison readers holding an older snapshot.
+func (ix *Index) Postings(term TermID) []DocID {
+	return append([]DocID(nil), ix.postings[term]...)
+}
 
 // DocFreq returns the number of documents containing term.
 func (ix *Index) DocFreq(term TermID) int { return len(ix.postings[term]) }

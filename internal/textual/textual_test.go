@@ -376,8 +376,10 @@ func TestIndexExtend(t *testing.T) {
 		t.Errorf("base postings[4] = %v, want nil", got)
 	}
 	// Untouched lists are shared (the whole point of the COW scheme):
-	// term 3 appears in no new document, so the slices alias.
-	if len(ix.Postings(3)) > 0 && len(ext.Postings(3)) > 0 && &ix.Postings(3)[0] != &ext.Postings(3)[0] {
+	// term 3 appears in no new document, so the internal slices alias.
+	// Asserted on the internal fields — the public Postings accessor
+	// returns defensive copies precisely so this sharing is unobservable.
+	if len(ix.postings[3]) > 0 && len(ext.postings[3]) > 0 && &ix.postings[3][0] != &ext.postings[3][0] {
 		t.Error("untouched posting list was copied, not shared")
 	}
 	// Extending twice from the same base must not clobber the sibling.
@@ -387,6 +389,62 @@ func TestIndexExtend(t *testing.T) {
 	}
 	if got, want := ext.Postings(2), []DocID{0, 1, 2}; !reflect.DeepEqual(got, want) {
 		t.Errorf("first extension postings[2] = %v after sibling extension, want %v", got, want)
+	}
+}
+
+// TestAccessorMutationSafety is the regression for the aliased-internal-
+// slice bug class: Postings and DocTerms hand out defensive copies, so a
+// caller sorting or overwriting the returned slice cannot corrupt the
+// index (or, through COW extension sharing, any other MVCC generation).
+func TestAccessorMutationSafety(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(0, NewTermSet([]TermID{1, 2}))
+	ix.Add(1, NewTermSet([]TermID{2, 3}))
+	ix.Freeze()
+
+	p := ix.Postings(2)
+	p[0], p[1] = 999, 998
+	if got, want := ix.Postings(2), []DocID{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("mutating a returned posting list changed the index: %v, want %v", got, want)
+	}
+	dt := ix.DocTerms(1)
+	dt[0] = 777
+	if got, want := ix.DocTerms(1), NewTermSet([]TermID{2, 3}); !reflect.DeepEqual(got, want) {
+		t.Errorf("mutating a returned term set changed the index: %v, want %v", got, want)
+	}
+	if ix.DocFreq(2) != 2 || ix.DocFreq(777) != 0 {
+		t.Errorf("doc frequencies shifted after caller mutation: df(2)=%d df(777)=%d",
+			ix.DocFreq(2), ix.DocFreq(777))
+	}
+}
+
+// TestExtendCopiesCallerTermSets: Extend deep-copies the term sets it is
+// handed, so a caller that reuses its decode buffer (the WAL replay loop
+// does) cannot mutate a published generation after the fact.
+func TestExtendCopiesCallerTermSets(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(0, NewTermSet([]TermID{1, 2}))
+	ix.Freeze()
+
+	buf := NewTermSet([]TermID{4, 6})
+	ext := ix.Extend([]TermSet{buf})
+	buf[0], buf[1] = 50, 60 // caller reuses its buffer
+	if got, want := ext.DocTerms(1), NewTermSet([]TermID{4, 6}); !reflect.DeepEqual(got, want) {
+		t.Errorf("extension aliases the caller's buffer: DocTerms = %v, want %v", got, want)
+	}
+	if ext.DocFreq(50) != 0 || ext.DocFreq(4) != 1 {
+		t.Errorf("buffer reuse leaked into postings: df(50)=%d df(4)=%d",
+			ext.DocFreq(50), ext.DocFreq(4))
+	}
+	// Cross-generation: mutating a term set read from the extension must
+	// not reach the base generation's copy of the shared document.
+	et := ext.DocTerms(0)
+	if len(et) == 0 {
+		t.Fatal("extension lost the inherited document")
+	}
+	et[0] = 888
+	if got, want := ix.DocTerms(0), NewTermSet([]TermID{1, 2}); !reflect.DeepEqual(got, want) {
+		t.Errorf("mutation through the extension corrupted the base generation: %v, want %v", got, want)
 	}
 }
 

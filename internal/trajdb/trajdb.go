@@ -237,7 +237,13 @@ func (s *Store) Traj(id TrajID) *Trajectory { return &s.trajs[id] }
 
 // TrajsAtVertex returns the ascending list of trajectories that contain
 // vertex v as a sample point — the inverted list scanned during network
-// expansion. The result must not be modified.
+// expansion. The result aliases the store's internal posting list, which
+// an MVCC snapshot extension may share with every other generation of
+// the store: it sits on the expansion hot path and is returned without a
+// copy, so the caller must not modify it (an in-place sort or append
+// would corrupt all generations at once). Callers that need to retain or
+// reorder it must copy first; TestAliasedSliceContracts pins the
+// aliasing so a silent contract change fails loudly.
 func (s *Store) TrajsAtVertex(v roadnet.VertexID) []TrajID { return s.vertexIx[v] }
 
 // ContainsVertex reports whether trajectory id has v among its samples.
@@ -261,7 +267,10 @@ func (s *Store) UniqueVertices(id TrajID) []roadnet.VertexID {
 // TextIndex returns the keyword inverted index (DocID == TrajID).
 func (s *Store) TextIndex() *textual.Index { return s.textIx }
 
-// Keywords returns the keyword set of trajectory id.
+// Keywords returns the keyword set of trajectory id. Like TrajsAtVertex
+// it returns the internal slice without a copy (per-candidate scoring
+// path): the result is shared with the text index and with every MVCC
+// generation of this store, and must not be modified.
 func (s *Store) Keywords(id TrajID) textual.TermSet { return s.trajs[id].Keywords }
 
 // Stats summarizes a store for logging and experiment tables.
